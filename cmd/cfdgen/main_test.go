@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cfdclean"
+)
+
+func TestRunWritesAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 300, 0.05, 0.5, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"clean.csv", "dirty.csv", "weights.csv", "cfds.txt"} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+	// The artifacts compose: dirty.csv parses, cfds.txt parses against
+	// its schema, and the clean file satisfies the constraints.
+	df, err := os.Open(filepath.Join(dir, "clean.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Close()
+	rel, err := cfdclean.ReadCSV("order", df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := os.Open(filepath.Join(dir, "cfds.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	cfds, err := cfdclean.ParseCFDs(rel.Schema(), cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfds) != 7 {
+		t.Fatalf("parsed %d CFDs, want 7", len(cfds))
+	}
+	if !cfdclean.Satisfies(rel, cfdclean.Normalize(cfds)) {
+		t.Fatal("clean.csv violates cfds.txt")
+	}
+}
+
+func TestWeightsFileFormat(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 100, 0.1, 0.5, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "weights.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "id,attr,weight" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Fatal("no weight rows written")
+	}
+	for _, l := range lines[1:3] {
+		if strings.Count(l, ",") != 2 {
+			t.Fatalf("malformed weight row %q", l)
+		}
+	}
+}

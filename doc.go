@@ -1,0 +1,32 @@
+// Package cfdclean improves data quality with conditional functional
+// dependencies (CFDs), reproducing "Improving Data Quality: Consistency
+// and Accuracy" (Cong, Fan, Geerts, Jia, Ma; VLDB 2007).
+//
+// A CFD (R: X → Y, Tp) extends a functional dependency with a pattern
+// tableau that binds semantically related values: standard FDs are the
+// special case of a single all-wildcard pattern row, while constant rows
+// let a single tuple violate a constraint (a 212 area code with a
+// Philadelphia city, say). The package detects such violations and
+// repairs them automatically:
+//
+//   - BatchRepair implements the paper's BATCHREPAIR (§4): an
+//     equivalence-class, cost-guided heuristic that always terminates
+//     with a repair satisfying Σ (finding a minimum-cost repair is
+//     NP-complete even for fixed schema and Σ).
+//   - IncRepair implements INCREPAIR (§5): given a clean database and a
+//     batch of insertions, it repairs the new tuples one at a time —
+//     greedily over attribute subsets of size k — without touching the
+//     trusted data; Repair applies the same engine to a whole dirty
+//     database (§5.3). Three tuple orderings (linear, by violations, by
+//     weight) trade cost for accuracy.
+//   - Cleaner wires both into the framework of the paper's Fig. 3 with a
+//     sampling module (§6): a stratified sample of each candidate repair
+//     is inspected by a user (or an oracle), a one-sided z-test decides
+//     whether the repair's inaccuracy rate is below ε at confidence δ,
+//     and the user's corrections feed the next round.
+//
+// The quality of a repair against known ground truth is measured by
+// EvaluateQuality (precision/recall over attribute-level differences,
+// §7.1). See the examples directory for runnable walkthroughs and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package cfdclean

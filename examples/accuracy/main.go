@@ -1,0 +1,89 @@
+// Accuracy runs the full framework loop of the paper's Fig. 3: repair a
+// dirty database, draw a stratified sample, let a user (here: an oracle
+// with access to the ground truth) inspect it, test the repair's
+// inaccuracy rate against the bound ε at confidence δ (§6), and feed the
+// user's corrections into the next round until the repair is accepted.
+//
+// Run with: go run ./examples/accuracy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cfdclean"
+	"cfdclean/workload"
+)
+
+func main() {
+	ds, err := workload.Generate(workload.Config{
+		Size: 8000, NoiseRate: 0.06, Seed: 5, Weights: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dirty database: %d tuples, %d noisy cells in %d tuples\n",
+		ds.Dirty.Size(), ds.NoisyCells, len(ds.DirtyIDs))
+
+	const (
+		eps   = 0.02 // accept when < 2% of tuples are inaccurate...
+		delta = 0.95 // ...at 95% confidence
+	)
+	cleaner, err := cfdclean.NewCleaner(cfdclean.CleanerConfig{
+		Sigma: ds.Sigma,
+		Eps:   eps,
+		Delta: delta,
+		Mode:  cfdclean.ModeBatch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The oracle plays the domain expert of §6: it flags sampled tuples
+	// that differ from the correct database and supplies the fixes.
+	oracle := &cfdclean.Oracle{Opt: ds.Opt}
+	out, err := cleaner.Clean(ds.Dirty, oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, r := range out.Rounds {
+		verdict := "rejected"
+		if r.Report.Accepted {
+			verdict = "accepted"
+		}
+		fmt.Printf("round %d: repaired %d cells; sample of %d tuples, %d flagged "+
+			"(p̂ = %.4f, z = %.2f vs -z_α = %.2f) → %s",
+			i+1, r.RepairChanges, r.Report.SampleSize, len(r.Report.Inaccurate),
+			r.Report.PHat, r.Report.Z, -r.Report.ZAlpha, verdict)
+		if r.Corrections > 0 {
+			fmt.Printf("; user corrected %d tuples", r.Corrections)
+		}
+		fmt.Println()
+	}
+
+	if !out.Accepted {
+		fmt.Println("not accepted within the round budget")
+		return
+	}
+
+	// With the ground truth at hand we can check what the statistical
+	// test promised: the true inaccuracy rate of the accepted repair.
+	bad := 0
+	for _, t := range out.Repair.Tuples() {
+		want := ds.Opt.Tuple(t.ID)
+		for a := range t.Vals {
+			if t.Vals[a].String() != want.Vals[a].String() {
+				bad++
+				break
+			}
+		}
+	}
+	rate := float64(bad) / float64(out.Repair.Size())
+	fmt.Printf("\naccepted repair: true inaccuracy rate %.4f (bound ε = %.2f)\n", rate, eps)
+	q, err := cfdclean.EvaluateQuality(ds.Dirty, out.Repair, ds.Opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quality: %v\n", q)
+}

@@ -1,0 +1,68 @@
+package cfdclean
+
+import (
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/discovery"
+	"cfdclean/internal/ind"
+	"cfdclean/internal/relation"
+)
+
+// The types and functions below implement the paper's stated future work
+// (§9): automatic discovery of CFDs from data, and cleaning with
+// inclusion dependencies alongside CFDs.
+
+// Discovery (CFD mining).
+type (
+	// DiscoveryOptions bounds CFD mining.
+	DiscoveryOptions = discovery.Options
+	// MinedRule is one discovered CFD with support statistics.
+	MinedRule = discovery.Rule
+)
+
+// Discover mines CFDs of the form X → A from rel: plain FDs become
+// single-wildcard-row CFDs, and partial dependencies become constant
+// pattern rows over the well-supported groups. opts may be nil.
+func Discover(rel *Relation, opts *DiscoveryOptions) ([]MinedRule, error) {
+	return discovery.Mine(rel, opts)
+}
+
+// Inclusion dependencies.
+type (
+	// IND is an inclusion dependency Child[X] ⊆ Parent[Y].
+	IND = ind.IND
+	// INDOptions tunes IND repair.
+	INDOptions = ind.Options
+	// INDResult reports an IND repair.
+	INDResult = ind.Result
+)
+
+// NewIND builds an inclusion dependency from attribute names.
+func NewIND(name string, child *Schema, x []string, parent *Schema, y []string) (*IND, error) {
+	return ind.New(name, child, x, parent, y)
+}
+
+// INDViolations returns the child tuples whose X-projection is missing
+// from parent[Y].
+func INDViolations(child, parent *Relation, d *IND) []TupleID {
+	return ind.Violations(child, parent, d)
+}
+
+// RepairIND makes child satisfy d against parent by child-side value
+// modifications or parent-side insertions, whichever is cheaper. The
+// inputs are not modified. opts may be nil.
+func RepairIND(child, parent *Relation, d *IND, opts *INDOptions) (*INDResult, error) {
+	return ind.Repair(child, parent, d, opts)
+}
+
+// RepairWithINDs cleans child against both sigma and the given inclusion
+// dependencies, alternating CFD and IND repair to a fixpoint (§9).
+func RepairWithINDs(child, parent *Relation, sigma []*NormalCFD, inds []*IND, opts *INDOptions) (*INDResult, error) {
+	return ind.RepairWithCFDs(child, parent, sigma, inds, opts)
+}
+
+// compile-time checks that the facade aliases stay aligned with the
+// internal packages.
+var (
+	_ = func(r *relation.Relation) *Relation { return r }
+	_ = func(n *cfd.Normal) *NormalCFD { return n }
+)

@@ -1,0 +1,213 @@
+package cfdclean_test
+
+// Cross-module integration and property tests: the theorems the paper
+// proves about its algorithms (termination, Repr |= Σ — Theorems 4.2 and
+// 5.3) must hold on randomized workloads across the parameter space, and
+// the two engines plus the framework loop must compose.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cfdclean"
+	"cfdclean/workload"
+)
+
+// TestRepairSatisfiesSigmaProperty: for random (size, ρ, const-share,
+// seed) configurations, both engines terminate and their output satisfies
+// Σ — the paper's Theorems 4.2 and 5.3.
+func TestRepairSatisfiesSigmaProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	rng := rand.New(rand.NewSource(31))
+	f := func(sizeRaw, rhoRaw, shareRaw, seedRaw uint32) bool {
+		size := 100 + int(sizeRaw%900)
+		rho := float64(rhoRaw%12) / 100
+		share := 0.2 + float64(shareRaw%7)/10
+		ds, err := workload.Generate(workload.Config{
+			Size: size, NoiseRate: rho, ConstShare: share,
+			Seed: int64(seedRaw), Weights: seedRaw%2 == 0,
+		})
+		if err != nil {
+			t.Logf("generate: %v", err)
+			return false
+		}
+		br, err := cfdclean.BatchRepair(ds.Dirty, ds.Sigma, nil)
+		if err != nil {
+			t.Logf("batch: %v", err)
+			return false
+		}
+		if !cfdclean.Satisfies(br.Repair, ds.Sigma) {
+			t.Logf("batch repair violates Σ (size=%d rho=%v)", size, rho)
+			return false
+		}
+		ir, err := cfdclean.Repair(ds.Dirty, ds.Sigma, &cfdclean.IncOptions{
+			Ordering: cfdclean.Ordering(seedRaw % 3),
+		})
+		if err != nil {
+			t.Logf("inc: %v", err)
+			return false
+		}
+		if !cfdclean.Satisfies(ir.Repair, ds.Sigma) {
+			t.Logf("inc repair violates Σ (size=%d rho=%v)", size, rho)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepairIdempotent: repairing a repair changes nothing (it already
+// satisfies Σ).
+func TestRepairIdempotent(t *testing.T) {
+	ds, err := workload.Generate(workload.Config{Size: 600, NoiseRate: 0.05, Seed: 44, Weights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := cfdclean.BatchRepair(ds.Dirty, ds.Sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cfdclean.BatchRepair(first.Repair, ds.Sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Changes != 0 {
+		t.Fatalf("re-repair changed %d cells", second.Changes)
+	}
+}
+
+// TestDiscoverThenRepair: mine Σ' from clean data, clean the dirty copy
+// with the mined constraints — the end-to-end §9 discovery workflow.
+func TestDiscoverThenRepair(t *testing.T) {
+	ds, err := workload.Generate(workload.Config{Size: 1200, NoiseRate: 0.04, Seed: 15, Weights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := cfdclean.Discover(ds.Opt, &cfdclean.DiscoveryOptions{
+		MaxLHS: 1, MinSupport: 4,
+		Attrs: []int{workload.AttrZip, workload.AttrCT, workload.AttrST,
+			workload.AttrCTY, workload.AttrVAT},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined) == 0 {
+		t.Fatal("nothing mined")
+	}
+	var cfds []*cfdclean.CFD
+	for _, r := range mined {
+		cfds = append(cfds, r.CFD)
+	}
+	sigma := cfdclean.Normalize(cfds)
+	if err := cfdclean.Satisfiable(sigma); err != nil {
+		t.Fatalf("mined Σ unsatisfiable: %v", err)
+	}
+	res, err := cfdclean.BatchRepair(ds.Dirty, sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfdclean.Satisfies(res.Repair, sigma) {
+		t.Fatal("repair violates mined Σ")
+	}
+	q, err := cfdclean.EvaluateQuality(ds.Dirty, res.Repair, ds.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mined constraints only cover the geography attributes, so recall
+	// is partial; what they do repair must be mostly right.
+	if q.Changes > 0 && q.Precision < 0.5 {
+		t.Fatalf("mined-constraint repair precision %.2f", q.Precision)
+	}
+}
+
+// TestINDAcrossGeneratedRelations: an IND from the order table's item ids
+// into a catalog built from the item pool; corrupting a child id is
+// repaired back via the nearest-combination rule.
+func TestINDAcrossGeneratedRelations(t *testing.T) {
+	ds, err := workload.Generate(workload.Config{Size: 400, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalogSchema := cfdclean.MustSchema("catalog", "sku")
+	catalog := cfdclean.NewRelation(catalogSchema)
+	seen := map[string]bool{}
+	for _, tp := range ds.Opt.Tuples() {
+		id := tp.Vals[workload.AttrID].Str
+		if !seen[id] {
+			seen[id] = true
+			if _, err := catalog.InsertRow(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d, err := cfdclean.NewIND("fk", ds.Schema, []string{"id"}, catalogSchema, []string{"sku"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cfdclean.INDViolations(ds.Opt, catalog, d)); n != 0 {
+		t.Fatalf("clean data has %d IND violations", n)
+	}
+	// Corrupt one child id by a single character.
+	child := ds.Opt.Clone()
+	victim := child.Tuples()[0]
+	orig := victim.Vals[workload.AttrID].Str
+	corrupted := "z" + orig[1:]
+	if _, err := child.Set(victim.ID, workload.AttrID, cfdclean.S(corrupted)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cfdclean.INDViolations(child, catalog, d)); n != 1 {
+		t.Fatalf("want 1 violation, got %d", n)
+	}
+	res, err := cfdclean.RepairIND(child, catalog, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Child.Tuple(victim.ID).Vals[workload.AttrID].Str; got != orig {
+		t.Fatalf("IND repair chose %q, want %q", got, orig)
+	}
+}
+
+// TestFrameworkAcceptsThenHolds: an accepted repair's true inaccuracy
+// rate respects the ε bound (with the oracle, acceptance is grounded in
+// real comparisons, so this should essentially always hold).
+func TestFrameworkAcceptsThenHolds(t *testing.T) {
+	ds, err := workload.Generate(workload.Config{Size: 2000, NoiseRate: 0.04, Seed: 12, Weights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.05
+	cl, err := cfdclean.NewCleaner(cfdclean.CleanerConfig{
+		Sigma: ds.Sigma, Eps: eps, Delta: 0.9, MaxRounds: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cl.Clean(ds.Dirty, &cfdclean.Oracle{Opt: ds.Opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Skip("not accepted within budget (statistical)")
+	}
+	bad := 0
+	for _, tp := range out.Repair.Tuples() {
+		want := ds.Opt.Tuple(tp.ID)
+		for a := range tp.Vals {
+			if tp.Vals[a].String() != want.Vals[a].String() {
+				bad++
+				break
+			}
+		}
+	}
+	rate := float64(bad) / float64(out.Repair.Size())
+	// Allow statistical slack: the test guarantees the rate at confidence
+	// δ, not absolutely.
+	if rate > 2*eps {
+		t.Fatalf("accepted repair has inaccuracy rate %.4f ≫ ε = %v", rate, eps)
+	}
+}

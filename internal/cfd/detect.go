@@ -1,0 +1,494 @@
+package cfd
+
+import (
+	"sort"
+
+	"cfdclean/internal/relation"
+)
+
+// Violation records that tuple T violates the normal CFD N; for
+// variable-RHS (case 2) violations, With is the partner tuple (§3.1).
+type Violation struct {
+	T    relation.TupleID
+	N    *Normal
+	With relation.TupleID // zero for single-tuple (case 1) violations
+}
+
+// fdGroup collects the normal CFDs sharing an embedded FD X → A. Grouping
+// lets detection make one pass per embedded FD instead of one per pattern
+// tuple — essential when tableaus carry hundreds of pattern rows (§7.1).
+type fdGroup struct {
+	x []int // sorted LHS attribute positions
+	a int   // RHS attribute position
+
+	// masks groups pattern rows by which positions of x carry constants;
+	// each mask bucket maps the constants at those positions to rows.
+	masks []*maskBucket
+
+	hasVar bool // any variable-RHS row in this group
+
+	xIndex *relation.HashIndex // live index of D on x
+}
+
+type maskBucket struct {
+	pos  []int // positions within x that are constants for these rows
+	rows map[string][]*groupRow
+}
+
+// groupRow is a normal CFD with its LHS cells permuted to the group's
+// sorted attribute order.
+type groupRow struct {
+	n    *Normal
+	tpx  []Cell // cells in group x-order
+	tpa  Cell
+	cons bool // constant RHS
+}
+
+// Detector performs CFD violation detection over a relation, maintaining
+// per-embedded-FD hash indices so that both whole-database detection and
+// single-tuple checks are fast. It implements the SQL-based detection
+// technique of [6] over the in-memory substrate.
+type Detector struct {
+	rel    *relation.Relation
+	sigma  []*Normal
+	groups []*fdGroup
+}
+
+// NewDetector builds a detector for sigma over rel, indexing the current
+// contents of rel.
+func NewDetector(rel *relation.Relation, sigma []*Normal) *Detector {
+	d := &Detector{rel: rel, sigma: sigma}
+	byKey := make(map[string]*fdGroup)
+	for _, n := range sigma {
+		// Canonical group key: sorted X positions plus A.
+		perm := sortedPerm(n.X)
+		x := make([]int, len(n.X))
+		cells := make([]Cell, len(n.X))
+		for i, p := range perm {
+			x[i] = n.X[p]
+			cells[i] = n.TpX[p]
+		}
+		key := groupKey(x, n.A)
+		g, ok := byKey[key]
+		if !ok {
+			g = &fdGroup{x: x, a: n.A}
+			byKey[key] = g
+			d.groups = append(d.groups, g)
+		}
+		row := &groupRow{n: n, tpx: cells, tpa: n.TpA, cons: n.ConstantRHS()}
+		if !row.cons {
+			g.hasVar = true
+		}
+		g.addRow(row)
+	}
+	for _, g := range d.groups {
+		g.xIndex = relation.NewHashIndex(rel, g.x)
+	}
+	return d
+}
+
+func sortedPerm(xs []int) []int {
+	perm := make([]int, len(xs))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool { return xs[perm[i]] < xs[perm[j]] })
+	return perm
+}
+
+func groupKey(x []int, a int) string {
+	b := make([]byte, 0, 4*(len(x)+1))
+	for _, p := range x {
+		b = appendInt(b, p)
+	}
+	b = append(b, '>')
+	b = appendInt(b, a)
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), ',')
+}
+
+func (g *fdGroup) addRow(r *groupRow) {
+	var pos []int
+	for i, c := range r.tpx {
+		if !c.Wildcard {
+			pos = append(pos, i)
+		}
+	}
+	for _, mb := range g.masks {
+		if equalInts(mb.pos, pos) {
+			mb.rows[maskKeyCells(r.tpx, pos)] = append(mb.rows[maskKeyCells(r.tpx, pos)], r)
+			return
+		}
+	}
+	mb := &maskBucket{pos: pos, rows: make(map[string][]*groupRow)}
+	mb.rows[maskKeyCells(r.tpx, pos)] = append(mb.rows[maskKeyCells(r.tpx, pos)], r)
+	g.masks = append(g.masks, mb)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func maskKeyCells(cells []Cell, pos []int) string {
+	vals := make([]relation.Value, len(pos))
+	for i, p := range pos {
+		vals[i] = relation.S(cells[p].Const)
+	}
+	return relation.KeyOf(vals...)
+}
+
+func maskKeyVals(vals []relation.Value, pos []int) string {
+	sel := make([]relation.Value, len(pos))
+	for i, p := range pos {
+		sel[i] = vals[p]
+	}
+	return relation.KeyOf(sel...)
+}
+
+// matchingRows returns the pattern rows of g whose tp[X] is matched by the
+// given X values (already known to be null-free).
+func (g *fdGroup) matchingRows(xvals []relation.Value) []*groupRow {
+	var out []*groupRow
+	for _, mb := range g.masks {
+		out = append(out, mb.rows[maskKeyVals(xvals, mb.pos)]...)
+	}
+	return out
+}
+
+// Relation returns the relation the detector is attached to.
+func (d *Detector) Relation() *relation.Relation { return d.rel }
+
+// Sigma returns the normal CFDs under detection.
+func (d *Detector) Sigma() []*Normal { return d.sigma }
+
+// UpdateTuple re-indexes t after its attribute values changed. Must be
+// called after every relation.Set on a tuple, or indices go stale.
+func (d *Detector) UpdateTuple(t *relation.Tuple) {
+	for _, g := range d.groups {
+		g.xIndex.Update(t)
+	}
+}
+
+// AddTuple indexes a newly inserted tuple.
+func (d *Detector) AddTuple(t *relation.Tuple) {
+	for _, g := range d.groups {
+		g.xIndex.Add(t)
+	}
+}
+
+// RemoveTuple un-indexes a deleted tuple.
+func (d *Detector) RemoveTuple(id relation.TupleID) {
+	for _, g := range d.groups {
+		g.xIndex.Remove(id)
+	}
+}
+
+// VioTuple returns vio(t): the number of violations incurred by t (§3.1).
+// Case 1 adds one per violated constant-RHS CFD; case 2 adds one per
+// (CFD, partner-tuple) pair.
+func (d *Detector) VioTuple(t *relation.Tuple) int {
+	total := 0
+	for _, g := range d.groups {
+		total += d.vioInGroup(g, t)
+	}
+	return total
+}
+
+func (d *Detector) vioInGroup(g *fdGroup, t *relation.Tuple) int {
+	if t.HasNullOn(g.x) {
+		return 0 // null never matches a pattern (§3.1 remark 2)
+	}
+	xvals := t.Project(g.x)
+	rows := g.matchingRows(xvals)
+	if len(rows) == 0 {
+		return 0
+	}
+	total := 0
+	av := t.Vals[g.a]
+	var bucket []relation.TupleID
+	for _, r := range rows {
+		if r.cons {
+			if RHSViolates(av, r.tpa) {
+				total++
+			}
+			continue
+		}
+		// Variable RHS: count partners with a different non-null A.
+		if av.Null {
+			continue // null A is Eq to everything: already resolved (§4.1 case 2.3)
+		}
+		if bucket == nil {
+			bucket = g.xIndex.Lookup(xvals)
+		}
+		for _, id := range bucket {
+			if id == t.ID {
+				continue
+			}
+			o := d.rel.Tuple(id).Vals[g.a]
+			if !o.Null && o.Str != av.Str {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// VioAll returns vio(t) for every tuple with at least one violation.
+// It makes one pass per embedded-FD group using the live indices.
+func (d *Detector) VioAll() map[relation.TupleID]int {
+	out := make(map[relation.TupleID]int)
+	for _, g := range d.groups {
+		d.groupScan(g, func(t *relation.Tuple, n *Normal, with relation.TupleID) {
+			out[t.ID]++
+		})
+	}
+	return out
+}
+
+// Violations returns up to limit violations (limit <= 0 means all).
+// Case-2 violations are reported once per ordered (t, t') pair, matching
+// the paper's per-tuple counting.
+func (d *Detector) Violations(limit int) []Violation {
+	var out []Violation
+	for _, g := range d.groups {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		d.groupScan(g, func(t *relation.Tuple, n *Normal, with relation.TupleID) {
+			if limit <= 0 || len(out) < limit {
+				out = append(out, Violation{T: t.ID, N: n, With: with})
+			}
+		})
+	}
+	return out
+}
+
+// groupScan visits every violation in group g exactly once per the
+// paper's counting and invokes visit for each.
+func (d *Detector) groupScan(g *fdGroup, visit func(t *relation.Tuple, n *Normal, with relation.TupleID)) {
+	g.xIndex.Buckets(func(key string, ids []relation.TupleID) {
+		if len(ids) == 0 {
+			return
+		}
+		rep := d.rel.Tuple(ids[0])
+		if rep.HasNullOn(g.x) {
+			return
+		}
+		xvals := rep.Project(g.x)
+		rows := g.matchingRows(xvals)
+		if len(rows) == 0 {
+			return
+		}
+		for _, r := range rows {
+			if r.cons {
+				for _, id := range ids {
+					t := d.rel.Tuple(id)
+					if RHSViolates(t.Vals[g.a], r.tpa) {
+						visit(t, r.n, 0)
+					}
+				}
+				continue
+			}
+			// Variable RHS: per tuple, one violation per differing partner.
+			// Count occurrences of each non-null A value in the bucket.
+			counts := make(map[string]int)
+			nonNull := 0
+			for _, id := range ids {
+				v := d.rel.Tuple(id).Vals[g.a]
+				if !v.Null {
+					counts[v.Str]++
+					nonNull++
+				}
+			}
+			if len(counts) < 2 {
+				continue
+			}
+			for _, id := range ids {
+				t := d.rel.Tuple(id)
+				v := t.Vals[g.a]
+				if v.Null {
+					continue
+				}
+				diff := nonNull - counts[v.Str]
+				for k := 0; k < diff; k++ {
+					visit(t, r.n, partnerOf(d.rel, ids, t, g.a))
+				}
+			}
+		}
+	})
+}
+
+// partnerOf returns some tuple id in ids whose A value differs from t's;
+// used to label case-2 violations with a concrete partner.
+func partnerOf(rel *relation.Relation, ids []relation.TupleID, t *relation.Tuple, a int) relation.TupleID {
+	for _, id := range ids {
+		if id == t.ID {
+			continue
+		}
+		v := rel.Tuple(id).Vals[a]
+		if !v.Null && v.Str != t.Vals[a].Str {
+			return id
+		}
+	}
+	return 0
+}
+
+// Partners returns the ids of tuples with which t violates the variable-RHS
+// normal CFD n (empty for constant-RHS CFDs or when t does not match).
+func (d *Detector) Partners(t *relation.Tuple, n *Normal) []relation.TupleID {
+	if n.ConstantRHS() || !n.MatchesLHS(t) || t.Vals[n.A].Null {
+		return nil
+	}
+	g := d.groupFor(n)
+	if g == nil {
+		return nil
+	}
+	xvals := t.Project(g.x)
+	var out []relation.TupleID
+	for _, id := range g.xIndex.Lookup(xvals) {
+		if id == t.ID {
+			continue
+		}
+		v := d.rel.Tuple(id).Vals[n.A]
+		if !v.Null && v.Str != t.Vals[n.A].Str {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (d *Detector) groupFor(n *Normal) *fdGroup {
+	perm := sortedPerm(n.X)
+	x := make([]int, len(n.X))
+	for i, p := range perm {
+		x[i] = n.X[p]
+	}
+	key := groupKey(x, n.A)
+	for _, g := range d.groups {
+		if groupKey(g.x, g.a) == key {
+			return g
+		}
+	}
+	return nil
+}
+
+// Satisfied reports whether the relation currently satisfies all CFDs.
+func (d *Detector) Satisfied() bool {
+	for _, g := range d.groups {
+		sat := true
+		d.groupScan(g, func(*relation.Tuple, *Normal, relation.TupleID) { sat = false })
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalViolations returns the sum of vio(t) over all tuples — the paper's
+// vio(C) for C = D (§3.1).
+func (d *Detector) TotalViolations() int {
+	total := 0
+	for _, g := range d.groups {
+		d.groupScan(g, func(*relation.Tuple, *Normal, relation.TupleID) { total++ })
+	}
+	return total
+}
+
+// Satisfies reports whether rel |= sigma, without building indices
+// incrementally; convenience for tests and one-shot checks.
+func Satisfies(rel *relation.Relation, sigma []*Normal) bool {
+	return NewDetector(rel, sigma).Satisfied()
+}
+
+// Group is a public handle on one embedded-FD group of the detector:
+// all normal CFDs sharing LHS attributes X and RHS attribute A, together
+// with the detector's live index on X. The repair algorithms track dirty
+// tuples per group instead of per pattern row, which keeps bookkeeping
+// proportional to the number of embedded FDs rather than the (often
+// thousands of) pattern tuples (§7.1).
+type Group struct {
+	d *Detector
+	g *fdGroup
+}
+
+// Groups returns the embedded-FD groups of the detector, in construction
+// order.
+func (d *Detector) Groups() []Group {
+	out := make([]Group, len(d.groups))
+	for i, g := range d.groups {
+		out[i] = Group{d: d, g: g}
+	}
+	return out
+}
+
+// X returns the group's LHS attribute positions (sorted).
+func (g Group) X() []int { return g.g.x }
+
+// A returns the group's RHS attribute position.
+func (g Group) A() int { return g.g.a }
+
+// Rep returns a representative normal CFD of the group: same X and A as
+// every rule in the group, with an all-wildcard pattern. Useful for
+// building attribute-level structures (e.g. dependency graphs) at group
+// granularity.
+func (g Group) Rep() *Normal {
+	cells := make([]Cell, len(g.g.x))
+	for i := range cells {
+		cells[i] = W
+	}
+	var schema *relation.Schema
+	for _, mb := range g.g.masks {
+		for _, rows := range mb.rows {
+			if len(rows) > 0 {
+				schema = rows[0].n.Schema
+				break
+			}
+		}
+		if schema != nil {
+			break
+		}
+	}
+	return &Normal{
+		Name:   "group",
+		Schema: schema,
+		X:      append([]int(nil), g.g.x...),
+		A:      g.g.a,
+		TpX:    cells,
+		TpA:    W,
+	}
+}
+
+// MatchingRules returns the normal CFDs of the group whose LHS pattern is
+// matched by t (nil if t has a null among X). Cheap: one hash lookup per
+// constant mask in the group.
+func (g Group) MatchingRules(t *relation.Tuple) []*Normal {
+	if t.HasNullOn(g.g.x) {
+		return nil
+	}
+	rows := g.g.matchingRows(t.Project(g.g.x))
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]*Normal, len(rows))
+	for i, r := range rows {
+		out[i] = r.n
+	}
+	return out
+}
+
+// Bucket returns the ids of tuples agreeing with t on the group's X
+// (via the live index); includes t itself.
+func (g Group) Bucket(t *relation.Tuple) []relation.TupleID {
+	return g.g.xIndex.Lookup(t.Project(g.g.x))
+}

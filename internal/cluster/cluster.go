@@ -1,0 +1,343 @@
+// Package cluster provides similarity indices over attribute domains: the
+// "cost-based indices" of §5.2, which let TUPLERESOLVE range over the
+// active domain of an attribute in decreasing similarity to a given value
+// and stop at the first suitable candidate.
+//
+// The paper arranges adom(Repr, A) in a tree built by hierarchical
+// agglomerative clustering (HAC) under the DL metric and descends toward
+// the child cluster closest to the probe. HAC is O(n²) in the domain
+// size, which is fine for the categorical attributes CFDs constrain but
+// prohibitive for key-like attributes with tens of thousands of distinct
+// values. This package therefore offers two implementations of one
+// Index contract:
+//
+//   - HAC — the paper's structure, for small domains;
+//   - BKTree — a Burkhard–Keller tree, the standard metric index for edit
+//     distances, with the same "values in increasing distance" contract
+//     and O(n log n) construction.
+//
+// New picks HAC below a size threshold and BKTree above it.
+package cluster
+
+import (
+	"sort"
+
+	"cfdclean/internal/strdist"
+)
+
+// Index finds active-domain values similar to a probe string.
+type Index interface {
+	// Nearest returns up to k domain values ordered by increasing
+	// distance to v (ties broken lexicographically). v itself may be
+	// among the results if indexed.
+	Nearest(v string, k int) []string
+	// Add inserts a new value into the index (repairs grow the active
+	// domain as tuples are inserted, §5.1).
+	Add(v string)
+	// Len returns the number of indexed values.
+	Len() int
+}
+
+// HACSizeLimit is the domain size up to which New builds the paper's HAC
+// tree; larger domains get a BK-tree. HAC construction is quadratic in
+// the domain size (it materializes the pairwise distance matrix), which
+// dominates whole-run profiles once domains reach the hundreds, while
+// BK-tree construction is near-linearithmic with equivalent Nearest
+// results for the discrete DL metric.
+const HACSizeLimit = 64
+
+// New builds an index over vals with the given metric (nil = DL).
+func New(vals []string, m strdist.Metric) Index {
+	if m == nil {
+		m = strdist.DL
+	}
+	if len(vals) <= HACSizeLimit {
+		return NewHAC(vals, m)
+	}
+	return NewBKTree(vals, m)
+}
+
+// --- BK-tree ---
+
+type bkNode struct {
+	val      string
+	children map[int]*bkNode
+	// maxe is the largest edge label below this node; it bounds how far
+	// any descendant can be from this node's value and lets Nearest call
+	// the bounded metric with a sound cutoff.
+	maxe int
+}
+
+// BKTree is a Burkhard–Keller metric tree over strings.
+type BKTree struct {
+	metric strdist.Metric
+	root   *bkNode
+	size   int
+	seen   map[string]bool
+}
+
+// NewBKTree indexes vals under metric m (nil = DL).
+func NewBKTree(vals []string, m strdist.Metric) *BKTree {
+	if m == nil {
+		m = strdist.DL
+	}
+	t := &BKTree{metric: m, seen: make(map[string]bool, len(vals))}
+	for _, v := range vals {
+		t.Add(v)
+	}
+	return t
+}
+
+// Len returns the number of distinct indexed values.
+func (t *BKTree) Len() int { return t.size }
+
+// Add inserts v (duplicates are ignored).
+func (t *BKTree) Add(v string) {
+	if t.seen[v] {
+		return
+	}
+	t.seen[v] = true
+	t.size++
+	if t.root == nil {
+		t.root = &bkNode{val: v}
+		return
+	}
+	cur := t.root
+	for {
+		d := t.metric.Distance(v, cur.val)
+		if d > cur.maxe {
+			cur.maxe = d
+		}
+		if cur.children == nil {
+			cur.children = make(map[int]*bkNode)
+		}
+		next, ok := cur.children[d]
+		if !ok {
+			cur.children[d] = &bkNode{val: v}
+			return
+		}
+		cur = next
+	}
+}
+
+// MaxRadius caps the BK-tree search: repair candidates farther than this
+// from the query are not meaningfully "similar" (the paper's noise is at
+// DL distance 1–6, and the normalized cost of such distant values
+// approaches 1 anyway), and the cap turns most distance computations into
+// cheap early exits of the bounded metric.
+const MaxRadius = 8
+
+// Nearest returns up to k values within MaxRadius of v by increasing
+// distance, using the triangle-inequality pruning of the BK-tree: a
+// subtree at edge distance e from a node at distance d can only contain
+// values within |d-e| of v.
+func (t *BKTree) Nearest(v string, k int) []string {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	bounded, hasBound := t.metric.(strdist.BoundedMetric)
+	type hit struct {
+		val string
+		d   int
+	}
+	// hits holds the best ≤ k values found so far, sorted by (d, val);
+	// worst is the current search radius.
+	hits := make([]hit, 0, k+1)
+	worst := MaxRadius
+	insert := func(val string, d int) {
+		i := len(hits)
+		for i > 0 && (hits[i-1].d > d || (hits[i-1].d == d && hits[i-1].val > val)) {
+			i--
+		}
+		hits = append(hits, hit{})
+		copy(hits[i+1:], hits[i:])
+		hits[i] = hit{val, d}
+		if len(hits) > k {
+			hits = hits[:k]
+		}
+		if len(hits) == k && hits[k-1].d < worst {
+			worst = hits[k-1].d
+		}
+	}
+	var walk func(n *bkNode)
+	walk = func(n *bkNode) {
+		// The distance computation may give up at worst+maxe: beyond
+		// that neither the value itself (> worst away) nor any child
+		// subtree (|e−D| ≥ D−maxe > worst) can contribute, so the
+		// truncated result still prunes soundly.
+		bound := worst + n.maxe
+		var d int
+		if hasBound {
+			d = bounded.DistanceBounded(v, n.val, bound)
+		} else {
+			d = t.metric.Distance(v, n.val)
+		}
+		if d <= worst {
+			insert(n.val, d)
+		}
+		if d > bound {
+			return
+		}
+		for e, child := range n.children {
+			diff := e - d
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff <= worst {
+				walk(child)
+			}
+		}
+	}
+	walk(t.root)
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = h.val
+	}
+	return out
+}
+
+// --- Hierarchical agglomerative clustering ---
+
+type hacNode struct {
+	medoid string
+	leaves []string // only at leaf clusters
+	left   *hacNode
+	right  *hacNode
+}
+
+// HAC is the paper's clustering tree: values grouped by similarity under
+// the DL metric, queried by descending toward the closest child medoid.
+type HAC struct {
+	metric strdist.Metric
+	root   *hacNode
+	size   int
+	seen   map[string]bool
+}
+
+// NewHAC builds the tree by average-linkage agglomerative clustering.
+// O(n²) in len(vals); intended for small domains (see HACSizeLimit).
+func NewHAC(vals []string, m strdist.Metric) *HAC {
+	if m == nil {
+		m = strdist.DL
+	}
+	h := &HAC{metric: m, seen: make(map[string]bool, len(vals))}
+	var distinct []string
+	for _, v := range vals {
+		if !h.seen[v] {
+			h.seen[v] = true
+			distinct = append(distinct, v)
+		}
+	}
+	sort.Strings(distinct)
+	h.size = len(distinct)
+	if len(distinct) == 0 {
+		return h
+	}
+	// Active clusters, merged pairwise by smallest medoid distance.
+	clusters := make([]*hacNode, len(distinct))
+	for i, v := range distinct {
+		clusters[i] = &hacNode{medoid: v, leaves: []string{v}}
+	}
+	for len(clusters) > 1 {
+		bi, bj, bd := 0, 1, 1<<30
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				d := m.Distance(clusters[i].medoid, clusters[j].medoid)
+				if d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		merged := &hacNode{
+			left:  clusters[bi],
+			right: clusters[bj],
+			// Medoid of the merged cluster: keep the left medoid; exact
+			// medoid recomputation is O(n²) and changes little here.
+			medoid: clusters[bi].medoid,
+		}
+		clusters[bi] = merged
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	h.root = clusters[0]
+	return h
+}
+
+// Len returns the number of distinct indexed values.
+func (h *HAC) Len() int { return h.size }
+
+// Add inserts v into the leaf cluster with the closest medoid.
+func (h *HAC) Add(v string) {
+	if h.seen[v] {
+		return
+	}
+	h.seen[v] = true
+	h.size++
+	if h.root == nil {
+		h.root = &hacNode{medoid: v, leaves: []string{v}}
+		return
+	}
+	cur := h.root
+	for cur.left != nil {
+		dl := h.metric.Distance(v, cur.left.medoid)
+		dr := h.metric.Distance(v, cur.right.medoid)
+		if dl <= dr {
+			cur = cur.left
+		} else {
+			cur = cur.right
+		}
+	}
+	cur.leaves = append(cur.leaves, v)
+}
+
+// Nearest descends the dendrogram toward the closest medoid, collecting
+// leaves in visit order, then orders the collected pool by true distance.
+func (h *HAC) Nearest(v string, k int) []string {
+	if h.root == nil || k <= 0 {
+		return nil
+	}
+	// Collect at least k candidate leaves by walking closest-first.
+	var pool []string
+	var walk func(n *hacNode)
+	walk = func(n *hacNode) {
+		if len(pool) >= 4*k {
+			return
+		}
+		if n.left == nil {
+			pool = append(pool, n.leaves...)
+			return
+		}
+		dl := h.metric.Distance(v, n.left.medoid)
+		dr := h.metric.Distance(v, n.right.medoid)
+		first, second := n.left, n.right
+		if dr < dl {
+			first, second = n.right, n.left
+		}
+		walk(first)
+		if len(pool) < k {
+			walk(second)
+		}
+	}
+	walk(h.root)
+	type hit struct {
+		val string
+		d   int
+	}
+	hits := make([]hit, len(pool))
+	for i, s := range pool {
+		hits[i] = hit{s, h.metric.Distance(v, s)}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].d != hits[j].d {
+			return hits[i].d < hits[j].d
+		}
+		return hits[i].val < hits[j].val
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	out := make([]string, len(hits))
+	for i, ht := range hits {
+		out[i] = ht.val
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cfdclean/internal/relation"
+	"cfdclean/internal/strdist"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+// TestPaperExample31 reproduces the arithmetic of Example 3.1: resolving
+// t3's violations by (1) changing t3[CT,ST] to (NYC, NY) costs
+// 3/3·0.1 + 3/3·0.1 = 0.2, while (2) changing t3[zip] to 19014 and t3[AC]
+// to 215 costs 1/3·0.9 + 2/5·0.8 = 0.7 (the paper prints 0.6 using the
+// same weights; the option ranking — (1) cheaper than (2) — is what the
+// model must deliver).
+func TestPaperExample31(t *testing.T) {
+	s := relation.MustSchema("order",
+		"id", "name", "PR", "AC", "PN", "STR", "CT", "ST", "zip")
+	t3 := relation.NewTuple(3,
+		"a12", "J. Denver", "7.94", "212", "3345677", "Canel", "PHI", "PA", "10012")
+	for i, w := range []float64{1, 0.9, 0.9, 0.9, 0.9, 0.6, 0.1, 0.1, 0.8} {
+		t3.SetWeight(i, w)
+	}
+	m := Default()
+	ct, st := s.MustIndex("CT"), s.MustIndex("ST")
+	ac, zip := s.MustIndex("AC"), s.MustIndex("zip")
+
+	opt1 := m.Change(t3, ct, relation.S("NYC")) + m.Change(t3, st, relation.S("NY"))
+	if !almostEq(opt1, 0.2) {
+		t.Errorf("option 1 cost = %v, want 0.2", opt1)
+	}
+	// AC: 212 -> 215 is 1 edit over 3 chars at weight 0.9 = 0.3;
+	// zip: 10012 -> 19014 is 2 edits over 5 chars at weight 0.8 = 0.32.
+	opt2 := m.Change(t3, ac, relation.S("215")) + m.Change(t3, zip, relation.S("19014"))
+	if opt1 >= opt2 {
+		t.Errorf("model must favor option 1: opt1=%v opt2=%v", opt1, opt2)
+	}
+	acCost := m.Change(t3, ac, relation.S("215"))
+	if !almostEq(acCost, 0.9/3) {
+		t.Errorf("AC change cost = %v, want 0.3", acCost)
+	}
+	zipCost := m.Change(t3, zip, relation.S("19014"))
+	if !almostEq(zipCost, 0.8*2/5) {
+		t.Errorf("zip change cost = %v, want 0.32", zipCost)
+	}
+}
+
+func TestDistNullHandling(t *testing.T) {
+	m := Default()
+	if m.Dist(relation.NullValue, relation.NullValue) != 0 {
+		t.Error("null-to-null must cost 0")
+	}
+	if m.Dist(relation.S("x"), relation.NullValue) != 1 {
+		t.Error("constant-to-null must cost 1")
+	}
+	if m.Dist(relation.NullValue, relation.S("x")) != 1 {
+		t.Error("null-to-constant must cost 1")
+	}
+	if m.Dist(relation.S("abc"), relation.S("abc")) != 0 {
+		t.Error("identical values must cost 0")
+	}
+}
+
+func TestDistRange(t *testing.T) {
+	m := Default()
+	f := func(a, b string) bool {
+		d := m.Dist(relation.S(a), relation.S(b))
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChangeUsesWeight(t *testing.T) {
+	m := Default()
+	tp := relation.NewTuple(1, "abc")
+	tp.SetWeight(0, 0.5)
+	got := m.Change(tp, 0, relation.S("abd"))
+	if !almostEq(got, 0.5*1.0/3) {
+		t.Errorf("Change = %v, want %v", got, 0.5/3)
+	}
+	// Unweighted tuples behave as weight 1 (§3.2 remark 1).
+	tp2 := relation.NewTuple(2, "abc")
+	if !almostEq(m.Change(tp2, 0, relation.S("abd")), 1.0/3) {
+		t.Error("default weight must be 1")
+	}
+}
+
+func TestChangeFrom(t *testing.T) {
+	m := Default()
+	tp := relation.NewTuple(1, "new")
+	got := m.ChangeFrom(tp, 0, relation.S("old"), relation.S("olX"))
+	if !almostEq(got, 1.0/3) {
+		t.Errorf("ChangeFrom = %v, want 1/3", got)
+	}
+}
+
+func TestTupleCost(t *testing.T) {
+	m := Default()
+	old := relation.NewTuple(1, "abc", "same", "xyz")
+	new := relation.NewTuple(1, "abd", "same", "xyz")
+	c, err := m.Tuple(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(c, 1.0/3) {
+		t.Errorf("Tuple cost = %v, want 1/3", c)
+	}
+	if _, err := m.Tuple(old, relation.NewTuple(1, "a")); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestRepairCost(t *testing.T) {
+	m := Default()
+	s := relation.MustSchema("r", "a")
+	d := relation.New(s)
+	t1, _ := d.InsertRow("abc")
+	t2, _ := d.InsertRow("def")
+	repr := d.Clone()
+	repr.Set(t1.ID, 0, relation.S("abd"))
+	c, err := m.Repair(repr, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(c, 1.0/3) {
+		t.Errorf("Repair cost = %v, want 1/3", c)
+	}
+	_ = t2
+	// Tuples missing from the repair are skipped, not an error.
+	repr.Delete(t2.ID)
+	if _, err := m.Repair(repr, d); err != nil {
+		t.Errorf("missing tuple must be tolerated: %v", err)
+	}
+}
+
+func TestDif(t *testing.T) {
+	s := relation.MustSchema("r", "a", "b")
+	d1 := relation.New(s)
+	t1, _ := d1.InsertRow("x", "y")
+	d2 := d1.Clone()
+	if Dif(d1, d2) != 0 {
+		t.Error("identical relations must have dif 0")
+	}
+	d2.Set(t1.ID, 0, relation.S("z"))
+	if Dif(d1, d2) != 1 {
+		t.Errorf("Dif = %d, want 1", Dif(d1, d2))
+	}
+	// Null vs constant is a difference (StrictEq, not SQL Eq).
+	d2.Set(t1.ID, 1, relation.NullValue)
+	if Dif(d1, d2) != 2 {
+		t.Errorf("Dif with null = %d, want 2", Dif(d1, d2))
+	}
+	// Missing tuples count their arity, both directions.
+	d3 := relation.New(s)
+	if Dif(d1, d3) != 2 || Dif(d3, d1) != 2 {
+		t.Error("missing tuples must count their arity")
+	}
+}
+
+func TestDifSymmetric(t *testing.T) {
+	s := relation.MustSchema("r", "a")
+	f := func(xs []string, flip uint) bool {
+		d1 := relation.New(s)
+		for _, x := range xs {
+			d1.MustInsert(relation.NewTuple(0, x))
+		}
+		d2 := d1.Clone()
+		if len(xs) > 0 {
+			id := d1.Tuples()[int(flip%uint(len(xs)))].ID
+			d2.Set(id, 0, relation.S("flipped"))
+		}
+		return Dif(d1, d2) == Dif(d2, d1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCells(t *testing.T) {
+	s := relation.MustSchema("r", "a", "b", "c")
+	d := relation.New(s)
+	d.InsertRow("1", "2", "3")
+	d.InsertRow("4", "5", "6")
+	if Cells(d) != 6 {
+		t.Errorf("Cells = %d, want 6", Cells(d))
+	}
+}
+
+func TestCustomMetric(t *testing.T) {
+	m := New(strdist.Func(func(a, b string) int {
+		if a == b {
+			return 0
+		}
+		return len(a) + len(b) // silly but valid
+	}))
+	d := m.Dist(relation.S("ab"), relation.S("cd"))
+	if !almostEq(d, 2) { // (2+2)/max(2,2)
+		t.Errorf("custom metric Dist = %v, want 2", d)
+	}
+}

@@ -1,0 +1,321 @@
+// Package discovery mines CFDs from data — the paper's first item of
+// future work (§9: "we are studying effective methods to automatically
+// discover useful CFDs from real-life data"). The approach follows the
+// line of work the paper seeded (constant-CFD mining over frequent
+// left-hand-side patterns plus level-wise FD induction):
+//
+//   - for every candidate embedded FD X → A with |X| ≤ MaxLHS, group the
+//     relation on X;
+//   - if every group agrees on A, the plain FD holds and is emitted as a
+//     CFD with a single wildcard row (unless a subset of X already
+//     determines A — only minimal FDs are kept);
+//   - otherwise, groups of at least MinSupport tuples that do agree on A
+//     become constant pattern rows (x̄ → a), optionally tolerating a
+//     (1−MinConfidence) fraction of deviating tuples whose majority value
+//     defines the pattern.
+//
+// Mining a dirty relation therefore yields the constraints that hold on
+// the overwhelming majority of the data — exactly the Σ a user would
+// seed the cleaning framework with.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/relation"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxLHS caps |X| of mined rules. Default 2; cost grows
+	// combinatorially with it.
+	MaxLHS int
+	// MinSupport is the minimum group size backing a constant pattern
+	// row. Default 4.
+	MinSupport int
+	// MinConfidence is the minimum fraction of a group agreeing on the
+	// RHS value for a constant row (1 requires unanimity). Default 1.
+	MinConfidence float64
+	// Attrs restricts mining to the given attribute positions; empty
+	// means all attributes.
+	Attrs []int
+}
+
+func (o *Options) withDefaults(arity int) (Options, error) {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.MaxLHS <= 0 {
+		out.MaxLHS = 2
+	}
+	if out.MaxLHS > arity-1 {
+		out.MaxLHS = arity - 1
+	}
+	if out.MinSupport <= 0 {
+		out.MinSupport = 4
+	}
+	if out.MinConfidence == 0 {
+		out.MinConfidence = 1
+	}
+	if out.MinConfidence < 0.5 || out.MinConfidence > 1 {
+		return out, fmt.Errorf("discovery: confidence %v outside [0.5, 1]", out.MinConfidence)
+	}
+	return out, nil
+}
+
+// Rule is one mined CFD with its statistics.
+type Rule struct {
+	// CFD is the mined dependency; a single wildcard row for a plain FD,
+	// constant rows otherwise.
+	CFD *cfd.CFD
+	// Support is the number of tuples covered by the tableau.
+	Support int
+	// Exact reports whether every covered tuple satisfies the rule
+	// (false only when MinConfidence < 1 admitted deviants).
+	Exact bool
+}
+
+// Mine discovers CFDs of the form X → A on rel.
+func Mine(rel *relation.Relation, opts *Options) ([]Rule, error) {
+	s := rel.Schema()
+	o, err := opts.withDefaults(s.Arity())
+	if err != nil {
+		return nil, err
+	}
+	attrs := o.Attrs
+	if len(attrs) == 0 {
+		attrs = make([]int, s.Arity())
+		for i := range attrs {
+			attrs[i] = i
+		}
+	}
+	for _, a := range attrs {
+		if a < 0 || a >= s.Arity() {
+			return nil, fmt.Errorf("discovery: attribute %d out of range", a)
+		}
+	}
+	if rel.Size() == 0 {
+		return nil, fmt.Errorf("discovery: empty relation")
+	}
+
+	m := &miner{rel: rel, o: o, fdHolds: make(map[string]bool)}
+	var rules []Rule
+	// Level-wise over |X| so subset FDs are known before supersets.
+	for size := 1; size <= o.MaxLHS; size++ {
+		for _, x := range combinations(attrs, size) {
+			for _, a := range attrs {
+				if contains(x, a) {
+					continue
+				}
+				if r, ok := m.mineFD(x, a); ok {
+					rules = append(rules, r)
+				}
+			}
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		return rules[i].CFD.Name < rules[j].CFD.Name
+	})
+	return rules, nil
+}
+
+type miner struct {
+	rel *relation.Relation
+	o   Options
+	// fdHolds records embedded FDs that hold exactly, keyed by
+	// "x-set|a", for minimality pruning.
+	fdHolds map[string]bool
+}
+
+func fdKey(x []int, a int) string {
+	b := make([]byte, 0, 2*len(x)+2)
+	for _, v := range x {
+		b = append(b, byte(v), ',')
+	}
+	b = append(b, '|', byte(a))
+	return string(b)
+}
+
+// subsetHolds reports whether some strict subset of x (of size |x|-1)
+// already determines a.
+func (m *miner) subsetHolds(x []int, a int) bool {
+	if len(x) <= 1 {
+		return false
+	}
+	sub := make([]int, 0, len(x)-1)
+	for skip := range x {
+		sub = sub[:0]
+		for i, v := range x {
+			if i != skip {
+				sub = append(sub, v)
+			}
+		}
+		if m.fdHolds[fdKey(sub, a)] {
+			return true
+		}
+	}
+	return false
+}
+
+// mineFD evaluates the candidate X → A and returns a mined rule when
+// either the plain FD holds (wildcard row) or enough supported constant
+// rows exist.
+func (m *miner) mineFD(x []int, a int) (Rule, bool) {
+	if m.subsetHolds(x, a) {
+		return Rule{}, false // not minimal; the subset rule covers it
+	}
+	s := m.rel.Schema()
+	groups := m.rel.GroupBy(x)
+
+	type groupStat struct {
+		xvals   []relation.Value
+		size    int
+		value   string
+		agree   int
+		hasNull bool
+	}
+	var stats []groupStat
+	allAgree := true
+	for _, ts := range groups {
+		st := groupStat{xvals: ts[0].Project(x), size: len(ts)}
+		counts := make(map[string]int)
+		for _, t := range ts {
+			v := t.Vals[a]
+			if v.Null {
+				st.hasNull = true
+				continue
+			}
+			counts[v.Str]++
+		}
+		for v, n := range counts {
+			if n > st.agree || (n == st.agree && v < st.value) {
+				st.value, st.agree = v, n
+			}
+		}
+		if st.agree < st.size {
+			allAgree = false
+		}
+		for _, xv := range st.xvals {
+			if xv.Null {
+				st.hasNull = true
+			}
+		}
+		stats = append(stats, st)
+	}
+
+	lhs := make([]string, len(x))
+	for i, xa := range x {
+		lhs[i] = s.Attr(xa)
+	}
+	rhs := []string{s.Attr(a)}
+	name := fmt.Sprintf("mined:%s->%s", joinAttrs(lhs), rhs[0])
+
+	if allAgree {
+		m.fdHolds[fdKey(x, a)] = true
+		// The wildcard row carries the FD itself; well-supported groups
+		// additionally become constant rows. The constants are what make
+		// a mined rule useful for repair: a single tuple deviating from
+		// a frequent pattern is caught (and guided back) even when it
+		// has no partner to violate the embedded FD with.
+		wild := make([]cfd.Cell, len(x)+1)
+		for i := range wild {
+			wild[i] = cfd.W
+		}
+		rows := [][]cfd.Cell{wild}
+		sort.Slice(stats, func(i, j int) bool { return stats[i].size > stats[j].size })
+		for _, st := range stats {
+			if st.size < m.o.MinSupport || st.hasNull || st.agree != st.size {
+				continue
+			}
+			row := make([]cfd.Cell, 0, len(x)+1)
+			for _, xv := range st.xvals {
+				row = append(row, cfd.C(xv.Str))
+			}
+			row = append(row, cfd.C(st.value))
+			rows = append(rows, row)
+		}
+		φ, err := cfd.New(name, s, lhs, rhs, rows...)
+		if err != nil {
+			return Rule{}, false
+		}
+		return Rule{CFD: φ, Support: m.rel.Size(), Exact: true}, true
+	}
+
+	// Constant rows: supported groups that (nearly) agree on A.
+	var rows [][]cfd.Cell
+	support := 0
+	exact := true
+	sort.Slice(stats, func(i, j int) bool { return stats[i].size > stats[j].size })
+	for _, st := range stats {
+		if st.size < m.o.MinSupport || st.hasNull || st.agree == 0 {
+			continue
+		}
+		conf := float64(st.agree) / float64(st.size)
+		if conf < m.o.MinConfidence {
+			continue
+		}
+		if st.agree != st.size {
+			exact = false
+		}
+		row := make([]cfd.Cell, 0, len(x)+1)
+		for _, xv := range st.xvals {
+			row = append(row, cfd.C(xv.Str))
+		}
+		row = append(row, cfd.C(st.value))
+		rows = append(rows, row)
+		support += st.size
+	}
+	if len(rows) == 0 {
+		return Rule{}, false
+	}
+	φ, err := cfd.New(name, s, lhs, rhs, rows...)
+	if err != nil {
+		return Rule{}, false
+	}
+	return Rule{CFD: φ, Support: support, Exact: exact}, true
+}
+
+func joinAttrs(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ","
+		}
+		out += n
+	}
+	return out
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// combinations returns all size-k subsets of attrs, preserving order.
+func combinations(attrs []int, k int) [][]int {
+	var out [][]int
+	cur := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i < len(attrs); i++ {
+			cur[depth] = attrs[i]
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}

@@ -1,0 +1,433 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§7.2, Figs. 8–15). Each Fig function runs the workload the paper
+// describes and returns a Table whose rows mirror the published series;
+// cmd/experiments prints them and bench_test.go wraps them in testing.B
+// benchmarks. Absolute runtimes differ from the paper's 2007 hardware —
+// what must match is the shape: who wins, by roughly what factor, and
+// how the curves move with noise rate, data size, and violation mix
+// (EXPERIMENTS.md records paper-vs-measured for each figure).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/gen"
+	"cfdclean/internal/increpair"
+	"cfdclean/internal/metrics"
+	"cfdclean/internal/relation"
+	"cfdclean/internal/repair"
+)
+
+// Config scales an experiment run. The paper uses 60k tuples for the
+// accuracy figures and up to 300k for the scalability ones; smaller sizes
+// reproduce the same shapes in minutes.
+type Config struct {
+	// Size is the base database size (the paper: 60,000).
+	Size int
+	// Seed drives data generation.
+	Seed int64
+	// Quick thins parameter sweeps (every other point) for smoke runs.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Size <= 0 {
+		c.Size = 10000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Table is one figure's data: a header and one row per x-axis point.
+type Table struct {
+	// Figure and Title identify the experiment.
+	Figure int
+	Title  string
+	// Header names the columns; Rows hold formatted cells.
+	Header []string
+	Rows   [][]string
+}
+
+// Print writes the table as aligned text.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure %d: %s\n", t.Figure, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// TSV writes the table as tab-separated values (for plotting).
+func (t *Table) TSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+}
+
+func pct(x float64) string        { return fmt.Sprintf("%.1f", 100*x) }
+func secs(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
+
+// result bundles one repair run's quality and runtime.
+type result struct {
+	q   *metrics.Quality
+	dur time.Duration
+}
+
+func runBatch(ds *gen.Dataset, sigma []*cfd.Normal) (result, error) {
+	t0 := time.Now()
+	res, err := repair.Batch(ds.Dirty, sigma, nil)
+	if err != nil {
+		return result{}, err
+	}
+	dur := time.Since(t0)
+	q, err := metrics.Evaluate(ds.Dirty, res.Repair, ds.Opt)
+	if err != nil {
+		return result{}, err
+	}
+	return result{q: q, dur: dur}, nil
+}
+
+func runInc(ds *gen.Dataset, ord increpair.Ordering) (result, error) {
+	t0 := time.Now()
+	res, err := increpair.Repair(ds.Dirty, ds.Sigma, &increpair.Options{Ordering: ord})
+	if err != nil {
+		return result{}, err
+	}
+	dur := time.Since(t0)
+	q, err := metrics.Evaluate(ds.Dirty, res.Repair, ds.Opt)
+	if err != nil {
+		return result{}, err
+	}
+	return result{q: q, dur: dur}, nil
+}
+
+func dataset(cfg Config, size int, rho, constShare float64) (*gen.Dataset, error) {
+	return gen.New(gen.Config{
+		Size:       size,
+		NoiseRate:  rho,
+		ConstShare: constShare,
+		Seed:       cfg.Seed,
+		Weights:    true,
+	})
+}
+
+// noiseRates returns the ρ sweep of Figs. 9/10/13 (1%–10%).
+func (c Config) noiseRates(from int) []float64 {
+	step := 1
+	if c.Quick {
+		step = 3
+	}
+	var out []float64
+	for p := from; p <= 10; p += step {
+		out = append(out, float64(p)/100)
+	}
+	return out
+}
+
+// Fig8 — efficacy of CFDs vs FDs: BatchRepair accuracy on 60k tuples with
+// the full Σ versus its embedded FDs, ρ = 2%–10%.
+func Fig8(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	t := &Table{
+		Figure: 8,
+		Title:  fmt.Sprintf("Efficacy of CFDs vs FDs (BatchRepair, %d tuples)", c.Size),
+		Header: []string{"rho%", "CFD/Prec", "CFD/Recall", "FD/Prec", "FD/Recall"},
+	}
+	rates := c.noiseRates(2)
+	for _, rho := range rates {
+		ds, err := dataset(c, c.Size, rho, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		withCFDs, err := runBatch(ds, ds.Sigma)
+		if err != nil {
+			return nil, err
+		}
+		withFDs, err := runBatch(ds, ds.EmbeddedFDs())
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", rho*100),
+			pct(withCFDs.q.Precision), pct(withCFDs.q.Recall),
+			pct(withFDs.q.Precision), pct(withFDs.q.Recall),
+		})
+	}
+	return t, nil
+}
+
+// accuracySweep drives Figs. 9 and 10: all four algorithms across noise
+// rates; pick selects the reported measure.
+func accuracySweep(cfg Config, fig int, title string, pick func(*metrics.Quality) float64) (*Table, error) {
+	c := cfg.withDefaults()
+	t := &Table{
+		Figure: fig,
+		Title:  fmt.Sprintf("%s (%d tuples)", title, c.Size),
+		Header: []string{"rho%", "BatchRepair", "V-IncRepair", "W-IncRepair", "L-IncRepair"},
+	}
+	for _, rho := range c.noiseRates(1) {
+		ds, err := dataset(c, c.Size, rho, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		b, err := runBatch(ds, ds.Sigma)
+		if err != nil {
+			return nil, err
+		}
+		v, err := runInc(ds, increpair.ByViolations)
+		if err != nil {
+			return nil, err
+		}
+		w, err := runInc(ds, increpair.ByWeight)
+		if err != nil {
+			return nil, err
+		}
+		l, err := runInc(ds, increpair.Linear)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", rho*100),
+			pct(pick(b.q)), pct(pick(v.q)), pct(pick(w.q)), pct(pick(l.q)),
+		})
+	}
+	return t, nil
+}
+
+// Fig9 — precision vs noise rate for all four algorithms.
+func Fig9(cfg Config) (*Table, error) {
+	return accuracySweep(cfg, 9, "Precision vs noise rate",
+		func(q *metrics.Quality) float64 { return q.Precision })
+}
+
+// Fig10 — recall vs noise rate for all four algorithms.
+func Fig10(cfg Config) (*Table, error) {
+	return accuracySweep(cfg, 10, "Recall vs noise rate",
+		func(q *metrics.Quality) float64 { return q.Recall })
+}
+
+// Fig11 — scalability of (optimized) BatchRepair: runtime as the database
+// grows, ρ fixed at 5%. The paper sweeps 60k–300k.
+func Fig11(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	t := &Table{
+		Figure: 11,
+		Title:  "BatchRepair scalability (rho = 5%)",
+		Header: []string{"tuples", "runtime_s"},
+	}
+	sizes := []int{c.Size, 2 * c.Size, 3 * c.Size, 4 * c.Size, 5 * c.Size}
+	if c.Quick {
+		sizes = []int{c.Size, 3 * c.Size, 5 * c.Size}
+	}
+	for _, n := range sizes {
+		ds, err := dataset(c, n, 0.05, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runBatch(ds, ds.Sigma)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), secs(r.dur)})
+	}
+	return t, nil
+}
+
+// Fig12 — incremental setting: a clean database of Size tuples, 10–70
+// dirty tuples inserted; INCREPAIR repairs just ΔD while BATCHREPAIR
+// recleans everything.
+func Fig12(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	t := &Table{
+		Figure: 12,
+		Title:  fmt.Sprintf("Incremental vs batch on dirty insertions (clean %d tuples)", c.Size),
+		Header: []string{"inserted", "IncRepair_s", "BatchRepair_s"},
+	}
+	// A clean base plus a pool of dirty tuples drawn from the same
+	// universe: generate at full noise and reuse the dirty versions.
+	base, err := dataset(c, c.Size, 0, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := gen.New(gen.Config{
+		Size: 200, NoiseRate: 1, ConstShare: 0.5, Seed: c.Seed + 7, Weights: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	counts := []int{10, 20, 30, 40, 50, 60, 70}
+	if c.Quick {
+		counts = []int{10, 40, 70}
+	}
+	for _, n := range counts {
+		var delta []*relation.Tuple
+		for i, id := range pool.DirtyIDs {
+			if i >= n {
+				break
+			}
+			tp := pool.Dirty.Tuple(id).Clone()
+			tp.ID = relation.TupleID(1000000 + i)
+			delta = append(delta, tp)
+		}
+		t0 := time.Now()
+		if _, err := increpair.Incremental(base.Opt, delta, base.Sigma, nil); err != nil {
+			return nil, err
+		}
+		incDur := time.Since(t0)
+
+		// Batch baseline: reclean D ⊕ ΔD from scratch.
+		combined := base.Opt.Clone()
+		for _, tp := range delta {
+			combined.MustInsert(tp.Clone())
+		}
+		t0 = time.Now()
+		if _, err := repair.Batch(combined, base.Sigma, nil); err != nil {
+			return nil, err
+		}
+		batchDur := time.Since(t0)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), secs(incDur), secs(batchDur),
+		})
+	}
+	return t, nil
+}
+
+// Fig13 — runtime vs noise rate for all four algorithms.
+func Fig13(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	t := &Table{
+		Figure: 13,
+		Title:  fmt.Sprintf("Runtime vs noise rate (%d tuples)", c.Size),
+		Header: []string{"rho%", "BatchRepair_s", "V-IncRepair_s", "W-IncRepair_s", "L-IncRepair_s"},
+	}
+	for _, rho := range c.noiseRates(1) {
+		ds, err := dataset(c, c.Size, rho, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		b, err := runBatch(ds, ds.Sigma)
+		if err != nil {
+			return nil, err
+		}
+		v, err := runInc(ds, increpair.ByViolations)
+		if err != nil {
+			return nil, err
+		}
+		w, err := runInc(ds, increpair.ByWeight)
+		if err != nil {
+			return nil, err
+		}
+		l, err := runInc(ds, increpair.Linear)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", rho*100),
+			secs(b.dur), secs(v.dur), secs(w.dur), secs(l.dur),
+		})
+	}
+	return t, nil
+}
+
+// constShares is the Fig. 14/15 x-axis: the fraction of dirty tuples
+// violating constant CFDs, 20%–80%.
+func (c Config) constShares() []float64 {
+	step := 10
+	if c.Quick {
+		step = 30
+	}
+	var out []float64
+	for p := 20; p <= 80; p += step {
+		out = append(out, float64(p)/100)
+	}
+	return out
+}
+
+// Fig14 — accuracy vs percentage of constant-CFD violations, ρ = 5%.
+func Fig14(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	t := &Table{
+		Figure: 14,
+		Title:  fmt.Sprintf("Accuracy vs %% constant-CFD violations (%d tuples, rho = 5%%)", c.Size),
+		Header: []string{"const%", "Batch/Prec", "Batch/Recall", "Inc/Prec", "Inc/Recall"},
+	}
+	for _, share := range c.constShares() {
+		ds, err := dataset(c, c.Size, 0.05, share)
+		if err != nil {
+			return nil, err
+		}
+		b, err := runBatch(ds, ds.Sigma)
+		if err != nil {
+			return nil, err
+		}
+		v, err := runInc(ds, increpair.ByViolations)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", share*100),
+			pct(b.q.Precision), pct(b.q.Recall),
+			pct(v.q.Precision), pct(v.q.Recall),
+		})
+	}
+	return t, nil
+}
+
+// Fig15 — runtime vs percentage of constant-CFD violations, ρ = 5%.
+func Fig15(cfg Config) (*Table, error) {
+	c := cfg.withDefaults()
+	t := &Table{
+		Figure: 15,
+		Title:  fmt.Sprintf("Runtime vs %% constant-CFD violations (%d tuples, rho = 5%%)", c.Size),
+		Header: []string{"const%", "BatchRepair_s", "IncRepair_s"},
+	}
+	for _, share := range c.constShares() {
+		ds, err := dataset(c, c.Size, 0.05, share)
+		if err != nil {
+			return nil, err
+		}
+		b, err := runBatch(ds, ds.Sigma)
+		if err != nil {
+			return nil, err
+		}
+		v, err := runInc(ds, increpair.ByViolations)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", share*100), secs(b.dur), secs(v.dur),
+		})
+	}
+	return t, nil
+}
+
+// All maps figure numbers to their runners.
+var All = map[int]func(Config) (*Table, error){
+	8: Fig8, 9: Fig9, 10: Fig10, 11: Fig11,
+	12: Fig12, 13: Fig13, 14: Fig14, 15: Fig15,
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quick is small enough for unit tests while still exercising every code
+// path of the harness.
+var quick = Config{Size: 400, Seed: 3, Quick: true}
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func checkTable(t *testing.T, table *Table, wantCols int) {
+	t.Helper()
+	if len(table.Header) != wantCols {
+		t.Fatalf("header has %d columns, want %d: %v", len(table.Header), wantCols, table.Header)
+	}
+	if len(table.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i, r := range table.Rows {
+		if len(r) != wantCols {
+			t.Fatalf("row %d has %d cells, want %d", i, len(r), wantCols)
+		}
+		for _, c := range r {
+			parseCell(t, c)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	table, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, table, 5)
+	// Accuracy values are percentages.
+	for _, r := range table.Rows {
+		for _, c := range r[1:] {
+			if v := parseCell(t, c); v < 0 || v > 100 {
+				t.Fatalf("accuracy %v outside [0,100]", v)
+			}
+		}
+	}
+}
+
+func TestFig9And10(t *testing.T) {
+	for name, fn := range map[string]func(Config) (*Table, error){
+		"fig9": Fig9, "fig10": Fig10,
+	} {
+		table, err := fn(quick)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkTable(t, table, 5)
+	}
+}
+
+func TestFig11(t *testing.T) {
+	table, err := Fig11(Config{Size: 200, Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, table, 2)
+	// Sizes must ascend.
+	var prev float64 = -1
+	for _, r := range table.Rows {
+		n := parseCell(t, r[0])
+		if n <= prev {
+			t.Fatalf("sizes not ascending: %v", table.Rows)
+		}
+		prev = n
+	}
+}
+
+func TestFig12(t *testing.T) {
+	table, err := Fig12(Config{Size: 300, Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, table, 3)
+	// The paper's headline: IncRepair beats BatchRepair on small ΔD.
+	// At toy sizes timing is noisy, so only check the columns parse and
+	// the insert counts ascend.
+	var prev float64 = -1
+	for _, r := range table.Rows {
+		n := parseCell(t, r[0])
+		if n <= prev {
+			t.Fatalf("insert counts not ascending: %v", table.Rows)
+		}
+		prev = n
+	}
+}
+
+func TestFig13(t *testing.T) {
+	table, err := Fig13(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, table, 5)
+}
+
+func TestFig14And15(t *testing.T) {
+	t14, err := Fig14(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, t14, 5)
+	t15, err := Fig15(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, t15, 3)
+	// The const-share sweep covers 20%–80%.
+	first := parseCell(t, t14.Rows[0][0])
+	last := parseCell(t, t14.Rows[len(t14.Rows)-1][0])
+	if first != 20 || last != 80 {
+		t.Fatalf("const share sweep spans %v–%v, want 20–80", first, last)
+	}
+}
+
+func TestAllRegistered(t *testing.T) {
+	for f := 8; f <= 15; f++ {
+		if All[f] == nil {
+			t.Fatalf("figure %d missing from All", f)
+		}
+	}
+	if len(All) != 8 {
+		t.Fatalf("All has %d entries, want 8", len(All))
+	}
+}
+
+func TestTablePrintAndTSV(t *testing.T) {
+	table := &Table{
+		Figure: 8, Title: "demo",
+		Header: []string{"x", "y"},
+		Rows:   [][]string{{"1", "2.0"}, {"10", "3.5"}},
+	}
+	var buf bytes.Buffer
+	table.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 8: demo") {
+		t.Fatalf("Print output: %q", buf.String())
+	}
+	buf.Reset()
+	table.TSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "x\ty" {
+		t.Fatalf("TSV output: %q", buf.String())
+	}
+}

@@ -1,0 +1,211 @@
+package gen
+
+import (
+	"math/rand"
+
+	"cfdclean/internal/relation"
+)
+
+// Noise protocol (§7.1): a fraction ρ of tuples is perturbed so that each
+// perturbed tuple violates at least one CFD. A perturbed attribute is
+// changed either to a new value that is DL-close to the original
+// (distance 1–6) or to the value another tuple holds in that attribute.
+// ConstShare of the dirty tuples are made to violate a constant CFD (the
+// first perturbed attribute is the RHS of a constant pattern row the
+// tuple matches); the rest violate a variable CFD (the attribute is the
+// RHS of an embedded FD for which the tuple has at least one partner
+// agreeing on the LHS).
+
+// constTargets are attributes bound by constant pattern rows every clean
+// tuple matches: CT and ST via ϕ2/ϕ6 (zip and area code rows), VAT via
+// ϕ5, CTY via ϕ7's per-city rows. Changing any of them away from the
+// pattern constant is a guaranteed single-tuple violation (§3.1 case 1).
+var constTargets = []int{ACT, AST, AVAT, ACTY}
+
+func (ds *Dataset) injectNoise(rng *rand.Rand) {
+	c := ds.cfg
+	nDirty := int(float64(c.Size)*c.NoiseRate + 0.5)
+	if nDirty == 0 {
+		return
+	}
+
+	// Partner counts for the variable targets: a variable violation
+	// needs a second tuple agreeing on the embedded FD's LHS.
+	idCount := make(map[string]int)
+	custCount := make(map[string]int) // (AC,PN)
+	addrCount := make(map[string]int) // (CT,STR)
+	for _, t := range ds.Opt.Tuples() {
+		idCount[t.Vals[AID].Str]++
+		custCount[t.Vals[AAC].Str+"\x00"+t.Vals[APN].Str]++
+		addrCount[t.Vals[ACT].Str+"\x00"+t.Vals[ASTR].Str]++
+	}
+
+	perm := rng.Perm(c.Size)
+	dirtied := 0
+	for _, pi := range perm {
+		if dirtied >= nDirty {
+			break
+		}
+		id := relation.TupleID(pi + 1)
+		t := ds.Dirty.Tuple(id)
+		wantConst := rng.Float64() < c.ConstShare
+
+		var first int
+		if wantConst {
+			first = constTargets[rng.Intn(len(constTargets))]
+		} else {
+			var cands []int
+			if idCount[t.Vals[AID].Str] > 1 {
+				cands = append(cands, AName, APR)
+			}
+			if custCount[t.Vals[AAC].Str+"\x00"+t.Vals[APN].Str] > 1 {
+				cands = append(cands, ASTR)
+			}
+			if addrCount[t.Vals[ACT].Str+"\x00"+t.Vals[ASTR].Str] > 1 {
+				cands = append(cands, AZip)
+			}
+			if len(cands) == 0 {
+				// No partner anywhere (tiny datasets): fall back to a
+				// constant violation so the tuple is still dirty.
+				first = constTargets[rng.Intn(len(constTargets))]
+			} else {
+				first = cands[rng.Intn(len(cands))]
+			}
+		}
+
+		n := 1 + rng.Intn(c.MaxNoisyAttrs)
+		changed := ds.perturb(rng, id, first)
+		for extra := 1; extra < n; extra++ {
+			var a int
+			if wantConst {
+				a = constTargets[rng.Intn(len(constTargets))]
+			} else {
+				a = []int{AName, APR, ASTR, AZip}[rng.Intn(4)]
+			}
+			if a == first {
+				continue
+			}
+			if ds.perturb(rng, id, a) {
+				changed = true
+			}
+		}
+		if changed {
+			ds.DirtyIDs = append(ds.DirtyIDs, id)
+			dirtied++
+		}
+	}
+}
+
+// perturb changes attribute a of tuple id to a typo or to another
+// tuple's value; it reports whether the stored value actually changed.
+func (ds *Dataset) perturb(rng *rand.Rand, id relation.TupleID, a int) bool {
+	t := ds.Dirty.Tuple(id)
+	old := t.Vals[a]
+	if old.Null {
+		return false
+	}
+	var nv string
+	if rng.Float64() < 0.5 {
+		nv = typo(rng, old.Str)
+	} else {
+		nv = stealValue(rng, ds.Opt, a, old.Str)
+	}
+	if nv == old.Str {
+		nv = typo(rng, old.Str)
+	}
+	if nv == old.Str {
+		return false
+	}
+	if _, err := ds.Dirty.Set(id, a, relation.S(nv)); err != nil {
+		return false
+	}
+	ds.NoisyCells++
+	return true
+}
+
+// stealValue picks the a-attribute value of a random other tuple,
+// preferring one that differs from old; after a few tries it gives up
+// and returns old (the caller then falls back to a typo).
+func stealValue(rng *rand.Rand, d *relation.Relation, a int, old string) string {
+	ts := d.Tuples()
+	for try := 0; try < 8; try++ {
+		v := ts[rng.Intn(len(ts))].Vals[a]
+		if !v.Null && v.Str != old {
+			return v.Str
+		}
+	}
+	return old
+}
+
+// typo applies 1–6 single-character edits (substitution, insertion,
+// deletion, adjacent transposition), keeping digits digits so that
+// numeric fields stay plausible.
+func typo(rng *rand.Rand, s string) string {
+	if s == "" {
+		return string(randChar(rng, 'a'))
+	}
+	b := []byte(s)
+	edits := 1 + rng.Intn(6)
+	for e := 0; e < edits; e++ {
+		if len(b) == 0 {
+			b = append(b, randChar(rng, 'a'))
+			continue
+		}
+		i := rng.Intn(len(b))
+		switch rng.Intn(4) {
+		case 0: // substitution
+			c := randChar(rng, b[i])
+			if c == b[i] {
+				c = randChar(rng, b[i]+1)
+			}
+			b[i] = c
+		case 1: // insertion
+			b = append(b[:i], append([]byte{randChar(rng, b[i])}, b[i:]...)...)
+		case 2: // deletion
+			if len(b) > 1 {
+				b = append(b[:i], b[i+1:]...)
+			}
+		case 3: // transposition
+			if i+1 < len(b) && b[i] != b[i+1] {
+				b[i], b[i+1] = b[i+1], b[i]
+			} else if len(b) > 1 {
+				j := (i + 1) % len(b)
+				b[i], b[j] = b[j], b[i]
+			}
+		}
+	}
+	return string(b)
+}
+
+// randChar draws a character of the same class as ref: digit for digit,
+// letter otherwise (case-preserving).
+func randChar(rng *rand.Rand, ref byte) byte {
+	switch {
+	case ref >= '0' && ref <= '9':
+		return byte('0' + rng.Intn(10))
+	case ref >= 'A' && ref <= 'Z':
+		return byte('A' + rng.Intn(26))
+	default:
+		return byte('a' + rng.Intn(26))
+	}
+}
+
+// assignWeights implements the §7.1 weight protocol on the dirty
+// database: dirty cells get w ∈ [0, a], clean cells w ∈ [b, 1]. Without
+// the Weights flag all weights stay 1.
+func (ds *Dataset) assignWeights(rng *rand.Rand) {
+	if !ds.cfg.Weights {
+		return
+	}
+	a, b := ds.cfg.WeightA, ds.cfg.WeightB
+	for _, t := range ds.Dirty.Tuples() {
+		want := ds.Opt.Tuple(t.ID)
+		for i := range t.Vals {
+			if relation.StrictEq(t.Vals[i], want.Vals[i]) {
+				t.SetWeight(i, b+rng.Float64()*(1-b))
+			} else {
+				t.SetWeight(i, rng.Float64()*a)
+			}
+		}
+	}
+}

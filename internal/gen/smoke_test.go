@@ -1,0 +1,45 @@
+package gen
+
+import (
+	"testing"
+	"time"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/increpair"
+	"cfdclean/internal/metrics"
+	"cfdclean/internal/repair"
+)
+
+func TestSmokeBatchRepair(t *testing.T) {
+	size := 2000
+	if testing.Short() {
+		size = 500
+	}
+	ds := mustNew(t, Config{Size: size, NoiseRate: 0.05, Seed: 99, Weights: true})
+	t0 := time.Now()
+	res, err := repair.Batch(ds.Dirty, ds.Sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfd.Satisfies(res.Repair, ds.Sigma) {
+		t.Fatal("repair violates Σ")
+	}
+	q, err := metrics.Evaluate(ds.Dirty, res.Repair, ds.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("batch: %v  (%.2fs)", q, time.Since(t0).Seconds())
+	t0 = time.Now()
+	res2, err := increpair.Repair(ds.Dirty, ds.Sigma, &increpair.Options{Ordering: increpair.ByViolations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfd.Satisfies(res2.Repair, ds.Sigma) {
+		t.Fatal("increpair violates Σ")
+	}
+	q2, err := metrics.Evaluate(ds.Dirty, res2.Repair, ds.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("vinc: %v  (%.2fs)", q2, time.Since(t0).Seconds())
+}

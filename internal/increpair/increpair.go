@@ -1,0 +1,260 @@
+// Package increpair implements the paper's incremental repairing module:
+// algorithm INCREPAIR (§5, Fig. 6) with procedure TUPLERESOLVE (Fig. 7).
+// Given a clean database D and a batch ΔD of tuples to insert, it repairs
+// the tuples of ΔD one at a time — in one of three orderings (§5.2) — so
+// that D ⊕ ΔDRepr |= Σ, never touching the clean D. Deletions never
+// introduce CFD violations, so only insertions need repair (§3.3).
+//
+// The local repairing problem solved by TUPLERESOLVE is NP-complete even
+// for standard FDs (Theorem 5.2), so the procedure is greedy: it covers
+// attr(R) by repeatedly choosing the best set C of at most k attributes
+// and values v̂ minimizing costfix(C, v̂) = cost(t, t[C/v̂]) · vio(t[C/v̂])
+// among candidates consistent with the CFDs already decidable (Σ(C ∪ C̄)).
+//
+// Section 5.3's observation — extract the violation-free tuples of a
+// dirty database and treat the rest as ΔD — turns INCREPAIR into a batch
+// cleaner; Repair implements it.
+package increpair
+
+import (
+	"fmt"
+	"sort"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/cluster"
+	"cfdclean/internal/cost"
+	"cfdclean/internal/relation"
+)
+
+// Ordering selects the tuple-processing order of §5.2.
+type Ordering int
+
+const (
+	// Linear processes ΔD in the given order (L-INCREPAIR): no extra
+	// cost, no quality help.
+	Linear Ordering = iota
+	// ByViolations processes tuples in increasing vio(t) (V-INCREPAIR):
+	// likely-correct tuples enter the repair first and inform the
+	// cleaning of less accurate ones.
+	ByViolations
+	// ByWeight processes tuples in decreasing total weight wt(t)
+	// (W-INCREPAIR): trusted tuples first.
+	ByWeight
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case Linear:
+		return "L-IncRepair"
+	case ByViolations:
+		return "V-IncRepair"
+	case ByWeight:
+		return "W-IncRepair"
+	}
+	return fmt.Sprintf("Ordering(%d)", int(o))
+}
+
+// Options configures INCREPAIR.
+type Options struct {
+	// CostModel scores value changes; nil means the paper default.
+	CostModel *cost.Model
+	// K is the attribute-subset size of TUPLERESOLVE; the paper reports
+	// good results for k = 1, 2 (§5.1). Default 2.
+	K int
+	// Ordering is the ΔD processing order. Default Linear.
+	Ordering Ordering
+	// NearestK is how many similar active-domain values the cost-based
+	// index contributes per attribute (§5.2). Default 4.
+	NearestK int
+	// SkipCleanCheck skips verifying that D |= Σ on entry. The batch-mode
+	// driver sets it (its D is clean by construction).
+	SkipCleanCheck bool
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.CostModel == nil {
+		out.CostModel = cost.Default()
+	}
+	if out.K <= 0 {
+		out.K = 2
+	}
+	if out.NearestK <= 0 {
+		out.NearestK = 4
+	}
+	return out
+}
+
+// Result reports a completed incremental repair.
+type Result struct {
+	// Repair is D ⊕ ΔDRepr: the clean database with the repaired tuples
+	// inserted. Input relations and tuples are never modified.
+	Repair *relation.Relation
+	// Inserted holds the repaired versions of the ΔD tuples in
+	// processing order; Originals the corresponding inputs.
+	Inserted  []*relation.Tuple
+	Originals []*relation.Tuple
+	// Cost is cost(ΔDRepr, ΔD) (§3.3).
+	Cost float64
+	// Changes counts modified attribute values across ΔD.
+	Changes int
+}
+
+// engine holds the state of one INCREPAIR run.
+type engine struct {
+	repr  *relation.Relation
+	det   *cfd.Detector
+	model *cost.Model
+	opts  Options
+
+	groups []groupInfo
+	arity  int
+
+	// clusterIdx[a] is the cost-based index over adom(Repr, a); built
+	// lazily for the attributes Σ constrains.
+	clusterIdx map[int]cluster.Index
+	// nearCache memoizes clusterIdx[a].Nearest(v, NearestK): TUPLERESOLVE
+	// evaluates every size-k attribute subset, so the same (a, v) query
+	// recurs once per subset containing a. Entries are invalidated per
+	// attribute when a repaired tuple grows the active domain.
+	nearCache map[int]map[string][]string
+}
+
+type groupInfo struct {
+	g    cfd.Group
+	mask uint64 // attribute-set bitmask of X ∪ {A}
+}
+
+// Incremental runs INCREPAIR: repairs each tuple of delta against d ∪
+// (already repaired tuples) and returns the combined repair. d must
+// satisfy sigma (checked unless Options.SkipCleanCheck).
+func Incremental(d *relation.Relation, delta []*relation.Tuple, sigma []*cfd.Normal, opts *Options) (*Result, error) {
+	o := opts.withDefaults()
+	if _, err := cfd.Satisfiable(sigma); err != nil {
+		return nil, fmt.Errorf("increpair: %w", err)
+	}
+	if d.Schema().Arity() > 64 {
+		return nil, fmt.Errorf("increpair: schemas beyond 64 attributes are not supported")
+	}
+	repr := d.Clone()
+	det := cfd.NewDetector(repr, sigma)
+	if !o.SkipCleanCheck && !det.Satisfied() {
+		return nil, fmt.Errorf("increpair: input database does not satisfy sigma; use Repair for dirty databases")
+	}
+	e := &engine{
+		repr:       repr,
+		det:        det,
+		model:      o.CostModel,
+		opts:       o,
+		arity:      d.Schema().Arity(),
+		clusterIdx: make(map[int]cluster.Index),
+		nearCache:  make(map[int]map[string][]string),
+	}
+	for _, g := range det.Groups() {
+		var m uint64
+		for _, a := range g.X() {
+			m |= 1 << uint(a)
+		}
+		m |= 1 << uint(g.A())
+		e.groups = append(e.groups, groupInfo{g: g, mask: m})
+	}
+	ordered := orderDelta(d, delta, sigma, o.Ordering)
+	res := &Result{Repair: repr}
+	for _, t := range ordered {
+		if len(t.Vals) != e.arity {
+			return nil, fmt.Errorf("increpair: delta tuple %d has arity %d, want %d", t.ID, len(t.Vals), e.arity)
+		}
+		rt := e.tupleResolve(t)
+		if err := repr.Insert(rt); err != nil {
+			return nil, fmt.Errorf("increpair: inserting repaired tuple: %w", err)
+		}
+		e.det.AddTuple(rt)
+		for a, ix := range e.clusterIdx {
+			if !rt.Vals[a].Null {
+				before := ix.Len()
+				ix.Add(rt.Vals[a].Str)
+				if ix.Len() != before {
+					// The active domain grew; cached Nearest results for
+					// this attribute may now miss the new value.
+					delete(e.nearCache, a)
+				}
+			}
+		}
+		c, err := e.model.Tuple(t, rt)
+		if err != nil {
+			return nil, err
+		}
+		res.Cost += c
+		for a := range t.Vals {
+			if !relation.StrictEq(t.Vals[a], rt.Vals[a]) {
+				res.Changes++
+			}
+		}
+		res.Inserted = append(res.Inserted, rt)
+		res.Originals = append(res.Originals, t)
+	}
+	return res, nil
+}
+
+// Repair cleans a dirty database with INCREPAIR per §5.3: the tuples
+// violating no constraint form the clean core D; the rest are re-inserted
+// as ΔD, one repaired tuple at a time. (Finding a maximum consistent
+// subset is NP-hard — Proposition 5.4 — but the violation-free subset is
+// computable by detection alone and is large at realistic error rates.)
+func Repair(d *relation.Relation, sigma []*cfd.Normal, opts *Options) (*Result, error) {
+	o := opts.withDefaults()
+	det := cfd.NewDetector(d, sigma)
+	dirtyIDs := det.VioAll()
+	clean := d.Clone()
+	var delta []*relation.Tuple
+	for id := range dirtyIDs {
+		t := clean.Tuple(id)
+		if t == nil {
+			continue
+		}
+		delta = append(delta, t.Clone())
+		clean.Delete(id)
+	}
+	// Deterministic base order before the configured ordering applies.
+	sort.Slice(delta, func(i, j int) bool { return delta[i].ID < delta[j].ID })
+	o.SkipCleanCheck = true
+	return Incremental(clean, delta, sigma, &o)
+}
+
+// orderDelta applies the §5.2 ordering to the delta batch.
+func orderDelta(d *relation.Relation, delta []*relation.Tuple, sigma []*cfd.Normal, ord Ordering) []*relation.Tuple {
+	out := append([]*relation.Tuple(nil), delta...)
+	switch ord {
+	case ByViolations:
+		// vio(t) is computed against D ⊕ ΔD: build a scratch instance.
+		scratch := d.Clone()
+		scratchTuples := make([]*relation.Tuple, len(out))
+		for i, t := range out {
+			c := t.Clone()
+			c.ID = 0
+			scratch.MustInsert(c)
+			scratchTuples[i] = c
+		}
+		det := cfd.NewDetector(scratch, sigma)
+		vio := make([]int, len(out))
+		for i := range out {
+			vio[i] = det.VioTuple(scratchTuples[i])
+		}
+		idx := make([]int, len(out))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(i, j int) bool { return vio[idx[i]] < vio[idx[j]] })
+		reordered := make([]*relation.Tuple, len(out))
+		for pos, i := range idx {
+			reordered[pos] = out[i]
+		}
+		out = reordered
+	case ByWeight:
+		sort.SliceStable(out, func(i, j int) bool { return out[i].TotalWeight() > out[j].TotalWeight() })
+	}
+	return out
+}

@@ -1,0 +1,390 @@
+package increpair
+
+import (
+	"sort"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/cluster"
+	"cfdclean/internal/relation"
+)
+
+// tupleResolve implements procedure TUPLERESOLVE (Fig. 7): greedily cover
+// attr(R) with sets C of at most k attributes, choosing for each C the
+// value tuple v̂ — drawn from adom(Repr) ∪ {null} — that keeps
+// Repr ∪ {t[C/v̂]} consistent on the CFDs entirely within the fixed
+// attributes and minimizes costfix.
+//
+// Two optimizations preserve the greedy's choices while skipping dead
+// work. First, if the current tuple violates nothing, every remaining
+// attribute is fixable at zero cost at once (the paper's greedy would
+// pick those zero-cost sets first anyway). Second, attributes involved in
+// no violated rule are likewise fixed unchanged before subsets of the
+// contested attributes are enumerated — exactly the behaviour the paper
+// describes in Example 5.1, where every attribute outside the violated
+// CFDs is fixed without change first.
+func (e *engine) tupleResolve(t *relation.Tuple) *relation.Tuple {
+	rt := t.Clone()
+	if e.repr.Tuple(rt.ID) != nil {
+		rt.ID = 0 // let Insert assign a fresh id later
+	}
+	var fixed uint64
+	full := uint64(1)<<uint(e.arity) - 1
+	for fixed != full {
+		violated := e.violatedMasks(rt)
+		if len(violated) == 0 {
+			// Consistent as-is: every remaining attribute is fixable
+			// unchanged at zero cost (the greedy's first choices anyway).
+			fixed = full
+			break
+		}
+		// The closure of the violated rules' attributes over shared
+		// embedded-FD groups: attributes outside it can never help (or
+		// hurt) the open violations, because their groups are disjoint
+		// from the contested ones — fix them unchanged at zero cost.
+		// Attributes inside the closure stay open; Example 5.1 needs the
+		// un-violated zip available when k = 3 reaches {CT, ST, zip}.
+		contested := e.closure(violated) &^ fixed
+		if contested == 0 {
+			// All contested attributes are already fixed, yet a rule is
+			// violated — impossible while the fixing invariant holds;
+			// stop rather than loop (defensive).
+			fixed = full
+			break
+		}
+		if free := full &^ fixed &^ contested; free != 0 {
+			fixed |= free
+		}
+		// Enumerate C ∈ [contested]^k and candidate values.
+		attrs := bitsOf(contested)
+		k := e.opts.K
+		if k > len(attrs) {
+			k = len(attrs)
+		}
+		best := e.bestFix(rt, fixed, attrs, k, violated)
+		for i, a := range best.attrs {
+			rt.Vals[a] = best.vals[i]
+		}
+		for _, a := range best.attrs {
+			fixed |= 1 << uint(a)
+		}
+	}
+	return rt
+}
+
+// violatedMasks returns the attribute masks of the embedded-FD groups
+// with at least one rule currently violated by rt against Repr.
+func (e *engine) violatedMasks(rt *relation.Tuple) []uint64 {
+	var out []uint64
+	for _, gi := range e.groups {
+		if e.groupViolations(gi.g, rt) > 0 {
+			out = append(out, gi.mask)
+		}
+	}
+	return out
+}
+
+// closure expands the union of the violated masks until no group
+// straddles the boundary: the connected component of the contested
+// attributes in the "shares a CFD" graph.
+func (e *engine) closure(violated []uint64) uint64 {
+	var m uint64
+	for _, v := range violated {
+		m |= v
+	}
+	for {
+		grew := false
+		for _, gi := range e.groups {
+			if gi.mask&m != 0 && gi.mask&^m != 0 {
+				m |= gi.mask
+				grew = true
+			}
+		}
+		if !grew {
+			return m
+		}
+	}
+}
+
+// groupViolations counts the violations of rt against Repr within one
+// embedded-FD group (the vio(t) contribution of the group, §3.1).
+func (e *engine) groupViolations(g cfd.Group, rt *relation.Tuple) int {
+	rules := g.MatchingRules(rt)
+	if len(rules) == 0 {
+		return 0
+	}
+	a := g.A()
+	av := rt.Vals[a]
+	total := 0
+	var bucket []relation.TupleID
+	for _, n := range rules {
+		if n.ConstantRHS() {
+			if cfd.RHSViolates(av, n.TpA) {
+				total++
+			}
+			continue
+		}
+		if av.Null {
+			continue
+		}
+		if bucket == nil {
+			bucket = g.Bucket(rt)
+		}
+		for _, id := range bucket {
+			if id == rt.ID {
+				continue
+			}
+			o := e.repr.Tuple(id).Vals[a]
+			if !o.Null && o.Str != av.Str {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// vio returns vio(rt) against Repr over all of Σ.
+func (e *engine) vio(rt *relation.Tuple) int {
+	total := 0
+	for _, gi := range e.groups {
+		total += e.groupViolations(gi.g, rt)
+	}
+	return total
+}
+
+// consistentOn reports whether Repr ∪ {rt} satisfies every rule whose
+// attributes lie entirely within the given attribute mask — the paper's
+// Σ(C ∪ C̄) check (Fig. 7 line 5), accelerated by the detector's LHS
+// indices.
+func (e *engine) consistentOn(rt *relation.Tuple, mask uint64) bool {
+	for _, gi := range e.groups {
+		if gi.mask&mask != gi.mask {
+			continue
+		}
+		if e.groupViolations(gi.g, rt) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fix is a candidate assignment to a set of attributes with its ranking.
+type fix struct {
+	attrs []int
+	vals  []relation.Value
+	// costfix ranking (Fig. 7 line 6): primary cost·vio, then cost, then
+	// vio — the tie-breakers resolve the paper's many 0·0 products in
+	// favor of unchanged and cheap candidates. contested breaks the
+	// remaining ties toward attribute sets touching fewer violated
+	// rules, so consistent attributes are pinned first and the violated
+	// ones are decided last with the most context (Example 5.1).
+	primary   float64
+	cost      float64
+	vio       int
+	contested int
+	valid     bool
+}
+
+func (f fix) better(g fix) bool {
+	if !g.valid {
+		return true
+	}
+	if f.primary != g.primary {
+		return f.primary < g.primary
+	}
+	if f.cost != g.cost {
+		return f.cost < g.cost
+	}
+	if f.vio != g.vio {
+		return f.vio < g.vio
+	}
+	return f.contested < g.contested
+}
+
+// bestFix evaluates every C ∈ [attrs]^k with every candidate value
+// combination and returns the best valid fix. At least one valid fix
+// always exists: the all-null assignment matches no pattern and conflicts
+// with nothing (Example 5.1's (null, null)).
+func (e *engine) bestFix(rt *relation.Tuple, fixed uint64, attrs []int, k int, violated []uint64) fix {
+	var best fix
+	subset := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			f := e.bestValsFor(rt, fixed, append([]int(nil), subset...), violated)
+			if f.valid && f.better(best) {
+				best = f
+			}
+			return
+		}
+		for i := start; i < len(attrs); i++ {
+			subset[depth] = attrs[i]
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	if !best.valid {
+		// Defensive: the all-null fix on the first k attributes.
+		vals := make([]relation.Value, k)
+		for i := range vals {
+			vals[i] = relation.NullValue
+		}
+		best = fix{attrs: attrs[:k], vals: vals, valid: true}
+	}
+	return best
+}
+
+// bestValsFor finds the cheapest consistent value combination for the
+// attribute set c.
+func (e *engine) bestValsFor(rt *relation.Tuple, fixed uint64, c []int, violated []uint64) fix {
+	var cmask uint64
+	for _, a := range c {
+		cmask |= 1 << uint(a)
+	}
+	checkMask := fixed | cmask
+	contested := 0
+	for _, m := range violated {
+		if m&cmask != 0 {
+			contested++
+		}
+	}
+	cands := make([][]relation.Value, len(c))
+	for i, a := range c {
+		cands[i] = e.candidates(rt, a)
+	}
+	saved := make([]relation.Value, len(c))
+	for i, a := range c {
+		saved[i] = rt.Vals[a]
+	}
+	defer func() {
+		for i, a := range c {
+			rt.Vals[a] = saved[i]
+		}
+	}()
+	var best fix
+	idx := make([]int, len(c))
+	for {
+		for i, a := range c {
+			rt.Vals[a] = cands[i][idx[i]]
+		}
+		if e.consistentOn(rt, checkMask) {
+			var chg float64
+			for i, a := range c {
+				if !relation.StrictEq(saved[i], rt.Vals[a]) {
+					chg += e.model.ChangeFrom(rt, a, saved[i], rt.Vals[a])
+				}
+			}
+			v := e.vio(rt)
+			f := fix{
+				attrs:     c,
+				vals:      rt.Project(c),
+				primary:   chg * float64(v),
+				cost:      chg,
+				vio:       v,
+				contested: contested,
+				valid:     true,
+			}
+			if f.better(best) {
+				best = f
+			}
+		}
+		// Advance the odometer.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(cands[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			break
+		}
+	}
+	return best
+}
+
+// candidates assembles the value candidates for attribute a of rt, in the
+// spirit of FINDV (§4.2) and the cost-based indices (§5.2): the current
+// value, constants from applicable pattern tuples, donor values from
+// clean tuples agreeing with rt on a rule's LHS, the nearest active-
+// domain values by the DL metric, and null.
+func (e *engine) candidates(rt *relation.Tuple, a int) []relation.Value {
+	var out []relation.Value
+	seen := make(map[string]bool)
+	add := func(v relation.Value) {
+		if v.Null {
+			return
+		}
+		if !seen[v.Str] {
+			seen[v.Str] = true
+			out = append(out, v)
+		}
+	}
+	add(rt.Vals[a]) // unchanged first
+	for _, gi := range e.groups {
+		if gi.g.A() != a {
+			continue
+		}
+		for _, n := range gi.g.MatchingRules(rt) {
+			if n.ConstantRHS() {
+				add(relation.S(n.TpA.Const))
+				continue
+			}
+			// Variable RHS: the clean bucket dictates the value.
+			for _, id := range gi.g.Bucket(rt) {
+				if id == rt.ID {
+					continue
+				}
+				add(e.repr.Tuple(id).Vals[a])
+				break // clean buckets agree; one donor suffices
+			}
+		}
+	}
+	if !rt.Vals[a].Null {
+		for _, s := range e.nearest(a, rt.Vals[a].Str) {
+			add(relation.S(s))
+		}
+	}
+	out = append(out, relation.NullValue)
+	return out
+}
+
+// nearest returns the memoized cost-based index lookup for (a, v):
+// TUPLERESOLVE's subset enumeration asks for the same neighbours once per
+// subset containing a, and the index query dominates the profile.
+func (e *engine) nearest(a int, v string) []string {
+	byVal, ok := e.nearCache[a]
+	if !ok {
+		byVal = make(map[string][]string)
+		e.nearCache[a] = byVal
+	}
+	if res, ok := byVal[v]; ok {
+		return res
+	}
+	res := e.clusterIndex(a).Nearest(v, e.opts.NearestK)
+	byVal[v] = res
+	return res
+}
+
+// clusterIndex lazily builds the cost-based index over adom(Repr, a).
+func (e *engine) clusterIndex(a int) cluster.Index {
+	if ix, ok := e.clusterIdx[a]; ok {
+		return ix
+	}
+	ix := cluster.New(e.repr.ActiveDomain(a), nil)
+	e.clusterIdx[a] = ix
+	return ix
+}
+
+// bitsOf expands a bitmask into sorted attribute positions.
+func bitsOf(m uint64) []int {
+	var out []int
+	for a := 0; m != 0; a++ {
+		if m&1 == 1 {
+			out = append(out, a)
+		}
+		m >>= 1
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,252 @@
+// Package ind implements inclusion dependencies (INDs) and their
+// cost-based repair, the paper's second item of future work (§9: "to
+// effectively clean real-life data, it is often necessary to consider
+// both CFDs and inclusion dependencies [5]").
+//
+// An IND R1[X] ⊆ R2[Y] demands that every X-projection of the child
+// relation occurs as a Y-projection of the parent. Following [5]
+// (Bohannon et al., SIGMOD 2005), violations are repaired either by
+// modifying the child tuple's X-attributes to the nearest existing
+// parent combination under the weighted DL cost model, or — when no
+// parent combination is acceptably close — by inserting a new parent
+// tuple carrying the child's values on Y and null elsewhere. The
+// combined driver alternates CFD and IND repairs to a fixpoint, since
+// each kind of fix can surface violations of the other.
+package ind
+
+import (
+	"fmt"
+	"sort"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/cost"
+	"cfdclean/internal/relation"
+	"cfdclean/internal/repair"
+)
+
+// IND is an inclusion dependency Child[X] ⊆ Parent[Y] between two
+// relations (possibly the same one).
+type IND struct {
+	Name   string
+	Child  *relation.Schema
+	X      []int
+	Parent *relation.Schema
+	Y      []int
+}
+
+// New builds an IND from attribute names.
+func New(name string, child *relation.Schema, x []string, parent *relation.Schema, y []string) (*IND, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("ind %s: attribute lists must be non-empty and of equal length", name)
+	}
+	xi, err := child.Indexes(x...)
+	if err != nil {
+		return nil, fmt.Errorf("ind %s: %w", name, err)
+	}
+	yi, err := parent.Indexes(y...)
+	if err != nil {
+		return nil, fmt.Errorf("ind %s: %w", name, err)
+	}
+	return &IND{Name: name, Child: child, X: xi, Parent: parent, Y: yi}, nil
+}
+
+// String renders the IND.
+func (d *IND) String() string {
+	xs := make([]string, len(d.X))
+	ys := make([]string, len(d.Y))
+	for i := range d.X {
+		xs[i] = d.Child.Attr(d.X[i])
+		ys[i] = d.Parent.Attr(d.Y[i])
+	}
+	return fmt.Sprintf("%s: %s[%v] ⊆ %s[%v]", d.Name, d.Child.Name(), xs, d.Parent.Name(), ys)
+}
+
+// Violations returns the ids of child tuples whose X-projection does not
+// occur in parent[Y]. A child tuple with a null X-attribute satisfies the
+// IND trivially (SQL semantics, as in [5]).
+func Violations(child, parent *relation.Relation, d *IND) []relation.TupleID {
+	idx := relation.NewHashIndex(parent, d.Y)
+	var out []relation.TupleID
+	for _, t := range child.Tuples() {
+		if t.HasNullOn(d.X) {
+			continue
+		}
+		if len(idx.Lookup(t.Project(d.X))) == 0 {
+			out = append(out, t.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Satisfies reports child |= d against parent.
+func Satisfies(child, parent *relation.Relation, d *IND) bool {
+	return len(Violations(child, parent, d)) == 0
+}
+
+// Options tunes IND repair.
+type Options struct {
+	// CostModel scores child-side modifications; nil means the default.
+	CostModel *cost.Model
+	// InsertCost is the cost charged for inserting a new parent tuple;
+	// a child-side modification cheaper than this wins. Default 1 (one
+	// maximally-weighted full-cell change).
+	InsertCost float64
+	// MaxCandidates bounds how many parent combinations are scored per
+	// violating tuple. Default 64.
+	MaxCandidates int
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.CostModel == nil {
+		out.CostModel = cost.Default()
+	}
+	if out.InsertCost <= 0 {
+		out.InsertCost = 1
+	}
+	if out.MaxCandidates <= 0 {
+		out.MaxCandidates = 64
+	}
+	return out
+}
+
+// Result reports one IND repair.
+type Result struct {
+	// Child and Parent are the repaired relations (inputs unmodified).
+	Child, Parent *relation.Relation
+	// Modified counts child tuples whose X-attributes were edited;
+	// Inserted counts new parent tuples.
+	Modified, Inserted int
+	// Cost is the total modification cost plus InsertCost per insertion.
+	Cost float64
+}
+
+// Repair makes child satisfy d against parent by child-side value
+// modifications or parent-side insertions, whichever is cheaper per
+// violating tuple. The inputs are not modified.
+func Repair(child, parent *relation.Relation, d *IND, opts *Options) (*Result, error) {
+	o := opts.withDefaults()
+	outChild := child.Clone()
+	outParent := parent.Clone()
+	res := &Result{Child: outChild, Parent: outParent}
+
+	idx := relation.NewHashIndex(outParent, d.Y)
+	// Candidate parent combinations for nearest-match scoring.
+	combos := comboList(outParent, d.Y)
+
+	for _, id := range Violations(child, parent, d) {
+		t := outChild.Tuple(id)
+		best, bestCost := []relation.Value(nil), -1.0
+		scored := 0
+		for _, c := range combos {
+			var chg float64
+			for i, a := range d.X {
+				chg += o.CostModel.Change(t, a, c[i])
+			}
+			if bestCost < 0 || chg < bestCost {
+				best, bestCost = c, chg
+			}
+			scored++
+			if scored >= o.MaxCandidates {
+				break
+			}
+		}
+		if bestCost >= 0 && bestCost <= o.InsertCost {
+			// Modify the child's X-attributes to the nearest combination.
+			for i, a := range d.X {
+				if _, err := outChild.Set(id, a, best[i]); err != nil {
+					return nil, fmt.Errorf("ind: repairing child tuple %d: %w", id, err)
+				}
+			}
+			res.Modified++
+			res.Cost += bestCost
+			continue
+		}
+		// Insert a parent tuple carrying the child's values on Y.
+		nt := relation.NewTuple(0)
+		nt.Vals = make([]relation.Value, outParent.Schema().Arity())
+		for i := range nt.Vals {
+			nt.Vals[i] = relation.NullValue
+		}
+		for i, a := range d.Y {
+			nt.Vals[a] = t.Vals[d.X[i]]
+		}
+		if err := outParent.Insert(nt); err != nil {
+			return nil, fmt.Errorf("ind: inserting parent tuple: %w", err)
+		}
+		idx.Add(nt)
+		combos = append(combos, nt.Project(d.Y))
+		res.Inserted++
+		res.Cost += o.InsertCost
+	}
+	return res, nil
+}
+
+// comboList returns the distinct Y-projections of parent, largest
+// support first (the most common combinations are scored first, so the
+// MaxCandidates cut keeps the likely matches).
+func comboList(parent *relation.Relation, y []int) [][]relation.Value {
+	groups := parent.GroupBy(y)
+	type entry struct {
+		vals []relation.Value
+		n    int
+	}
+	entries := make([]entry, 0, len(groups))
+	for _, ts := range groups {
+		entries = append(entries, entry{ts[0].Project(y), len(ts)})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].n != entries[j].n {
+			return entries[i].n > entries[j].n
+		}
+		return relation.KeyOf(entries[i].vals...) < relation.KeyOf(entries[j].vals...)
+	})
+	out := make([][]relation.Value, len(entries))
+	for i, e := range entries {
+		out[i] = e.vals
+	}
+	return out
+}
+
+// RepairWithCFDs alternates CFD repair on the child with IND repair
+// against the parent until both constraint kinds hold or rounds are
+// exhausted — the combined cleaning the paper's future work calls for.
+// CFD repairs can break inclusion (a corrected key may no longer occur in
+// the parent) and IND repairs can break CFDs (a borrowed combination may
+// disagree with a pattern), hence the fixpoint loop.
+func RepairWithCFDs(child, parent *relation.Relation, sigma []*cfd.Normal, inds []*IND, opts *Options) (*Result, error) {
+	o := opts.withDefaults()
+	curChild, curParent := child, parent
+	res := &Result{}
+	const maxRounds = 4
+	for round := 0; round < maxRounds; round++ {
+		br, err := repair.Batch(curChild, sigma, nil)
+		if err != nil {
+			return nil, err
+		}
+		curChild = br.Repair
+		dirty := false
+		for _, d := range inds {
+			ir, err := Repair(curChild, curParent, d, &o)
+			if err != nil {
+				return nil, err
+			}
+			if ir.Modified+ir.Inserted > 0 {
+				dirty = true
+			}
+			curChild, curParent = ir.Child, ir.Parent
+			res.Modified += ir.Modified
+			res.Inserted += ir.Inserted
+			res.Cost += ir.Cost
+		}
+		if !dirty && cfd.Satisfies(curChild, sigma) {
+			break
+		}
+	}
+	res.Child, res.Parent = curChild, curParent
+	return res, nil
+}

@@ -1,0 +1,234 @@
+package ind
+
+import (
+	"testing"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/relation"
+)
+
+func orders(t *testing.T, rows ...[]string) *relation.Relation {
+	t.Helper()
+	s := relation.MustSchema("orders", "item", "city")
+	r := relation.New(s)
+	for _, row := range rows {
+		if _, err := r.InsertRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func catalog(t *testing.T, rows ...[]string) *relation.Relation {
+	t.Helper()
+	s := relation.MustSchema("catalog", "sku", "title")
+	r := relation.New(s)
+	for _, row := range rows {
+		if _, err := r.InsertRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func ordersIntoCatalog(t *testing.T, child, parent *relation.Relation) *IND {
+	t.Helper()
+	d, err := New("fk", child.Schema(), []string{"item"}, parent.Schema(), []string{"sku"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	c := orders(t)
+	p := catalog(t)
+	if _, err := New("bad", c.Schema(), nil, p.Schema(), nil); err == nil {
+		t.Fatal("empty attribute lists accepted")
+	}
+	if _, err := New("bad", c.Schema(), []string{"item"}, p.Schema(), []string{"sku", "title"}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := New("bad", c.Schema(), []string{"nope"}, p.Schema(), []string{"sku"}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestDetection(t *testing.T) {
+	child := orders(t, []string{"a1", "PHI"}, []string{"a2", "NYC"}, []string{"a9", "LA"})
+	parent := catalog(t, []string{"a1", "Lamp"}, []string{"a2", "Kettle"})
+	d := ordersIntoCatalog(t, child, parent)
+	got := Violations(child, parent, d)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("violations = %v, want [3]", got)
+	}
+	if Satisfies(child, parent, d) {
+		t.Fatal("Satisfies must be false")
+	}
+}
+
+func TestNullChildSatisfies(t *testing.T) {
+	child := orders(t)
+	tp := relation.NewTuple(0, "x", "PHI")
+	tp.Vals[0] = relation.NullValue
+	child.MustInsert(tp)
+	parent := catalog(t, []string{"a1", "Lamp"})
+	d := ordersIntoCatalog(t, child, parent)
+	if !Satisfies(child, parent, d) {
+		t.Fatal("null X-attribute must satisfy the IND")
+	}
+}
+
+func TestRepairByModification(t *testing.T) {
+	// "a11" is one edit from catalog sku "a1": cheaper to fix the child.
+	child := orders(t, []string{"a11", "PHI"})
+	parent := catalog(t, []string{"a1", "Lamp"}, []string{"zz9", "Kettle"})
+	d := ordersIntoCatalog(t, child, parent)
+	res, err := Repair(child, parent, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modified != 1 || res.Inserted != 0 {
+		t.Fatalf("modified=%d inserted=%d, want 1/0", res.Modified, res.Inserted)
+	}
+	if got := res.Child.Tuple(1).Vals[0].Str; got != "a1" {
+		t.Fatalf("child item = %q, want a1", got)
+	}
+	if !Satisfies(res.Child, res.Parent, d) {
+		t.Fatal("repair does not satisfy the IND")
+	}
+	// Inputs untouched.
+	if child.Tuple(1).Vals[0].Str != "a11" {
+		t.Fatal("input child modified")
+	}
+}
+
+func TestRepairByInsertion(t *testing.T) {
+	// Child value is far from every catalog sku: inserting is cheaper.
+	child := orders(t, []string{"completely-different", "PHI"})
+	parent := catalog(t, []string{"a1", "Lamp"})
+	d := ordersIntoCatalog(t, child, parent)
+	res, err := Repair(child, parent, d, &Options{InsertCost: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || res.Modified != 0 {
+		t.Fatalf("modified=%d inserted=%d, want 0/1", res.Modified, res.Inserted)
+	}
+	if !Satisfies(res.Child, res.Parent, d) {
+		t.Fatal("repair does not satisfy the IND")
+	}
+	// The inserted parent tuple carries the child value on sku and null
+	// on the rest.
+	found := false
+	for _, tp := range res.Parent.Tuples() {
+		if tp.Vals[0].Str == "completely-different" {
+			found = true
+			if !tp.Vals[1].Null {
+				t.Fatal("inserted tuple must be null outside Y")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("inserted parent tuple missing")
+	}
+}
+
+func TestRepairWeightsGuideChoice(t *testing.T) {
+	// A trusted (weight 1) child value far-ish from the only sku: the
+	// modification cost exceeds InsertCost, so insertion wins; with a
+	// low weight the same edit is cheap and modification wins.
+	parent := catalog(t, []string{"abcd", "Lamp"})
+	for _, tc := range []struct {
+		w          float64
+		wantInsert bool
+	}{
+		{w: 1.0, wantInsert: true},
+		{w: 0.1, wantInsert: false},
+	} {
+		child := orders(t)
+		tp := relation.NewTuple(0, "wxyz", "PHI")
+		tp.SetWeight(0, tc.w)
+		child.MustInsert(tp)
+		d := ordersIntoCatalog(t, child, parent)
+		res, err := Repair(child, parent, d, &Options{InsertCost: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.wantInsert && res.Inserted != 1 {
+			t.Fatalf("w=%v: want insertion, got %+v", tc.w, res)
+		}
+		if !tc.wantInsert && res.Modified != 1 {
+			t.Fatalf("w=%v: want modification, got %+v", tc.w, res)
+		}
+	}
+}
+
+func TestMultiAttributeIND(t *testing.T) {
+	cs := relation.MustSchema("c", "a", "b")
+	ps := relation.MustSchema("p", "x", "y", "z")
+	child := relation.New(cs)
+	child.MustInsert(relation.NewTuple(0, "k1", "v2"))
+	parent := relation.New(ps)
+	parent.MustInsert(relation.NewTuple(0, "k1", "v1", "t"))
+	parent.MustInsert(relation.NewTuple(0, "k2", "v2", "t"))
+	d, err := New("pair", cs, []string{"a", "b"}, ps, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Satisfies(child, parent, d) {
+		t.Fatal("(k1,v2) is not a parent combination")
+	}
+	res, err := Repair(child, parent, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Satisfies(res.Child, res.Parent, d) {
+		t.Fatal("repair violates the IND")
+	}
+	// The nearest combination is one edit away on a single attribute.
+	if res.Modified != 1 {
+		t.Fatalf("want one modification, got %+v", res)
+	}
+}
+
+func TestRepairWithCFDs(t *testing.T) {
+	// Orders with a CFD on city and an IND into the catalog: the dirty
+	// tuple violates both; the combined driver must fix both.
+	cs := relation.MustSchema("orders", "item", "zip", "city")
+	child := relation.New(cs)
+	child.MustInsert(relation.NewTuple(0, "a1", "10012", "NYC"))
+	child.MustInsert(relation.NewTuple(0, "a77", "10012", "PHI")) // CFD + IND dirty
+	parent := catalog(t, []string{"a1", "Lamp"}, []string{"a7", "Kettle"})
+
+	phi, err := cfd.New("zipcity", cs, []string{"zip"}, []string{"city"},
+		[]cfd.Cell{cfd.C("10012"), cfd.C("NYC")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := cfd.NormalizeAll([]*cfd.CFD{phi})
+	d, err := New("fk", cs, []string{"item"}, parent.Schema(), []string{"sku"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RepairWithCFDs(child, parent, sigma, []*IND{d}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfd.Satisfies(res.Child, sigma) {
+		t.Fatal("combined repair violates Σ")
+	}
+	if !Satisfies(res.Child, res.Parent, d) {
+		t.Fatal("combined repair violates the IND")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	child := orders(t)
+	parent := catalog(t)
+	d := ordersIntoCatalog(t, child, parent)
+	s := d.String()
+	if s == "" || d.Name != "fk" {
+		t.Fatalf("String() = %q", s)
+	}
+}

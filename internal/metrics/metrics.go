@@ -1,0 +1,104 @@
+// Package metrics implements the repair-quality measures of §7.1.
+//
+// A repair can err in two ways: noise it failed to fix, and new noise it
+// introduced. Following the paper, both are captured by Precision and
+// Recall over attribute-level differences:
+//
+//	noises    = dif(D, Dopt)                 — cells the noise changed
+//	changes   = dif(D, Repr)                 — cells the repair changed
+//	corrected = dif(D, Repr) − dif(Dopt, Repr)
+//	Precision = corrected / changes          — repair correctness
+//	Recall    = corrected / noises           — repair completeness
+//
+// A null written over a correct value counts as an error; a null written
+// over noise counts as a correction (§7.1).
+package metrics
+
+import (
+	"fmt"
+
+	"cfdclean/internal/cost"
+	"cfdclean/internal/relation"
+)
+
+// Quality holds the accuracy measures of one repair.
+type Quality struct {
+	// Noises is dif(D, Dopt): the number of noisy cells in the input.
+	Noises int
+	// Changes is dif(D, Repr): cells the repairing algorithm modified.
+	Changes int
+	// Corrected is the number of noisy cells correctly repaired.
+	Corrected int
+	// Precision = Corrected / Changes; 1 when no changes were made.
+	Precision float64
+	// Recall = Corrected / Noises; 1 when there was no noise.
+	Recall float64
+	// Residual is dif(Dopt, Repr): cells still wrong after the repair —
+	// unfixed noise plus newly introduced errors.
+	Residual int
+}
+
+// Evaluate computes repair quality given the dirty input d, the repair
+// repr, and the ground truth dopt. All three must share tuple ids.
+func Evaluate(d, repr, dopt *relation.Relation) (*Quality, error) {
+	if d.Size() != dopt.Size() || repr.Size() != d.Size() {
+		return nil, fmt.Errorf("metrics: relation sizes differ: D=%d Repr=%d Dopt=%d",
+			d.Size(), repr.Size(), dopt.Size())
+	}
+	q := &Quality{
+		Noises:   cost.Dif(d, dopt),
+		Changes:  cost.Dif(d, repr),
+		Residual: cost.Dif(dopt, repr),
+	}
+	// §7.1 computes corrected as dif(D, Repr) − dif(Dopt, Repr), which
+	// under-counts when noisy cells are left untouched (they appear in
+	// the subtrahend); we count the corrected cells directly instead.
+	q.Corrected = corrected(d, repr, dopt)
+	if q.Changes > 0 {
+		q.Precision = float64(q.Corrected) / float64(q.Changes)
+	} else {
+		q.Precision = 1
+	}
+	if q.Noises > 0 {
+		q.Recall = float64(q.Corrected) / float64(q.Noises)
+	} else {
+		q.Recall = 1
+	}
+	return q, nil
+}
+
+// corrected counts cells that were noisy in d (≠ Dopt) and are equal to
+// Dopt in the repair.
+func corrected(d, repr, dopt *relation.Relation) int {
+	n := 0
+	for _, td := range d.Tuples() {
+		to := dopt.Tuple(td.ID)
+		tr := repr.Tuple(td.ID)
+		if to == nil || tr == nil {
+			continue
+		}
+		for a := range td.Vals {
+			if !relation.StrictEq(td.Vals[a], to.Vals[a]) &&
+				relation.StrictEq(tr.Vals[a], to.Vals[a]) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Accuracy returns |dif(Repr, Dopt)| / |Dopt| measured at attribute
+// level — the bound the sampling module guarantees (§1, §3.3).
+func Accuracy(repr, dopt *relation.Relation) float64 {
+	cells := cost.Cells(dopt)
+	if cells == 0 {
+		return 0
+	}
+	return float64(cost.Dif(repr, dopt)) / float64(cells)
+}
+
+// String renders the quality as a one-line summary.
+func (q *Quality) String() string {
+	return fmt.Sprintf("precision=%.4f recall=%.4f (noises=%d changes=%d corrected=%d residual=%d)",
+		q.Precision, q.Recall, q.Noises, q.Changes, q.Corrected, q.Residual)
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"cfdclean/internal/relation"
+)
+
+// mini builds a 2-attribute relation from rows of "a|b" strings; ids are
+// assigned 1..n so the three relations of Evaluate stay aligned.
+func mini(t *testing.T, rows ...string) *relation.Relation {
+	t.Helper()
+	s := relation.MustSchema("r", "A", "B")
+	r := relation.New(s)
+	for i, row := range rows {
+		parts := strings.SplitN(row, "|", 2)
+		tp := relation.NewTuple(relation.TupleID(i+1), parts[0], parts[1])
+		r.MustInsert(tp)
+	}
+	return r
+}
+
+func TestPerfectRepair(t *testing.T) {
+	d := mini(t, "x|1", "y|2")
+	opt := mini(t, "x|1", "y|9")
+	repr := mini(t, "x|1", "y|9")
+	q, err := Evaluate(d, repr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Noises != 1 || q.Changes != 1 || q.Corrected != 1 {
+		t.Fatalf("got %+v", q)
+	}
+	if q.Precision != 1 || q.Recall != 1 {
+		t.Fatalf("precision=%v recall=%v, want 1/1", q.Precision, q.Recall)
+	}
+	if q.Residual != 0 {
+		t.Fatalf("residual = %d, want 0", q.Residual)
+	}
+}
+
+func TestNoChanges(t *testing.T) {
+	d := mini(t, "x|1")
+	opt := mini(t, "x|2")
+	q, err := Evaluate(d, d.Clone(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing repaired: precision is vacuously 1, recall 0.
+	if q.Precision != 1 {
+		t.Fatalf("precision = %v, want 1 (no changes)", q.Precision)
+	}
+	if q.Recall != 0 {
+		t.Fatalf("recall = %v, want 0", q.Recall)
+	}
+}
+
+func TestNoNoise(t *testing.T) {
+	d := mini(t, "x|1")
+	q, err := Evaluate(d, d.Clone(), d.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Precision != 1 || q.Recall != 1 {
+		t.Fatalf("clean input: precision=%v recall=%v", q.Precision, q.Recall)
+	}
+}
+
+func TestIntroducedNoise(t *testing.T) {
+	d := mini(t, "x|1", "y|2")
+	opt := mini(t, "x|1", "y|2")  // input was already clean
+	repr := mini(t, "x|1", "z|2") // repair broke a cell
+	q, err := Evaluate(d, repr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Changes != 1 || q.Corrected != 0 {
+		t.Fatalf("got %+v", q)
+	}
+	if q.Precision != 0 {
+		t.Fatalf("precision = %v, want 0", q.Precision)
+	}
+	if q.Residual != 1 {
+		t.Fatalf("residual = %d, want 1", q.Residual)
+	}
+}
+
+func TestMixedRepair(t *testing.T) {
+	// Two noisy cells; the repair fixes one, misses one, and breaks a
+	// clean cell.
+	d := mini(t, "x|1", "y|2", "z|3")
+	opt := mini(t, "X|1", "Y|2", "z|3")
+	repr := mini(t, "X|1", "y|2", "z|9")
+	q, err := Evaluate(d, repr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Noises != 2 || q.Changes != 2 || q.Corrected != 1 {
+		t.Fatalf("got %+v", q)
+	}
+	if q.Precision != 0.5 || q.Recall != 0.5 {
+		t.Fatalf("precision=%v recall=%v, want 0.5/0.5", q.Precision, q.Recall)
+	}
+	// Residual: the missed noise (y) plus the new break (z).
+	if q.Residual != 2 {
+		t.Fatalf("residual = %d, want 2", q.Residual)
+	}
+}
+
+func TestNullCounting(t *testing.T) {
+	// A null over a correct value is an error; a null over noise is a
+	// correction only if Dopt is null there — otherwise the cell stays
+	// wrong but differs from both.
+	s := relation.MustSchema("r", "A")
+	d := relation.New(s)
+	d.MustInsert(relation.NewTuple(1, "noisy"))
+	opt := relation.New(s)
+	opt.MustInsert(relation.NewTuple(1, "right"))
+	repr := relation.New(s)
+	tp := relation.NewTuple(1, "x")
+	tp.Vals[0] = relation.NullValue
+	repr.MustInsert(tp)
+	q, err := Evaluate(d, repr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Changes != 1 || q.Corrected != 0 || q.Residual != 1 {
+		t.Fatalf("null over noise without null truth: %+v", q)
+	}
+}
+
+func TestSizeMismatch(t *testing.T) {
+	d := mini(t, "x|1")
+	opt := mini(t, "x|1", "y|2")
+	if _, err := Evaluate(d, d.Clone(), opt); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	repr := mini(t, "x|1", "y|2")
+	opt := mini(t, "x|1", "y|9")
+	// 1 of 4 cells differs.
+	if got := Accuracy(repr, opt); got != 0.25 {
+		t.Fatalf("Accuracy = %v, want 0.25", got)
+	}
+	if got := Accuracy(repr, repr.Clone()); got != 0 {
+		t.Fatalf("Accuracy(self) = %v, want 0", got)
+	}
+}
+
+func TestQualityString(t *testing.T) {
+	q := &Quality{Noises: 10, Changes: 8, Corrected: 7, Precision: 0.875, Recall: 0.7}
+	s := q.String()
+	if !strings.Contains(s, "precision") || !strings.Contains(s, "recall") {
+		t.Fatalf("String() = %q", s)
+	}
+}

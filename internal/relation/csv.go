@@ -1,0 +1,146 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// NullLiteral is the CSV representation of SQL null. Chosen so it cannot
+// collide with ordinary data written by WriteCSV (which escapes nothing;
+// callers with literal "\N" data should use a custom codec).
+const NullLiteral = `\N`
+
+// ReadCSV loads a relation from CSV. The first record is the header and
+// becomes the schema (relation name given by name). Fields equal to
+// NullLiteral load as null. All tuples get unit weights.
+func ReadCSV(name string, r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	schema, err := NewSchema(name, header...)
+	if err != nil {
+		return nil, err
+	}
+	rel := New(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != schema.Arity() {
+			return nil, fmt.Errorf("relation: CSV line %d has %d fields, want %d", line, len(rec), schema.Arity())
+		}
+		vals := make([]Value, len(rec))
+		for i, f := range rec {
+			if f == NullLiteral {
+				vals[i] = NullValue
+			} else {
+				vals[i] = S(f)
+			}
+		}
+		if err := rel.Insert(&Tuple{Vals: vals}); err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation as CSV with a header row. Null values are
+// written as NullLiteral.
+func WriteCSV(rel *Relation, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rel.Schema().Attrs()); err != nil {
+		return fmt.Errorf("relation: writing CSV header: %w", err)
+	}
+	rec := make([]string, rel.Schema().Arity())
+	for _, t := range rel.Tuples() {
+		for i, v := range t.Vals {
+			if v.Null {
+				rec[i] = NullLiteral
+			} else {
+				rec[i] = v.Str
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation: writing CSV tuple %d: %w", t.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteWeightsCSV writes the per-attribute confidence weights as a CSV
+// parallel to WriteCSV: header row, then one row per tuple with weights
+// formatted at full precision. Tuples without weights write 1 everywhere.
+func WriteWeightsCSV(rel *Relation, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rel.Schema().Attrs()); err != nil {
+		return fmt.Errorf("relation: writing weights header: %w", err)
+	}
+	rec := make([]string, rel.Schema().Arity())
+	for _, t := range rel.Tuples() {
+		for i := range rec {
+			rec[i] = strconv.FormatFloat(t.Weight(i), 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation: writing weights for tuple %d: %w", t.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadWeightsCSV attaches weights from a CSV produced by WriteWeightsCSV
+// to the tuples of rel, in order. The header must match the schema.
+func ReadWeightsCSV(rel *Relation, r io.Reader) error {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("relation: reading weights header: %w", err)
+	}
+	if len(header) != rel.Schema().Arity() {
+		return fmt.Errorf("relation: weights header has %d fields, want %d", len(header), rel.Schema().Arity())
+	}
+	for i, h := range header {
+		if rel.Schema().Attr(i) != h {
+			return fmt.Errorf("relation: weights header %q at position %d, want %q", h, i, rel.Schema().Attr(i))
+		}
+	}
+	tuples := rel.Tuples()
+	for i := 0; ; i++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			if i != len(tuples) {
+				return fmt.Errorf("relation: weights CSV has %d rows, relation has %d tuples", i, len(tuples))
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("relation: reading weights row %d: %w", i+2, err)
+		}
+		if i >= len(tuples) {
+			return fmt.Errorf("relation: weights CSV has more rows than the relation's %d tuples", len(tuples))
+		}
+		if len(rec) != rel.Schema().Arity() {
+			return fmt.Errorf("relation: weights row %d has %d fields, want %d", i+2, len(rec), rel.Schema().Arity())
+		}
+		for a, f := range rec {
+			w, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return fmt.Errorf("relation: weights row %d field %d: %w", i+2, a, err)
+			}
+			if w < 0 || w > 1 {
+				return fmt.Errorf("relation: weights row %d field %d: weight %v outside [0,1]", i+2, a, w)
+			}
+			tuples[i].SetWeight(a, w)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package relation
+
+// HashIndex is an equality index over a fixed set of attributes, mapping
+// the composite key of a tuple's projection to the tuple ids carrying it.
+// It is the workhorse behind violation detection and the LHS indices of
+// INCREPAIR (§5.2): given a candidate repair t” we look up t”[X] and test
+// whether the indexed A-values agree.
+//
+// The index is maintained eagerly: callers notify it of inserts, deletes
+// and attribute updates. The Relation does not own indices; repair
+// algorithms build the ones they need.
+type HashIndex struct {
+	attrs   []int
+	buckets map[string][]TupleID
+	slot    map[TupleID]string // current key per indexed tuple, for updates
+}
+
+// NewHashIndex builds an index on attrs over the current contents of r.
+func NewHashIndex(r *Relation, attrs []int) *HashIndex {
+	ix := &HashIndex{
+		attrs:   append([]int(nil), attrs...),
+		buckets: make(map[string][]TupleID),
+		slot:    make(map[TupleID]string),
+	}
+	for _, t := range r.Tuples() {
+		ix.Add(t)
+	}
+	return ix
+}
+
+// Attrs returns the indexed attribute positions.
+func (ix *HashIndex) Attrs() []int { return ix.attrs }
+
+// Add indexes tuple t.
+func (ix *HashIndex) Add(t *Tuple) {
+	k := t.KeyOn(ix.attrs)
+	ix.buckets[k] = append(ix.buckets[k], t.ID)
+	ix.slot[t.ID] = k
+}
+
+// Remove un-indexes tuple t (by its current key).
+func (ix *HashIndex) Remove(id TupleID) {
+	k, ok := ix.slot[id]
+	if !ok {
+		return
+	}
+	ix.buckets[k] = dropID(ix.buckets[k], id)
+	if len(ix.buckets[k]) == 0 {
+		delete(ix.buckets, k)
+	}
+	delete(ix.slot, id)
+}
+
+// Update re-indexes tuple t after its attribute values changed. It is a
+// no-op if the key is unchanged.
+func (ix *HashIndex) Update(t *Tuple) {
+	nk := t.KeyOn(ix.attrs)
+	ok, indexed := ix.slot[t.ID]
+	if indexed && ok == nk {
+		return
+	}
+	if indexed {
+		ix.buckets[ok] = dropID(ix.buckets[ok], t.ID)
+		if len(ix.buckets[ok]) == 0 {
+			delete(ix.buckets, ok)
+		}
+	}
+	ix.buckets[nk] = append(ix.buckets[nk], t.ID)
+	ix.slot[t.ID] = nk
+}
+
+// Touches reports whether attribute a participates in the index key.
+func (ix *HashIndex) Touches(a int) bool {
+	for _, x := range ix.attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the ids of tuples whose projection onto the indexed
+// attributes equals vals.
+func (ix *HashIndex) Lookup(vals []Value) []TupleID {
+	return ix.buckets[KeyOf(vals...)]
+}
+
+// LookupKey returns the ids in the bucket for a precomputed key.
+func (ix *HashIndex) LookupKey(key string) []TupleID { return ix.buckets[key] }
+
+// Buckets iterates over all (key, ids) pairs. The callback must not
+// mutate the index.
+func (ix *HashIndex) Buckets(f func(key string, ids []TupleID)) {
+	for k, ids := range ix.buckets {
+		f(k, ids)
+	}
+}
+
+// Len returns the number of distinct keys.
+func (ix *HashIndex) Len() int { return len(ix.buckets) }
+
+func dropID(ids []TupleID, id TupleID) []TupleID {
+	for i, x := range ids {
+		if x == id {
+			ids[i] = ids[len(ids)-1]
+			return ids[:len(ids)-1]
+		}
+	}
+	return ids
+}

@@ -1,0 +1,202 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is an in-memory instance of a single-relation schema. It owns
+// its tuples; mutations go through the Relation so that active-domain and
+// index bookkeeping stays consistent.
+type Relation struct {
+	schema *Schema
+	tuples []*Tuple
+	byID   map[TupleID]int
+	nextID TupleID
+
+	// adom[a] maps each non-null constant appearing in attribute a to the
+	// number of tuples currently carrying it. Maintained incrementally.
+	adom []map[string]int
+}
+
+// New creates an empty relation instance of schema s.
+func New(s *Schema) *Relation {
+	adom := make([]map[string]int, s.Arity())
+	for i := range adom {
+		adom[i] = make(map[string]int)
+	}
+	return &Relation{
+		schema: s,
+		byID:   make(map[TupleID]int),
+		nextID: 1,
+		adom:   adom,
+	}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Size returns the number of tuples.
+func (r *Relation) Size() int { return len(r.tuples) }
+
+// Tuples returns the live tuple slice in insertion order. Callers must not
+// modify attribute values directly; use Set so bookkeeping stays correct.
+func (r *Relation) Tuples() []*Tuple { return r.tuples }
+
+// Tuple returns the tuple with the given id, or nil.
+func (r *Relation) Tuple(id TupleID) *Tuple {
+	i, ok := r.byID[id]
+	if !ok {
+		return nil
+	}
+	return r.tuples[i]
+}
+
+// Insert adds t to the relation. If t.ID is zero a fresh id is assigned.
+// The tuple must have the schema's arity and (if present) a weight vector
+// of the same length.
+func (r *Relation) Insert(t *Tuple) error {
+	if len(t.Vals) != r.schema.Arity() {
+		return fmt.Errorf("relation %s: tuple has %d values, want %d", r.schema.Name(), len(t.Vals), r.schema.Arity())
+	}
+	if t.W != nil && len(t.W) != len(t.Vals) {
+		return fmt.Errorf("relation %s: tuple has %d weights, want %d", r.schema.Name(), len(t.W), len(t.Vals))
+	}
+	if t.ID == 0 {
+		t.ID = r.nextID
+	}
+	if _, dup := r.byID[t.ID]; dup {
+		return fmt.Errorf("relation %s: duplicate tuple id %d", r.schema.Name(), t.ID)
+	}
+	if t.ID >= r.nextID {
+		r.nextID = t.ID + 1
+	}
+	r.byID[t.ID] = len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	for a, v := range t.Vals {
+		if !v.Null {
+			r.adom[a][v.Str]++
+		}
+	}
+	return nil
+}
+
+// MustInsert is Insert that panics on error; for tests and generators.
+func (r *Relation) MustInsert(t *Tuple) {
+	if err := r.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
+// InsertRow builds a unit-weight tuple from strings and inserts it.
+func (r *Relation) InsertRow(vals ...string) (*Tuple, error) {
+	t := NewTuple(0, vals...)
+	if err := r.Insert(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Delete removes the tuple with the given id. Deletions never introduce
+// CFD violations (§3.3), so no constraint bookkeeping is required here.
+func (r *Relation) Delete(id TupleID) bool {
+	i, ok := r.byID[id]
+	if !ok {
+		return false
+	}
+	t := r.tuples[i]
+	for a, v := range t.Vals {
+		if !v.Null {
+			r.dropAdom(a, v.Str)
+		}
+	}
+	last := len(r.tuples) - 1
+	r.tuples[i] = r.tuples[last]
+	r.byID[r.tuples[i].ID] = i
+	r.tuples = r.tuples[:last]
+	delete(r.byID, id)
+	return true
+}
+
+// Set changes attribute a of tuple id to v, updating the active domain.
+// It returns the previous value.
+func (r *Relation) Set(id TupleID, a int, v Value) (Value, error) {
+	i, ok := r.byID[id]
+	if !ok {
+		return Value{}, fmt.Errorf("relation %s: no tuple with id %d", r.schema.Name(), id)
+	}
+	t := r.tuples[i]
+	old := t.Vals[a]
+	if StrictEq(old, v) {
+		return old, nil
+	}
+	if !old.Null {
+		r.dropAdom(a, old.Str)
+	}
+	if !v.Null {
+		r.adom[a][v.Str]++
+	}
+	t.Vals[a] = v
+	return old, nil
+}
+
+func (r *Relation) dropAdom(a int, s string) {
+	if n := r.adom[a][s]; n <= 1 {
+		delete(r.adom[a], s)
+	} else {
+		r.adom[a][s] = n - 1
+	}
+}
+
+// ActiveDomain returns the sorted distinct non-null constants currently
+// appearing in attribute a — the paper's adom(A, D) (§2). Repairs draw
+// replacement values from the active domain or null; no values are
+// invented (§3.1).
+func (r *Relation) ActiveDomain(a int) []string {
+	out := make([]string, 0, len(r.adom[a]))
+	for s := range r.adom[a] {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ActiveDomainSize returns |adom(a, D)| without materializing it.
+func (r *Relation) ActiveDomainSize(a int) int { return len(r.adom[a]) }
+
+// DomainCount returns the number of tuples whose attribute a currently
+// equals constant s.
+func (r *Relation) DomainCount(a int, s string) int { return r.adom[a][s] }
+
+// Clone deep-copies the relation, tuples included.
+func (r *Relation) Clone() *Relation {
+	c := New(r.schema)
+	for _, t := range r.tuples {
+		c.MustInsert(t.Clone())
+	}
+	return c
+}
+
+// Select returns the tuples satisfying pred, in insertion order.
+func (r *Relation) Select(pred func(*Tuple) bool) []*Tuple {
+	var out []*Tuple
+	for _, t := range r.tuples {
+		if pred(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// GroupBy partitions the tuples by their composite key on attrs. Tuples
+// containing null on any of attrs are grouped under their encoded key as
+// well (null has a distinct encoding); callers that need the paper's
+// pattern-match semantics filter nulls themselves.
+func (r *Relation) GroupBy(attrs []int) map[string][]*Tuple {
+	groups := make(map[string][]*Tuple)
+	for _, t := range r.tuples {
+		k := t.KeyOn(attrs)
+		groups[k] = append(groups[k], t)
+	}
+	return groups
+}

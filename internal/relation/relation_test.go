@@ -1,0 +1,381 @@
+package relation
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueEqSQLSemantics(t *testing.T) {
+	a, b := S("x"), S("y")
+	if Eq(a, b) {
+		t.Error("distinct constants must not be Eq")
+	}
+	if !Eq(a, S("x")) {
+		t.Error("equal constants must be Eq")
+	}
+	// Paper §3.1 remark 1: = is true if either side is null.
+	if !Eq(a, NullValue) || !Eq(NullValue, b) || !Eq(NullValue, NullValue) {
+		t.Error("null must compare Eq to everything")
+	}
+}
+
+func TestValueStrictEq(t *testing.T) {
+	if StrictEq(S("x"), NullValue) {
+		t.Error("null is not StrictEq to a constant")
+	}
+	if !StrictEq(NullValue, NullValue) {
+		t.Error("null is StrictEq to null")
+	}
+	if !StrictEq(S("x"), S("x")) || StrictEq(S("x"), S("y")) {
+		t.Error("StrictEq on constants must be string equality")
+	}
+}
+
+func TestValueKeyInjective(t *testing.T) {
+	f := func(a, b string) bool {
+		va, vb := S(a), S(b)
+		if a == b {
+			return va.Key() == vb.Key()
+		}
+		return va.Key() != vb.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if S("N").Key() == NullValue.Key() {
+		t.Error("null key must not collide with constant key")
+	}
+}
+
+func TestKeyOfComposite(t *testing.T) {
+	// Composite keys must not confuse ("ab","c") with ("a","bc").
+	k1 := KeyOf(S("ab"), S("c"))
+	k2 := KeyOf(S("a"), S("bc"))
+	if k1 == k2 {
+		t.Error("composite key must separate fields")
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s, err := NewSchema("order", "id", "name", "PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 3 || s.Name() != "order" {
+		t.Fatalf("bad schema: %v", s)
+	}
+	if i := s.MustIndex("PR"); i != 2 {
+		t.Errorf("MustIndex(PR) = %d, want 2", i)
+	}
+	if _, err := s.Index("nope"); err == nil {
+		t.Error("Index(nope) should fail")
+	}
+	if got := s.String(); got != "order(id, name, PR)" {
+		t.Errorf("String() = %q", got)
+	}
+	ix, err := s.Indexes("PR", "id")
+	if err != nil || !reflect.DeepEqual(ix, []int{2, 0}) {
+		t.Errorf("Indexes = %v, %v", ix, err)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := NewSchema("r"); err == nil {
+		t.Error("empty schema must fail")
+	}
+	if _, err := NewSchema("r", "a", "a"); err == nil {
+		t.Error("duplicate attribute must fail")
+	}
+	if _, err := NewSchema("r", "a", ""); err == nil {
+		t.Error("empty attribute name must fail")
+	}
+}
+
+func TestInsertAndActiveDomain(t *testing.T) {
+	r := New(MustSchema("r", "a", "b"))
+	r.MustInsert(NewTuple(0, "x", "1"))
+	r.MustInsert(NewTuple(0, "y", "1"))
+	r.MustInsert(NewTuple(0, "x", "2"))
+	if r.Size() != 3 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	if got := r.ActiveDomain(0); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("adom(a) = %v", got)
+	}
+	if got := r.ActiveDomain(1); !reflect.DeepEqual(got, []string{"1", "2"}) {
+		t.Errorf("adom(b) = %v", got)
+	}
+	if n := r.DomainCount(0, "x"); n != 2 {
+		t.Errorf("DomainCount(a,x) = %d", n)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	r := New(MustSchema("r", "a", "b"))
+	if err := r.Insert(NewTuple(0, "only-one")); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	if err := r.Insert(&Tuple{Vals: []Value{S("x"), S("y")}, W: []float64{1}}); err == nil {
+		t.Error("weight length mismatch must fail")
+	}
+	r.MustInsert(NewTuple(7, "x", "y"))
+	if err := r.Insert(NewTuple(7, "z", "w")); err == nil {
+		t.Error("duplicate id must fail")
+	}
+	// Fresh ids continue past explicit ones.
+	tp := NewTuple(0, "q", "r")
+	r.MustInsert(tp)
+	if tp.ID <= 7 {
+		t.Errorf("fresh id %d should exceed explicit id 7", tp.ID)
+	}
+}
+
+func TestSetMaintainsActiveDomain(t *testing.T) {
+	r := New(MustSchema("r", "a"))
+	t1 := NewTuple(0, "x")
+	r.MustInsert(t1)
+	old, err := r.Set(t1.ID, 0, S("y"))
+	if err != nil || old.Str != "x" {
+		t.Fatalf("Set: old=%v err=%v", old, err)
+	}
+	if got := r.ActiveDomain(0); !reflect.DeepEqual(got, []string{"y"}) {
+		t.Errorf("adom after set = %v", got)
+	}
+	// Setting to null removes from the domain.
+	if _, err := r.Set(t1.ID, 0, NullValue); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ActiveDomain(0); len(got) != 0 {
+		t.Errorf("adom after null = %v", got)
+	}
+	if _, err := r.Set(999, 0, S("z")); err == nil {
+		t.Error("Set on missing tuple must fail")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := New(MustSchema("r", "a"))
+	t1 := NewTuple(0, "x")
+	t2 := NewTuple(0, "x")
+	r.MustInsert(t1)
+	r.MustInsert(t2)
+	if !r.Delete(t1.ID) {
+		t.Fatal("Delete returned false")
+	}
+	if r.Size() != 1 || r.Tuple(t1.ID) != nil || r.Tuple(t2.ID) == nil {
+		t.Error("delete bookkeeping wrong")
+	}
+	if n := r.DomainCount(0, "x"); n != 1 {
+		t.Errorf("DomainCount after delete = %d", n)
+	}
+	if r.Delete(t1.ID) {
+		t.Error("double delete should return false")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := New(MustSchema("r", "a"))
+	t1 := NewTuple(0, "x")
+	t1.SetWeight(0, 0.5)
+	r.MustInsert(t1)
+	c := r.Clone()
+	if _, err := c.Set(t1.ID, 0, S("y")); err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuple(t1.ID).Vals[0].Str != "x" {
+		t.Error("clone mutation leaked into original")
+	}
+	if c.Tuple(t1.ID).Weight(0) != 0.5 {
+		t.Error("clone lost weights")
+	}
+}
+
+func TestTupleWeights(t *testing.T) {
+	tp := NewTuple(1, "a", "b")
+	if tp.Weight(0) != 1 || tp.TotalWeight() != 2 {
+		t.Error("default weights must be 1")
+	}
+	tp.SetWeight(1, 0.25)
+	if tp.Weight(0) != 1 || tp.Weight(1) != 0.25 {
+		t.Error("SetWeight must preserve other weights")
+	}
+	if tp.TotalWeight() != 1.25 {
+		t.Errorf("TotalWeight = %v", tp.TotalWeight())
+	}
+}
+
+func TestTupleProjectKeyNull(t *testing.T) {
+	tp := &Tuple{ID: 1, Vals: []Value{S("a"), NullValue, S("c")}}
+	if got := tp.Project([]int{2, 0}); !StrictEqVals(got, []Value{S("c"), S("a")}) {
+		t.Errorf("Project = %v", got)
+	}
+	if !tp.HasNullOn([]int{0, 1}) || tp.HasNullOn([]int{0, 2}) {
+		t.Error("HasNullOn wrong")
+	}
+	if tp.KeyOn([]int{1}) != KeyOf(NullValue) {
+		t.Error("KeyOn must encode null like KeyOf")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	r := New(MustSchema("r", "a", "b"))
+	r.MustInsert(NewTuple(0, "x", "1"))
+	r.MustInsert(NewTuple(0, "x", "2"))
+	r.MustInsert(NewTuple(0, "y", "3"))
+	g := r.GroupBy([]int{0})
+	if len(g) != 2 {
+		t.Fatalf("groups = %d", len(g))
+	}
+	if len(g[KeyOf(S("x"))]) != 2 || len(g[KeyOf(S("y"))]) != 1 {
+		t.Error("group contents wrong")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := New(MustSchema("r", "a"))
+	r.MustInsert(NewTuple(0, "x"))
+	r.MustInsert(NewTuple(0, "y"))
+	got := r.Select(func(t *Tuple) bool { return t.Vals[0].Str == "y" })
+	if len(got) != 1 || got[0].Vals[0].Str != "y" {
+		t.Errorf("Select = %v", got)
+	}
+}
+
+func TestHashIndexLifecycle(t *testing.T) {
+	r := New(MustSchema("r", "a", "b"))
+	t1 := NewTuple(0, "x", "1")
+	t2 := NewTuple(0, "x", "2")
+	r.MustInsert(t1)
+	r.MustInsert(t2)
+	ix := NewHashIndex(r, []int{0})
+	if ids := ix.Lookup([]Value{S("x")}); len(ids) != 2 {
+		t.Fatalf("Lookup(x) = %v", ids)
+	}
+	// Update t1.a -> y.
+	if _, err := r.Set(t1.ID, 0, S("y")); err != nil {
+		t.Fatal(err)
+	}
+	ix.Update(t1)
+	if ids := ix.Lookup([]Value{S("x")}); len(ids) != 1 || ids[0] != t2.ID {
+		t.Errorf("Lookup(x) after update = %v", ids)
+	}
+	if ids := ix.Lookup([]Value{S("y")}); len(ids) != 1 || ids[0] != t1.ID {
+		t.Errorf("Lookup(y) after update = %v", ids)
+	}
+	// No-op update keeps a single entry.
+	ix.Update(t1)
+	if ids := ix.Lookup([]Value{S("y")}); len(ids) != 1 {
+		t.Errorf("Lookup(y) after no-op update = %v", ids)
+	}
+	ix.Remove(t2.ID)
+	if ids := ix.Lookup([]Value{S("x")}); len(ids) != 0 {
+		t.Errorf("Lookup(x) after remove = %v", ids)
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d, want 1", ix.Len())
+	}
+	if !ix.Touches(0) || ix.Touches(1) {
+		t.Error("Touches wrong")
+	}
+}
+
+func TestHashIndexBuckets(t *testing.T) {
+	r := New(MustSchema("r", "a"))
+	r.MustInsert(NewTuple(0, "x"))
+	r.MustInsert(NewTuple(0, "y"))
+	ix := NewHashIndex(r, []int{0})
+	n := 0
+	ix.Buckets(func(key string, ids []TupleID) { n += len(ids) })
+	if n != 2 {
+		t.Errorf("bucket walk saw %d ids", n)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := New(MustSchema("order", "id", "name"))
+	r.MustInsert(NewTuple(0, "a23", "H. Porter"))
+	r.MustInsert(&Tuple{Vals: []Value{S("a12"), NullValue}})
+	var buf bytes.Buffer
+	if err := WriteCSV(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("order", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 2 {
+		t.Fatalf("round-trip size = %d", got.Size())
+	}
+	if !got.Tuples()[1].Vals[1].Null {
+		t.Error("null did not survive round trip")
+	}
+	if got.Tuples()[0].Vals[1].Str != "H. Porter" {
+		t.Error("value did not survive round trip")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("r", strings.NewReader("")); err == nil {
+		t.Error("empty CSV must fail")
+	}
+	if _, err := ReadCSV("r", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("short row must fail")
+	}
+	if _, err := ReadCSV("r", strings.NewReader("a,a\n1,2\n")); err == nil {
+		t.Error("duplicate header must fail")
+	}
+}
+
+func TestWeightsCSVRoundTrip(t *testing.T) {
+	r := New(MustSchema("r", "a", "b"))
+	t1 := NewTuple(0, "x", "y")
+	t1.SetWeight(0, 0.9)
+	t1.SetWeight(1, 0.1)
+	r.MustInsert(t1)
+	r.MustInsert(NewTuple(0, "p", "q"))
+	var buf bytes.Buffer
+	if err := WriteWeightsCSV(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := r.Clone()
+	for _, tp := range fresh.Tuples() {
+		tp.W = nil
+	}
+	if err := ReadWeightsCSV(fresh, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Tuples()[0].Weight(0) != 0.9 || fresh.Tuples()[0].Weight(1) != 0.1 {
+		t.Error("weights did not survive round trip")
+	}
+	if fresh.Tuples()[1].Weight(0) != 1 {
+		t.Error("unit weights did not survive round trip")
+	}
+}
+
+func TestReadWeightsCSVErrors(t *testing.T) {
+	r := New(MustSchema("r", "a"))
+	r.MustInsert(NewTuple(0, "x"))
+	cases := []string{
+		"b\n1\n",      // wrong header name
+		"a\n",         // too few rows
+		"a\n1\n0.5\n", // too many rows
+		"a\nnope\n",   // unparsable weight
+		"a\n1.5\n",    // out of range
+	}
+	for _, c := range cases {
+		fresh := r.Clone()
+		if err := ReadWeightsCSV(fresh, strings.NewReader(c)); err == nil {
+			t.Errorf("ReadWeightsCSV(%q) should fail", c)
+		}
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tp := &Tuple{ID: 3, Vals: []Value{S("a"), NullValue}}
+	if got := tp.String(); got != "t3(a, ␀)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,97 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema describes the attributes of a relation R. Attribute positions are
+// stable; algorithms address attributes by index for speed and by name at
+// API boundaries.
+type Schema struct {
+	name  string
+	attrs []string
+	pos   map[string]int
+}
+
+// NewSchema creates a schema for relation name with the given attributes.
+// Attribute names must be unique and non-empty.
+func NewSchema(name string, attrs ...string) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relation: schema %q has no attributes", name)
+	}
+	pos := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relation: schema %q has an empty attribute name at position %d", name, i)
+		}
+		if _, dup := pos[a]; dup {
+			return nil, fmt.Errorf("relation: schema %q has duplicate attribute %q", name, a)
+		}
+		pos[a] = i
+	}
+	return &Schema{name: name, attrs: append([]string(nil), attrs...), pos: pos}, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and literals.
+func MustSchema(name string, attrs ...string) *Schema {
+	s, err := NewSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the relation name.
+func (s *Schema) Name() string { return s.name }
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.attrs) }
+
+// Attrs returns a copy of the attribute names in position order.
+func (s *Schema) Attrs() []string { return append([]string(nil), s.attrs...) }
+
+// Attr returns the attribute name at position i.
+func (s *Schema) Attr(i int) string { return s.attrs[i] }
+
+// Index returns the position of attribute name, or an error if unknown.
+func (s *Schema) Index(name string) (int, error) {
+	i, ok := s.pos[name]
+	if !ok {
+		return 0, fmt.Errorf("relation: schema %q has no attribute %q", s.name, name)
+	}
+	return i, nil
+}
+
+// MustIndex is Index that panics on unknown attributes.
+func (s *Schema) MustIndex(name string) int {
+	i, err := s.Index(name)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Indexes resolves several attribute names at once.
+func (s *Schema) Indexes(names ...string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx, err := s.Index(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// Has reports whether the schema contains attribute name.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.pos[name]
+	return ok
+}
+
+// String renders the schema as R(a, b, c).
+func (s *Schema) String() string {
+	return s.name + "(" + strings.Join(s.attrs, ", ") + ")"
+}

@@ -1,0 +1,114 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TupleID identifies a tuple throughout the repair process, even as its
+// attribute values change (the paper's "temporary unique tuple id", §3.1).
+type TupleID int64
+
+// Tuple is a weighted data tuple. Vals[i] is the value of attribute i;
+// W[i] ∈ [0,1] is the confidence weight the user places in the accuracy
+// of that attribute (§3.2). When no weight information is available the
+// algorithms treat every weight as 1 (§3.2 remark 1); a nil W means
+// exactly that.
+type Tuple struct {
+	ID   TupleID
+	Vals []Value
+	W    []float64
+}
+
+// NewTuple builds a tuple with unit weights from plain strings.
+func NewTuple(id TupleID, vals ...string) *Tuple {
+	vs := make([]Value, len(vals))
+	for i, s := range vals {
+		vs[i] = S(s)
+	}
+	return &Tuple{ID: id, Vals: vs}
+}
+
+// Clone deep-copies the tuple.
+func (t *Tuple) Clone() *Tuple {
+	c := &Tuple{ID: t.ID, Vals: append([]Value(nil), t.Vals...)}
+	if t.W != nil {
+		c.W = append([]float64(nil), t.W...)
+	}
+	return c
+}
+
+// Weight returns the confidence weight of attribute i, defaulting to 1
+// when no weight vector is attached.
+func (t *Tuple) Weight(i int) float64 {
+	if t.W == nil {
+		return 1
+	}
+	return t.W[i]
+}
+
+// SetWeight records the confidence weight of attribute i, materializing a
+// unit-weight vector on first use.
+func (t *Tuple) SetWeight(i int, w float64) {
+	if t.W == nil {
+		t.W = make([]float64, len(t.Vals))
+		for j := range t.W {
+			t.W[j] = 1
+		}
+	}
+	t.W[i] = w
+}
+
+// TotalWeight returns the sum of the attribute weights of t; the paper's
+// wt(t), used by W-INCREPAIR to order tuples by trustworthiness (§5.2).
+func (t *Tuple) TotalWeight() float64 {
+	if t.W == nil {
+		return float64(len(t.Vals))
+	}
+	var s float64
+	for _, w := range t.W {
+		s += w
+	}
+	return s
+}
+
+// Project returns the values of t at the given attribute positions.
+func (t *Tuple) Project(attrs []int) []Value {
+	out := make([]Value, len(attrs))
+	for i, a := range attrs {
+		out[i] = t.Vals[a]
+	}
+	return out
+}
+
+// KeyOn encodes the projection of t onto attrs as a composite map key.
+func (t *Tuple) KeyOn(attrs []int) string {
+	n := 0
+	for _, a := range attrs {
+		n += len(t.Vals[a].Str) + 2
+	}
+	b := make([]byte, 0, n)
+	for _, a := range attrs {
+		b = append(b, t.Vals[a].Key()...)
+	}
+	return string(b)
+}
+
+// HasNullOn reports whether any of the given attributes of t is null.
+func (t *Tuple) HasNullOn(attrs []int) bool {
+	for _, a := range attrs {
+		if t.Vals[a].Null {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the tuple for debugging.
+func (t *Tuple) String() string {
+	parts := make([]string, len(t.Vals))
+	for i, v := range t.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("t%d(%s)", t.ID, strings.Join(parts, ", "))
+}

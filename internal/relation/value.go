@@ -1,0 +1,99 @@
+// Package relation implements the single-relation storage substrate the
+// CFD-repair algorithms operate on: string-valued tuples with per-attribute
+// confidence weights, SQL-style nulls, active domains, hash indices and a
+// CSV codec.
+//
+// The paper assumes a schema with a single relation R (§2); multi-relation
+// databases are cleaned one relation at a time since CFDs address a single
+// relation only.
+package relation
+
+// Value is an attribute value: either a string constant or SQL null.
+// The zero Value is the empty string (not null).
+type Value struct {
+	Str  string
+	Null bool
+}
+
+// String returns the constant, or "␀" for null (display only).
+func (v Value) String() string {
+	if v.Null {
+		return "␀"
+	}
+	return v.Str
+}
+
+// S returns a non-null string value.
+func S(s string) Value { return Value{Str: s} }
+
+// NullValue is the SQL null. The paper (§3.1) uses null when the value of
+// an attribute is unknown or cannot be made certain.
+var NullValue = Value{Null: true}
+
+// Eq reports whether two values are equal under the paper's simple SQL
+// semantics (§3.1 remark 1): a = b evaluates to TRUE if either side is
+// null; otherwise it is ordinary string equality.
+func Eq(a, b Value) bool {
+	if a.Null || b.Null {
+		return true
+	}
+	return a.Str == b.Str
+}
+
+// StrictEq reports whether two values are identical: both null, or both
+// the same non-null constant. Used for counting differences (dif) and for
+// equality of stored data, where null does NOT match everything.
+func StrictEq(a, b Value) bool {
+	if a.Null || b.Null {
+		return a.Null == b.Null
+	}
+	return a.Str == b.Str
+}
+
+// EqVals reports Eq over parallel slices (SQL semantics per position).
+func EqVals(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Eq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictEqVals reports StrictEq over parallel slices.
+func StrictEqVals(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !StrictEq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key encodes a value for use in map keys. Null has a dedicated encoding
+// that cannot collide with constants.
+func (v Value) Key() string {
+	if v.Null {
+		return "\x00N"
+	}
+	return "\x00S" + v.Str
+}
+
+// KeyOf encodes a sequence of values as a composite map key.
+func KeyOf(vals ...Value) string {
+	n := 0
+	for _, v := range vals {
+		n += len(v.Str) + 2
+	}
+	b := make([]byte, 0, n)
+	for _, v := range vals {
+		b = append(b, v.Key()...)
+	}
+	return string(b)
+}

@@ -1,0 +1,195 @@
+package repair
+
+import (
+	"fmt"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/cost"
+	"cfdclean/internal/eqclass"
+	"cfdclean/internal/relation"
+)
+
+// Batch runs algorithm BATCHREPAIR (Fig. 4): given a database d and a set
+// sigma of normal-form CFDs, it computes a repair of d satisfying sigma.
+// The input database is not modified. Sigma must be satisfiable.
+//
+// The algorithm greedily resolves one violation at a time, chosen by
+// PICKNEXT as the cheapest available fix under the cost model, acting on
+// equivalence classes of tuple attributes rather than on values directly;
+// when no dirty tuples remain, classes whose target is still '_' are
+// instantiated with least-cost constants, which may surface new
+// violations and re-enter the loop (Theorem 4.2 guarantees termination).
+func Batch(d *relation.Relation, sigma []*cfd.Normal, opts *Options) (*Result, error) {
+	o := opts.withDefaults()
+	e, err := newEngine(d, sigma, o)
+	if err != nil {
+		return nil, err
+	}
+	// Initialize Dirty_Tuples (Fig. 4 line 4): one pass per embedded-FD
+	// group over the working copy.
+	for gi := range e.groups {
+		for _, t := range e.rel.Tuples() {
+			if _, live := e.findViolation(gi, t); live {
+				e.dirty[gi][t.ID] = true
+			}
+		}
+	}
+	// Safety bound from the termination argument of Theorem 4.2: the
+	// progress measure is bounded by 3k for k = (tuple, attribute) pairs.
+	maxSteps := 3*e.rel.Size()*e.rel.Schema().Arity() + 1024
+	rounds := 0
+	for {
+		if err := e.mainLoop(maxSteps); err != nil {
+			return nil, err
+		}
+		rounds++
+		if !e.instantiate() {
+			break
+		}
+	}
+	repaired := e.rel
+	c, err := o.CostModel.Repair(repaired, d)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Repair:              repaired,
+		Cost:                c,
+		Changes:             cost.Dif(repaired, d),
+		Resolutions:         e.resolutions,
+		InstantiationRounds: rounds,
+	}, nil
+}
+
+// mainLoop resolves violations until every dirty set drains (Fig. 4
+// lines 5–8).
+func (e *engine) mainLoop(maxSteps int) error {
+	for {
+		p, ok := e.pickNext()
+		if !ok {
+			return nil
+		}
+		if err := e.execute(p); err != nil {
+			return fmt.Errorf("repair: resolving violation: %w", err)
+		}
+		if e.resolutions > maxSteps {
+			return fmt.Errorf("repair: exceeded %d resolutions; termination invariant broken", maxSteps)
+		}
+	}
+}
+
+// pickNext implements procedure PICKNEXT (Fig. 5) with the §7.2
+// dependency-graph optimization: groups are visited in topological order
+// of the CFD dependency graph's condensation, and the cheapest plan of
+// the first stratum holding a live violation is returned. Repairing
+// upstream rules first matters for accuracy: a rule whose LHS attribute
+// still carries noise would otherwise commit a wrong constant (derived
+// from the dirty LHS) to an equivalence class, and undoing constants is
+// impossible — the conflict would surface later as LHS edits or nulls on
+// clean tuples. Within a stratum the fix of least cost wins, so
+// low-weight (likely dirty) cells are repaired before trusted ones. At
+// most MaxScan live violations per group are evaluated in one call, and
+// stale dirty entries are dropped as they are discovered.
+func (e *engine) pickNext() (plan, bool) {
+	var best plan
+	bestOK := false
+	bestComp := 0
+	for _, gi := range e.order {
+		if bestOK && e.comp[gi] > bestComp {
+			break // strictly later stratum; the current best stands
+		}
+		set := e.dirty[gi]
+		scanned := 0
+		for id := range set {
+			t := e.rel.Tuple(id)
+			if t == nil {
+				delete(set, id)
+				continue
+			}
+			v, live := e.findViolation(gi, t)
+			if !live {
+				delete(set, id)
+				continue
+			}
+			p, ok := e.planViolation(v)
+			if !ok {
+				// Unreachable for satisfiable Σ (see planViolation);
+				// drop defensively rather than loop forever.
+				delete(set, id)
+				continue
+			}
+			if !bestOK || p.cost < best.cost {
+				best, bestOK = p, true
+				bestComp = e.comp[gi]
+			}
+			scanned++
+			if e.opts.MaxScan > 0 && scanned >= e.opts.MaxScan {
+				break
+			}
+		}
+	}
+	return best, bestOK
+}
+
+// instantiate is the instantiation phase of Fig. 4 (lines 9–13): every
+// equivalence class whose target is still '_' and whose members disagree
+// gets the constant of least cost among its members' current values.
+// Reports whether anything changed (if so, new violations may exist and
+// the main loop must run again).
+func (e *engine) instantiate() bool {
+	changed := false
+	e.classes.Roots(func(rep eqclass.Key, kind eqclass.Kind, _ string, members []eqclass.Key) {
+		if kind != eqclass.Unset || len(members) < 2 {
+			return
+		}
+		// Gather the distinct stored values of the members.
+		var candidates []relation.Value
+		seen := make(map[string]bool)
+		allEqual := true
+		var first relation.Value
+		for i, m := range members {
+			t := e.rel.Tuple(m.T)
+			if t == nil {
+				continue
+			}
+			v := t.Vals[m.A]
+			if i == 0 {
+				first = v
+			} else if !relation.StrictEq(first, v) {
+				allEqual = false
+			}
+			if !v.Null && !seen[v.Str] {
+				seen[v.Str] = true
+				candidates = append(candidates, v)
+			}
+		}
+		if allEqual {
+			return // nothing to reconcile; leave the target open (no-op)
+		}
+		if len(candidates) == 0 {
+			e.classes.SetNull(rep)
+			e.applyTarget(rep)
+			changed = true
+			return
+		}
+		best := candidates[0]
+		bestCost := e.classCost(rep, best)
+		for _, v := range candidates[1:] {
+			if c := e.classCost(rep, v); c < bestCost {
+				best, bestCost = v, c
+			}
+		}
+		if err := e.classes.SetConst(rep, best.Str); err != nil {
+			// Unreachable: the class was Unset above and Roots holds no
+			// concurrent mutators; fall back to null to stay safe.
+			e.classes.SetNull(rep)
+		}
+		if e.opts.Trace != nil {
+			e.opts.Trace("instant  t%d.%s := %q class=%d",
+				rep.T, e.rel.Schema().Attr(rep.A), best.Str, len(members))
+		}
+		e.applyTarget(rep)
+		changed = true
+	})
+	return changed
+}

@@ -1,0 +1,310 @@
+// Package repair implements the paper's batch repairing module: algorithm
+// BATCHREPAIR (§4, Figs. 4–5) with procedures PICKNEXT, CFD-RESOLVE and
+// FINDV over equivalence classes of tuple attributes. Finding a minimum-
+// cost repair is NP-complete even for fixed schema and fixed Σ (paper
+// Corollary 4.1), so the algorithm is a cost-guided greedy heuristic; it
+// terminates and returns a repair satisfying Σ (Theorem 4.2).
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/cost"
+	"cfdclean/internal/eqclass"
+	"cfdclean/internal/relation"
+)
+
+// Options configures BATCHREPAIR.
+type Options struct {
+	// CostModel scores candidate value changes; nil means the paper's
+	// default (DL metric, §3.2).
+	CostModel *cost.Model
+	// MaxScan caps how many live violations PICKNEXT evaluates per
+	// iteration within the chosen group's dirty set. The paper's
+	// unoptimized PICKNEXT scans every dirty tuple of every CFD and "runs
+	// very slow" (§7.2); like the authors we bound the scan and use the
+	// CFD dependency graph to focus it. 0 means the default (64);
+	// negative means no cap.
+	MaxScan int
+	// NoDepGraph disables dependency-graph ordering of the embedded-FD
+	// groups (then groups are visited in input order). Exposed for the
+	// ablation benchmarks.
+	NoDepGraph bool
+	// Trace, when non-nil, receives a line per executed resolution step;
+	// for debugging and the verbose CLI mode.
+	Trace func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.CostModel == nil {
+		out.CostModel = cost.Default()
+	}
+	if out.MaxScan == 0 {
+		out.MaxScan = 64
+	}
+	if out.MaxScan < 0 {
+		out.MaxScan = 0 // explicit "no cap"
+	}
+	return out
+}
+
+// Result reports a completed batch repair.
+type Result struct {
+	// Repair is the repaired database (the input is never modified).
+	Repair *relation.Relation
+	// Cost is cost(Repr, D) under the configured model (§3.2).
+	Cost float64
+	// Changes counts modified attribute values, dif(D, Repr).
+	Changes int
+	// Resolutions counts CFD-RESOLVE invocations (algorithm iterations).
+	Resolutions int
+	// InstantiationRounds counts how many times the instantiation phase
+	// (Fig. 4 lines 9–13) ran.
+	InstantiationRounds int
+}
+
+// engine is the mutable state of one BATCHREPAIR run.
+type engine struct {
+	rel     *relation.Relation // working copy; stored values track targets
+	orig    *relation.Relation // input database (for cost accounting)
+	sigma   []*cfd.Normal
+	det     *cfd.Detector // mask/index machinery over the working copy
+	groups  []cfd.Group
+	model   *cost.Model
+	classes *eqclass.Classes
+	opts    Options
+
+	// dirty[i] is the union of Dirty_Tuples(φ) over the rules φ in
+	// groups[i]: tuples possibly violating some rule of the group.
+	dirty []map[relation.TupleID]bool
+	order []int // group indices in repair order (dependency graph)
+	comp  []int // comp[i] = dependency stratum of groups[i]
+
+	// sIdx are the FINDV support indices on X ∪ {A} \ {B} (§4.2),
+	// keyed by canonical attr-set key. Built lazily.
+	sIdx map[string]*relation.HashIndex
+
+	// touching[a] lists group indices whose X ∪ {A} contains attribute a.
+	touching map[int][]int
+
+	resolutions int
+}
+
+func attrsKey(attrs []int) string {
+	s := append([]int(nil), attrs...)
+	sort.Ints(s)
+	b := make([]byte, 0, 4*len(s))
+	for _, a := range s {
+		b = append(b, byte(a), byte(a>>8), ',')
+	}
+	return string(b)
+}
+
+func newEngine(d *relation.Relation, sigma []*cfd.Normal, opts Options) (*engine, error) {
+	if _, err := cfd.Satisfiable(sigma); err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
+	work := d.Clone()
+	det := cfd.NewDetector(work, sigma)
+	e := &engine{
+		rel:      work,
+		orig:     d,
+		sigma:    sigma,
+		det:      det,
+		groups:   det.Groups(),
+		model:    opts.CostModel,
+		classes:  eqclass.New(),
+		opts:     opts,
+		sIdx:     make(map[string]*relation.HashIndex),
+		touching: make(map[int][]int),
+	}
+	e.dirty = make([]map[relation.TupleID]bool, len(e.groups))
+	reps := make([]*cfd.Normal, len(e.groups))
+	for i, g := range e.groups {
+		e.dirty[i] = make(map[relation.TupleID]bool)
+		reps[i] = g.Rep()
+		for _, a := range g.X() {
+			e.touching[a] = appendUnique(e.touching[a], i)
+		}
+		e.touching[g.A()] = appendUnique(e.touching[g.A()], i)
+	}
+	e.comp = make([]int, len(e.groups))
+	if opts.NoDepGraph {
+		e.order = make([]int, len(e.groups))
+		for i := range e.order {
+			e.order[i] = i // all comps stay 0: one flat stratum
+		}
+	} else {
+		g := cfd.NewDepGraph(reps)
+		e.order = g.Order()
+		for i := range e.groups {
+			e.comp[i] = g.Comp(i)
+		}
+	}
+	return e, nil
+}
+
+func appendUnique(xs []int, v int) []int {
+	for _, x := range xs {
+		if x == v {
+			return xs
+		}
+	}
+	return append(xs, v)
+}
+
+// key returns the equivalence-class key of attribute a of tuple t.
+func key(t *relation.Tuple, a int) eqclass.Key {
+	return eqclass.Key{T: t.ID, A: a}
+}
+
+// setStored writes value v into attribute a of tuple t in the working
+// relation and refreshes every index that covers a.
+func (e *engine) setStored(t *relation.Tuple, a int, v relation.Value) {
+	old, err := e.rel.Set(t.ID, a, v)
+	if err != nil {
+		panic(fmt.Sprintf("repair: internal: %v", err))
+	}
+	if relation.StrictEq(old, v) {
+		return
+	}
+	if e.opts.Trace != nil {
+		e.opts.Trace("write    t%d.%s %q -> %q", t.ID, e.rel.Schema().Attr(a), old, v)
+	}
+	e.det.UpdateTuple(t)
+	for _, ix := range e.sIdx {
+		if ix.Touches(a) {
+			ix.Update(t)
+		}
+	}
+}
+
+// applyTarget writes the (just assigned) target value of k's class to the
+// stored values of every class member and marks the affected tuples dirty
+// for every group touching the written attributes (Fig. 4 "Update
+// Dirty_Tuples").
+func (e *engine) applyTarget(k eqclass.Key) {
+	v, ok := e.classes.Value(k)
+	if !ok {
+		return
+	}
+	for _, m := range e.classes.Members(k) {
+		t := e.rel.Tuple(m.T)
+		if t == nil {
+			continue
+		}
+		e.setStored(t, m.A, v)
+		e.markDirty(m.T, m.A)
+	}
+}
+
+// markDirty flags tuple id as possibly violating every group whose
+// attributes include a.
+func (e *engine) markDirty(id relation.TupleID, a int) {
+	for _, i := range e.touching[a] {
+		e.dirty[i][id] = true
+	}
+}
+
+// supportIndex returns (building if needed) the FINDV index on attrs.
+func (e *engine) supportIndex(attrs []int) *relation.HashIndex {
+	k := attrsKey(attrs)
+	ix, ok := e.sIdx[k]
+	if !ok {
+		ix = relation.NewHashIndex(e.rel, attrs)
+		e.sIdx[k] = ix
+	}
+	return ix
+}
+
+// eqOnRHS reports whether t and t2 agree on attribute a for violation
+// purposes: same equivalence class, or SQL-equal stored values (either
+// null, or equal constants). Class identity matters because two merged-
+// but-unset classes hold possibly different stored values yet are already
+// destined for one target (§4.1).
+func (e *engine) eqOnRHS(t, t2 *relation.Tuple, a int) bool {
+	if e.classes.SameClass(key(t, a), key(t2, a)) {
+		return true
+	}
+	return relation.Eq(t.Vals[a], t2.Vals[a])
+}
+
+// violation is one live violation found for a tuple within a group.
+type violation struct {
+	t       *relation.Tuple
+	rule    *cfd.Normal
+	partner *relation.Tuple // nil for constant-RHS (case 1) violations
+}
+
+// findViolation returns the first live violation of tuple t within group
+// gi, or ok=false if t currently satisfies every rule of the group.
+func (e *engine) findViolation(gi int, t *relation.Tuple) (violation, bool) {
+	g := e.groups[gi]
+	rules := g.MatchingRules(t)
+	if len(rules) == 0 {
+		return violation{}, false
+	}
+	a := g.A()
+	var bucket []relation.TupleID
+	for _, n := range rules {
+		if n.ConstantRHS() {
+			if cfd.RHSViolates(t.Vals[a], n.TpA) {
+				return violation{t: t, rule: n}, true
+			}
+			continue
+		}
+		if t.Vals[a].Null {
+			continue // null agrees with everything (case 2.3)
+		}
+		if bucket == nil {
+			bucket = g.Bucket(t)
+		}
+		for _, id := range bucket {
+			if id == t.ID {
+				continue
+			}
+			t2 := e.rel.Tuple(id)
+			if t2 == nil {
+				continue
+			}
+			if !e.eqOnRHS(t, t2, a) {
+				return violation{t: t, rule: n, partner: t2}, true
+			}
+		}
+	}
+	return violation{}, false
+}
+
+// classCost returns the paper's Cost(t, B, v): the weighted cost of
+// moving every member of eq(t, B) to value v (Fig. 5).
+func (e *engine) classCost(k eqclass.Key, v relation.Value) float64 {
+	var sum float64
+	for _, m := range e.classes.Members(k) {
+		t := e.rel.Tuple(m.T)
+		if t == nil {
+			continue
+		}
+		sum += e.model.Change(t, m.A, v)
+	}
+	return sum
+}
+
+// classWeight returns the sum of attribute weights across eq(t, B),
+// the tie-breaker for the null fallback in case 1.2 (§4.1).
+func (e *engine) classWeight(k eqclass.Key) float64 {
+	var sum float64
+	for _, m := range e.classes.Members(k) {
+		t := e.rel.Tuple(m.T)
+		if t == nil {
+			continue
+		}
+		sum += t.Weight(m.A)
+	}
+	return sum
+}

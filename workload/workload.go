@@ -1,0 +1,43 @@
+// Package workload synthesizes the paper's experimental workload (§7.1):
+// an extended order relation with correlated values, a set Σ of seven
+// CFDs with large pattern tableaus, controlled noise at rate ρ, and the
+// weight protocol of the cost model. It is the documented substitution
+// for the paper's data scraped from AMAZON and other websites (see
+// DESIGN.md §2) and drives both the examples and the benchmark harness.
+package workload
+
+import (
+	"cfdclean/internal/gen"
+)
+
+// Config controls one generated dataset; see the field documentation on
+// the underlying type. The zero value of everything but Size is usable.
+type Config = gen.Config
+
+// Dataset bundles the clean database Dopt, the dirty database D, the
+// constraint set Σ (general and normal form), and bookkeeping about the
+// injected noise.
+type Dataset = gen.Dataset
+
+// Attribute positions of the generated order schema.
+const (
+	AttrID   = gen.AID
+	AttrName = gen.AName
+	AttrPR   = gen.APR
+	AttrAC   = gen.AAC
+	AttrPN   = gen.APN
+	AttrSTR  = gen.ASTR
+	AttrCT   = gen.ACT
+	AttrST   = gen.AST
+	AttrZip  = gen.AZip
+	AttrCTY  = gen.ACTY
+	AttrVAT  = gen.AVAT
+	AttrTT   = gen.ATT
+	AttrQTT  = gen.AQTT
+)
+
+// OrderAttrs is the attribute list of the generated order schema.
+var OrderAttrs = gen.OrderAttrs
+
+// Generate builds a dataset; identical Configs yield identical data.
+func Generate(cfg Config) (*Dataset, error) { return gen.New(cfg) }

@@ -1,0 +1,46 @@
+package workload_test
+
+import (
+	"testing"
+
+	"cfdclean"
+	"cfdclean/workload"
+)
+
+func TestGenerateExposesCleanAndDirty(t *testing.T) {
+	ds, err := workload.Generate(workload.Config{Size: 400, NoiseRate: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfdclean.Satisfies(ds.Opt, ds.Sigma) {
+		t.Fatal("Dopt violates Σ")
+	}
+	if cfdclean.Satisfies(ds.Dirty, ds.Sigma) {
+		t.Fatal("D satisfies Σ despite noise")
+	}
+	if got := cfdclean.Dif(ds.Dirty, ds.Opt); got != ds.NoisyCells {
+		t.Fatalf("Dif = %d, NoisyCells = %d", got, ds.NoisyCells)
+	}
+}
+
+func TestAttrConstantsMatchSchema(t *testing.T) {
+	ds, err := workload.Generate(workload.Config{Size: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Schema
+	for i, name := range workload.OrderAttrs {
+		if s.Attr(i) != name {
+			t.Fatalf("attr %d = %s, want %s", i, s.Attr(i), name)
+		}
+	}
+	if s.Attr(workload.AttrZip) != "zip" || s.Attr(workload.AttrCT) != "CT" {
+		t.Fatal("attribute position constants drifted")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := workload.Generate(workload.Config{}); err == nil {
+		t.Fatal("zero Size accepted")
+	}
+}
