@@ -133,9 +133,20 @@ func Satisfies(rel *Relation, sigma []*NormalCFD) bool {
 }
 
 // Violations returns up to limit violations of sigma in rel (limit <= 0
-// means all).
+// means all), in the canonical (tuple id, rule, partner id) order.
 func Violations(rel *Relation, sigma []*NormalCFD, limit int) []Violation {
 	return cfd.NewDetector(rel, sigma).Violations(limit)
+}
+
+// Detect returns every violation of sigma in rel in the canonical
+// (tuple id, rule, partner id) order. Whole-database detection is
+// partition-parallel: index buckets are sharded by LHS-key hash across
+// workers (0 means runtime.GOMAXPROCS(0), 1 forces the sequential path);
+// the result is bit-identical at every setting.
+func Detect(rel *Relation, sigma []*NormalCFD, workers int) []Violation {
+	d := cfd.NewDetector(rel, sigma)
+	d.SetWorkers(workers)
+	return d.Detect()
 }
 
 // VioCounts returns vio(t) for every tuple with at least one violation

@@ -298,3 +298,21 @@ func BenchmarkDetect(b *testing.B) {
 		cfdclean.VioCounts(ds.Dirty, ds.Sigma)
 	}
 }
+
+// BenchmarkDetectParallel — partition-parallel whole-database detection
+// versus the sequential path on the same instance. The two sub-benches
+// return bit-identical violation slices (see internal/cfd's determinism
+// test); "par" shards index buckets across runtime.NumCPU() workers.
+func BenchmarkDetectParallel(b *testing.B) {
+	ds := benchData(b, 4*benchSize, 0.05, 0.5)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfdclean.Detect(ds.Dirty, ds.Sigma, bc.workers)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module cfdclean
+
+go 1.24

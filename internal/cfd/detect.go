@@ -1,7 +1,9 @@
 package cfd
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"cfdclean/internal/relation"
 )
@@ -22,17 +24,21 @@ type fdGroup struct {
 	a int   // RHS attribute position
 
 	// masks groups pattern rows by which positions of x carry constants;
-	// each mask bucket maps the constants at those positions to rows.
+	// each mask bucket maps the interned constants at those positions to
+	// rows via a fixed-width integer key.
 	masks []*maskBucket
 
 	hasVar bool // any variable-RHS row in this group
 
-	xIndex *relation.HashIndex // live index of D on x
+	// xIndex is the live index of D on x, built lazily via Detector.index
+	// (ixOnce makes the build safe under concurrent read-only probes).
+	ixOnce sync.Once
+	xIndex *relation.HashIndex
 }
 
 type maskBucket struct {
 	pos  []int // positions within x that are constants for these rows
-	rows map[string][]*groupRow
+	rows map[relation.Key][]*groupRow
 }
 
 // groupRow is a normal CFD with its LHS cells permuted to the group's
@@ -42,31 +48,54 @@ type groupRow struct {
 	tpx  []Cell // cells in group x-order
 	tpa  Cell
 	cons bool // constant RHS
+	// tpaID is the interned id of the constant RHS (cons rows only).
+	tpaID relation.ValueID
 }
 
 // Detector performs CFD violation detection over a relation, maintaining
 // per-embedded-FD hash indices so that both whole-database detection and
 // single-tuple checks are fast. It implements the SQL-based detection
-// technique of [6] over the in-memory substrate.
+// technique of [6] over the interned in-memory substrate: every index
+// probe and pattern match compares fixed-width integer keys, never
+// strings. Whole-database scans (Detect, VioAll, TotalViolations) are
+// partition-parallel: index buckets — one bucket per distinct LHS key —
+// are sharded by key hash across a worker pool, and per-shard results are
+// merged deterministically.
 type Detector struct {
 	rel    *relation.Relation
 	sigma  []*Normal
 	groups []*fdGroup
+
+	// rank orders normal CFDs by their position in sigma; it canonicalizes
+	// the violation sort so sequential and parallel detection return
+	// bit-identical slices.
+	rank map[*Normal]int
+
+	// workers is the detection parallelism; <= 1 means sequential.
+	workers int
 }
 
 // NewDetector builds a detector for sigma over rel, indexing the current
-// contents of rel.
+// contents of rel. Pattern constants are interned into rel's dictionary
+// here, before any parallel scan starts; scans themselves never intern.
 func NewDetector(rel *relation.Relation, sigma []*Normal) *Detector {
-	d := &Detector{rel: rel, sigma: sigma}
+	d := &Detector{
+		rel:     rel,
+		sigma:   sigma,
+		rank:    make(map[*Normal]int, len(sigma)),
+		workers: runtime.GOMAXPROCS(0),
+	}
+	dict := rel.Dict()
 	byKey := make(map[string]*fdGroup)
-	for _, n := range sigma {
+	for i, n := range sigma {
+		d.rank[n] = i
 		// Canonical group key: sorted X positions plus A.
 		perm := sortedPerm(n.X)
 		x := make([]int, len(n.X))
 		cells := make([]Cell, len(n.X))
-		for i, p := range perm {
-			x[i] = n.X[p]
-			cells[i] = n.TpX[p]
+		for j, p := range perm {
+			x[j] = n.X[p]
+			cells[j] = n.TpX[p]
 		}
 		key := groupKey(x, n.A)
 		g, ok := byKey[key]
@@ -76,15 +105,38 @@ func NewDetector(rel *relation.Relation, sigma []*Normal) *Detector {
 			d.groups = append(d.groups, g)
 		}
 		row := &groupRow{n: n, tpx: cells, tpa: n.TpA, cons: n.ConstantRHS()}
-		if !row.cons {
+		if row.cons {
+			row.tpaID = dict.InternStr(n.TpA.Const)
+		} else {
 			g.hasVar = true
 		}
-		g.addRow(row)
-	}
-	for _, g := range d.groups {
-		g.xIndex = relation.NewHashIndex(rel, g.x)
+		g.addRow(row, dict)
 	}
 	return d
+}
+
+// index returns g's live LHS index, building it on first use. Groups with
+// only constant-RHS rows never need bucket partitioning for whole-database
+// scans (each tuple is checked against the pattern constants alone), so
+// one-shot detection skips building their indices entirely. Laziness is
+// sound under mutation too: an unbuilt index needs no maintenance — the
+// eventual build reads the relation's current state.
+func (d *Detector) index(g *fdGroup) *relation.HashIndex {
+	g.ixOnce.Do(func() {
+		g.xIndex = relation.NewHashIndex(d.rel, g.x)
+	})
+	return g.xIndex
+}
+
+// SetWorkers sets the parallelism of whole-database scans: n == 1 forces
+// the sequential path, n > 1 sets the worker count, and n <= 0 resets to
+// runtime.GOMAXPROCS(0). The violation output is identical at every
+// setting.
+func (d *Detector) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	d.workers = n
 }
 
 func sortedPerm(xs []int) []int {
@@ -110,21 +162,22 @@ func appendInt(b []byte, v int) []byte {
 	return append(b, byte(v), byte(v>>8), byte(v>>16), ',')
 }
 
-func (g *fdGroup) addRow(r *groupRow) {
+func (g *fdGroup) addRow(r *groupRow, dict *relation.Dict) {
 	var pos []int
 	for i, c := range r.tpx {
 		if !c.Wildcard {
 			pos = append(pos, i)
 		}
 	}
+	key := maskKeyCells(r.tpx, pos, dict)
 	for _, mb := range g.masks {
 		if equalInts(mb.pos, pos) {
-			mb.rows[maskKeyCells(r.tpx, pos)] = append(mb.rows[maskKeyCells(r.tpx, pos)], r)
+			mb.rows[key] = append(mb.rows[key], r)
 			return
 		}
 	}
-	mb := &maskBucket{pos: pos, rows: make(map[string][]*groupRow)}
-	mb.rows[maskKeyCells(r.tpx, pos)] = append(mb.rows[maskKeyCells(r.tpx, pos)], r)
+	mb := &maskBucket{pos: pos, rows: make(map[relation.Key][]*groupRow)}
+	mb.rows[key] = append(mb.rows[key], r)
 	g.masks = append(g.masks, mb)
 }
 
@@ -140,30 +193,55 @@ func equalInts(a, b []int) bool {
 	return true
 }
 
-func maskKeyCells(cells []Cell, pos []int) string {
-	vals := make([]relation.Value, len(pos))
-	for i, p := range pos {
-		vals[i] = relation.S(cells[p].Const)
+// maskKeyCells interns the constant cells at pos and packs their ids.
+func maskKeyCells(cells []Cell, pos []int, dict *relation.Dict) relation.Key {
+	var buf [8]relation.ValueID
+	ids := buf[:0]
+	for _, p := range pos {
+		ids = append(ids, dict.InternStr(cells[p].Const))
 	}
-	return relation.KeyOf(vals...)
-}
-
-func maskKeyVals(vals []relation.Value, pos []int) string {
-	sel := make([]relation.Value, len(pos))
-	for i, p := range pos {
-		sel[i] = vals[p]
-	}
-	return relation.KeyOf(sel...)
+	return relation.KeyOfIDs(ids)
 }
 
 // matchingRows returns the pattern rows of g whose tp[X] is matched by the
-// given X values (already known to be null-free).
-func (g *fdGroup) matchingRows(xvals []relation.Value) []*groupRow {
+// given X ids (already known to be null-free). An InvalidID component —
+// a probe value absent from the dictionary — can match constants of no
+// row, but still matches all-wildcard positions.
+func (g *fdGroup) matchingRows(xids []relation.ValueID) []*groupRow {
 	var out []*groupRow
 	for _, mb := range g.masks {
-		out = append(out, mb.rows[maskKeyVals(xvals, mb.pos)]...)
+		var buf [8]relation.ValueID
+		sel := buf[:0]
+		ok := true
+		for _, p := range mb.pos {
+			id := xids[p]
+			if id == relation.InvalidID {
+				ok = false
+				break
+			}
+			sel = append(sel, id)
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, mb.rows[relation.KeyOfIDs(sel)]...)
 	}
 	return out
+}
+
+// xids projects t onto g.x as interned ids: directly for relation-owned
+// tuples, through a read-only dictionary lookup for scratch probes (novel
+// probe constants become InvalidID — they match only wildcards and agree
+// with no stored tuple).
+func (d *Detector) xids(g *fdGroup, t *relation.Tuple, buf []relation.ValueID) []relation.ValueID {
+	if t.Interned() {
+		return t.ProjectIDs(buf, g.x)
+	}
+	dict := d.rel.Dict()
+	for _, a := range g.x {
+		buf = append(buf, dict.LookupValue(t.Vals[a]))
+	}
+	return buf
 }
 
 // Relation returns the relation the detector is attached to.
@@ -176,21 +254,27 @@ func (d *Detector) Sigma() []*Normal { return d.sigma }
 // called after every relation.Set on a tuple, or indices go stale.
 func (d *Detector) UpdateTuple(t *relation.Tuple) {
 	for _, g := range d.groups {
-		g.xIndex.Update(t)
+		if g.xIndex != nil {
+			g.xIndex.Update(t)
+		}
 	}
 }
 
 // AddTuple indexes a newly inserted tuple.
 func (d *Detector) AddTuple(t *relation.Tuple) {
 	for _, g := range d.groups {
-		g.xIndex.Add(t)
+		if g.xIndex != nil {
+			g.xIndex.Add(t)
+		}
 	}
 }
 
 // RemoveTuple un-indexes a deleted tuple.
 func (d *Detector) RemoveTuple(id relation.TupleID) {
 	for _, g := range d.groups {
-		g.xIndex.Remove(id)
+		if g.xIndex != nil {
+			g.xIndex.Remove(id)
+		}
 	}
 }
 
@@ -209,8 +293,9 @@ func (d *Detector) vioInGroup(g *fdGroup, t *relation.Tuple) int {
 	if t.HasNullOn(g.x) {
 		return 0 // null never matches a pattern (§3.1 remark 2)
 	}
-	xvals := t.Project(g.x)
-	rows := g.matchingRows(xvals)
+	var buf [8]relation.ValueID
+	xids := d.xids(g, t, buf[:0])
+	rows := g.matchingRows(xids)
 	if len(rows) == 0 {
 		return 0
 	}
@@ -229,7 +314,7 @@ func (d *Detector) vioInGroup(g *fdGroup, t *relation.Tuple) int {
 			continue // null A is Eq to everything: already resolved (§4.1 case 2.3)
 		}
 		if bucket == nil {
-			bucket = g.xIndex.Lookup(xvals)
+			bucket = d.index(g).LookupIDs(xids)
 		}
 		for _, id := range bucket {
 			if id == t.ID {
@@ -245,103 +330,276 @@ func (d *Detector) vioInGroup(g *fdGroup, t *relation.Tuple) int {
 }
 
 // VioAll returns vio(t) for every tuple with at least one violation.
-// It makes one pass per embedded-FD group using the live indices.
+// It makes one partition-parallel pass per embedded-FD group using the
+// live indices.
 func (d *Detector) VioAll() map[relation.TupleID]int {
 	out := make(map[relation.TupleID]int)
-	for _, g := range d.groups {
-		d.groupScan(g, func(t *relation.Tuple, n *Normal, with relation.TupleID) {
-			out[t.ID]++
-		})
-	}
+	d.scanAll(func(t *relation.Tuple, n *Normal, with relation.TupleID) {
+		out[t.ID]++
+	}, func(part []Violation) {
+		for _, v := range part {
+			out[v.T]++
+		}
+	})
 	return out
 }
 
-// Violations returns up to limit violations (limit <= 0 means all).
-// Case-2 violations are reported once per ordered (t, t') pair, matching
-// the paper's per-tuple counting.
-func (d *Detector) Violations(limit int) []Violation {
+// Detect returns every violation of sigma in the relation, sorted by
+// (tuple id, rule rank, partner id). Detection shards the per-group index
+// buckets — one bucket per distinct LHS key — across the configured
+// worker pool; the canonical sort makes the output bit-identical to the
+// sequential path.
+func (d *Detector) Detect() []Violation {
 	var out []Violation
-	for _, g := range d.groups {
-		if limit > 0 && len(out) >= limit {
-			break
-		}
-		d.groupScan(g, func(t *relation.Tuple, n *Normal, with relation.TupleID) {
-			if limit <= 0 || len(out) < limit {
-				out = append(out, Violation{T: t.ID, N: n, With: with})
-			}
-		})
+	d.scanAll(func(t *relation.Tuple, n *Normal, with relation.TupleID) {
+		out = append(out, Violation{T: t.ID, N: n, With: with})
+	}, func(part []Violation) {
+		out = append(out, part...)
+	})
+	d.sortViolations(out)
+	return out
+}
+
+// Violations returns up to limit violations (limit <= 0 means all), in
+// the canonical (tuple id, rule rank, partner id) order. The canonical
+// order requires full detection even for small limits; use Satisfied for
+// a cheap consistency probe.
+func (d *Detector) Violations(limit int) []Violation {
+	out := d.Detect()
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
 	}
 	return out
 }
 
-// groupScan visits every violation in group g exactly once per the
-// paper's counting and invokes visit for each.
-func (d *Detector) groupScan(g *fdGroup, visit func(t *relation.Tuple, n *Normal, with relation.TupleID)) {
-	g.xIndex.Buckets(func(key string, ids []relation.TupleID) {
-		if len(ids) == 0 {
-			return
+func (d *Detector) sortViolations(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if a.T != b.T {
+			return a.T < b.T
 		}
-		rep := d.rel.Tuple(ids[0])
-		if rep.HasNullOn(g.x) {
-			return
+		if ra, rb := d.rank[a.N], d.rank[b.N]; ra != rb {
+			return ra < rb
 		}
-		xvals := rep.Project(g.x)
-		rows := g.matchingRows(xvals)
-		if len(rows) == 0 {
-			return
-		}
-		for _, r := range rows {
-			if r.cons {
-				for _, id := range ids {
-					t := d.rel.Tuple(id)
-					if RHSViolates(t.Vals[g.a], r.tpa) {
-						visit(t, r.n, 0)
-					}
-				}
-				continue
-			}
-			// Variable RHS: per tuple, one violation per differing partner.
-			// Count occurrences of each non-null A value in the bucket.
-			counts := make(map[string]int)
-			nonNull := 0
-			for _, id := range ids {
-				v := d.rel.Tuple(id).Vals[g.a]
-				if !v.Null {
-					counts[v.Str]++
-					nonNull++
-				}
-			}
-			if len(counts) < 2 {
-				continue
-			}
-			for _, id := range ids {
-				t := d.rel.Tuple(id)
-				v := t.Vals[g.a]
-				if v.Null {
-					continue
-				}
-				diff := nonNull - counts[v.Str]
-				for k := 0; k < diff; k++ {
-					visit(t, r.n, partnerOf(d.rel, ids, t, g.a))
-				}
-			}
-		}
+		return a.With < b.With
 	})
 }
 
-// partnerOf returns some tuple id in ids whose A value differs from t's;
-// used to label case-2 violations with a concrete partner.
-func partnerOf(rel *relation.Relation, ids []relation.TupleID, t *relation.Tuple, a int) relation.TupleID {
+// scanScratch holds per-scan reusable buffers: one per worker, so bucket
+// scans allocate nothing on the steady path.
+type scanScratch struct {
+	ts     []*relation.Tuple
+	counts map[relation.ValueID]int
+}
+
+func newScanScratch() *scanScratch {
+	return &scanScratch{counts: make(map[relation.ValueID]int)}
+}
+
+// scanBucket visits every violation within one LHS-key bucket of group g.
+// All bucket tuples are relation-owned, so every comparison runs on
+// interned ids. The RHS-value histogram and the partner labels are shared
+// by every variable-RHS row of the group, so they are computed once per
+// bucket, in O(bucket).
+func (d *Detector) scanBucket(g *fdGroup, ids []relation.TupleID, sc *scanScratch, visit func(t *relation.Tuple, n *Normal, with relation.TupleID)) {
+	if len(ids) == 0 {
+		return
+	}
+	rep := d.rel.Tuple(ids[0])
+	if rep.HasNullOn(g.x) {
+		return
+	}
+	var buf [8]relation.ValueID
+	xids := rep.ProjectIDs(buf[:0], g.x)
+	rows := g.matchingRows(xids)
+	if len(rows) == 0 {
+		return
+	}
+	a := g.a
+	sc.ts = sc.ts[:0]
 	for _, id := range ids {
-		if id == t.ID {
+		sc.ts = append(sc.ts, d.rel.Tuple(id))
+	}
+	// Lazily prepared state for variable-RHS rows.
+	prepared := false
+	nonNull := 0
+	// Partner labels: s1 is the smallest tuple id with a non-null A value
+	// v1; s2 the smallest id whose A value differs from v1. Every tuple's
+	// canonical partner is s1 (if they disagree with v1) or s2 (if they
+	// carry v1), independent of bucket order.
+	var s1, s2 relation.TupleID
+	var v1 relation.ValueID
+	for _, r := range rows {
+		if r.cons {
+			for _, t := range sc.ts {
+				vid := t.IDAt(a)
+				if vid != relation.NullID && vid != r.tpaID {
+					visit(t, r.n, 0)
+				}
+			}
 			continue
 		}
-		v := rel.Tuple(id).Vals[a]
-		if !v.Null && v.Str != t.Vals[a].Str {
-			return id
+		if !prepared {
+			prepared = true
+			clear(sc.counts)
+			nonNull = 0
+			s1, s2, v1 = 0, 0, relation.NullID
+			for _, t := range sc.ts {
+				vid := t.IDAt(a)
+				if vid == relation.NullID {
+					continue
+				}
+				sc.counts[vid]++
+				nonNull++
+				if s1 == 0 || t.ID < s1 {
+					s1, v1 = t.ID, vid
+				}
+			}
+			for _, t := range sc.ts {
+				vid := t.IDAt(a)
+				if vid == relation.NullID || vid == v1 {
+					continue
+				}
+				if s2 == 0 || t.ID < s2 {
+					s2 = t.ID
+				}
+			}
+		}
+		if len(sc.counts) < 2 {
+			continue
+		}
+		for _, t := range sc.ts {
+			vid := t.IDAt(a)
+			if vid == relation.NullID {
+				continue
+			}
+			diff := nonNull - sc.counts[vid]
+			if diff == 0 {
+				continue
+			}
+			partner := s1
+			if vid == v1 {
+				partner = s2
+			}
+			for k := 0; k < diff; k++ {
+				visit(t, r.n, partner)
+			}
 		}
 	}
-	return 0
+}
+
+// scanConstTuples visits the violations of a constant-RHS-only group over
+// a slice of tuples directly — no bucket partitioning (and hence no LHS
+// index) is needed, since constant-RHS violations are per-tuple (§3.1
+// case 1).
+func (d *Detector) scanConstTuples(g *fdGroup, tuples []*relation.Tuple, visit func(t *relation.Tuple, n *Normal, with relation.TupleID)) {
+	a := g.a
+	for _, t := range tuples {
+		if t.HasNullOn(g.x) {
+			continue
+		}
+		var buf [8]relation.ValueID
+		rows := g.matchingRows(t.ProjectIDs(buf[:0], g.x))
+		if len(rows) == 0 {
+			continue
+		}
+		vid := t.IDAt(a)
+		if vid == relation.NullID {
+			continue
+		}
+		for _, r := range rows {
+			if vid != r.tpaID {
+				visit(t, r.n, 0)
+			}
+		}
+	}
+}
+
+// groupScan visits every violation in group g exactly once per the
+// paper's counting, sequentially.
+func (d *Detector) groupScan(g *fdGroup, visit func(t *relation.Tuple, n *Normal, with relation.TupleID)) {
+	if !g.hasVar {
+		d.scanConstTuples(g, d.rel.Tuples(), visit)
+		return
+	}
+	sc := newScanScratch()
+	d.index(g).Buckets(func(_ relation.Key, ids []relation.TupleID) {
+		d.scanBucket(g, ids, sc, visit)
+	})
+}
+
+// shardedWork is one unit of parallel scan work: either one LHS-key
+// bucket of a variable-RHS group, or a chunk of tuples of a constant-only
+// group.
+type shardedWork struct {
+	g      *fdGroup
+	ids    []relation.TupleID // bucket work (variable-RHS groups)
+	tuples []*relation.Tuple  // chunk work (constant-only groups)
+}
+
+// scanAll drives a whole-database scan. The sequential path calls visit
+// for every violation; the parallel path shards variable-RHS groups'
+// index buckets by LHS-key hash and constant-only groups' tuples by
+// chunk across workers, each worker collects its shard's violations, and
+// merge consumes one per-shard list at a time on the caller's goroutine.
+// The partition is a partition of the violation multiset, so every merge
+// order yields the same final set; callers that need a canonical sequence
+// sort afterwards.
+func (d *Detector) scanAll(visit func(t *relation.Tuple, n *Normal, with relation.TupleID), merge func(part []Violation)) {
+	nw := d.workers
+	if nw > 1 && d.rel.Size() < 4*nw {
+		nw = 1
+	}
+	if nw <= 1 {
+		for _, g := range d.groups {
+			d.groupScan(g, visit)
+		}
+		return
+	}
+	shards := make([][]shardedWork, nw)
+	tuples := d.rel.Tuples()
+	for _, g := range d.groups {
+		if !g.hasVar {
+			chunk := (len(tuples) + nw - 1) / nw
+			for w := 0; w < nw && w*chunk < len(tuples); w++ {
+				end := (w + 1) * chunk
+				if end > len(tuples) {
+					end = len(tuples)
+				}
+				shards[w] = append(shards[w], shardedWork{g: g, tuples: tuples[w*chunk : end]})
+			}
+			continue
+		}
+		d.index(g).Buckets(func(key relation.Key, ids []relation.TupleID) {
+			w := int(key.Hash() % uint64(nw))
+			shards[w] = append(shards[w], shardedWork{g: g, ids: ids})
+		})
+	}
+	parts := make([][]Violation, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []Violation
+			sc := newScanScratch()
+			emit := func(t *relation.Tuple, n *Normal, with relation.TupleID) {
+				local = append(local, Violation{T: t.ID, N: n, With: with})
+			}
+			for _, sw := range shards[w] {
+				if sw.tuples != nil {
+					d.scanConstTuples(sw.g, sw.tuples, emit)
+				} else {
+					d.scanBucket(sw.g, sw.ids, sc, emit)
+				}
+			}
+			parts[w] = local
+		}(w)
+	}
+	wg.Wait()
+	for _, part := range parts {
+		merge(part)
+	}
 }
 
 // Partners returns the ids of tuples with which t violates the variable-RHS
@@ -354,9 +612,10 @@ func (d *Detector) Partners(t *relation.Tuple, n *Normal) []relation.TupleID {
 	if g == nil {
 		return nil
 	}
-	xvals := t.Project(g.x)
+	var buf [8]relation.ValueID
+	xids := d.xids(g, t, buf[:0])
 	var out []relation.TupleID
-	for _, id := range g.xIndex.Lookup(xvals) {
+	for _, id := range d.index(g).LookupIDs(xids) {
 		if id == t.ID {
 			continue
 		}
@@ -399,9 +658,11 @@ func (d *Detector) Satisfied() bool {
 // vio(C) for C = D (§3.1).
 func (d *Detector) TotalViolations() int {
 	total := 0
-	for _, g := range d.groups {
-		d.groupScan(g, func(*relation.Tuple, *Normal, relation.TupleID) { total++ })
-	}
+	d.scanAll(func(*relation.Tuple, *Normal, relation.TupleID) {
+		total++
+	}, func(part []Violation) {
+		total += len(part)
+	})
 	return total
 }
 
@@ -470,13 +731,14 @@ func (g Group) Rep() *Normal {
 }
 
 // MatchingRules returns the normal CFDs of the group whose LHS pattern is
-// matched by t (nil if t has a null among X). Cheap: one hash lookup per
-// constant mask in the group.
+// matched by t (nil if t has a null among X). Cheap: one integer-key hash
+// lookup per constant mask in the group.
 func (g Group) MatchingRules(t *relation.Tuple) []*Normal {
 	if t.HasNullOn(g.g.x) {
 		return nil
 	}
-	rows := g.g.matchingRows(t.Project(g.g.x))
+	var buf [8]relation.ValueID
+	rows := g.g.matchingRows(g.d.xids(g.g, t, buf[:0]))
 	if len(rows) == 0 {
 		return nil
 	}
@@ -490,5 +752,5 @@ func (g Group) MatchingRules(t *relation.Tuple) []*Normal {
 // Bucket returns the ids of tuples agreeing with t on the group's X
 // (via the live index); includes t itself.
 func (g Group) Bucket(t *relation.Tuple) []relation.TupleID {
-	return g.g.xIndex.Lookup(t.Project(g.g.x))
+	return g.d.index(g.g).LookupTuple(t)
 }

@@ -1,0 +1,85 @@
+package cfd_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/gen"
+)
+
+// TestDetectParallelDeterminism asserts that partition-parallel detection
+// returns the exact violation slice of the sequential path — same
+// violations, same canonical order — on generated noisy instances of
+// varying size, noise rate and constant share.
+func TestDetectParallelDeterminism(t *testing.T) {
+	cases := []gen.Config{
+		{Size: 300, NoiseRate: 0.05, ConstShare: 0.5, Seed: 1},
+		{Size: 300, NoiseRate: 0.25, ConstShare: 0.2, Seed: 2},
+		{Size: 1200, NoiseRate: 0.05, ConstShare: 0.5, Seed: 3, Weights: true},
+		{Size: 1200, NoiseRate: 0.15, ConstShare: 0.8, Seed: 4},
+	}
+	for _, cfg := range cases {
+		ds, err := gen.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqDet := cfd.NewDetector(ds.Dirty, ds.Sigma)
+		seqDet.SetWorkers(1)
+		seq := seqDet.Detect()
+		if len(seq) == 0 {
+			t.Fatalf("config %+v: generated instance has no violations; test is vacuous", cfg)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			parDet := cfd.NewDetector(ds.Dirty, ds.Sigma)
+			parDet.SetWorkers(workers)
+			par := parDet.Detect()
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("config %+v workers=%d: parallel Detect differs from sequential (%d vs %d violations)",
+					cfg, workers, len(par), len(seq))
+			}
+			// vio(t) aggregation must agree too.
+			seqVio := seqDet.VioAll()
+			parVio := parDet.VioAll()
+			if !reflect.DeepEqual(seqVio, parVio) {
+				t.Fatalf("config %+v workers=%d: parallel VioAll differs from sequential", cfg, workers)
+			}
+			if got, want := parDet.TotalViolations(), len(seq); got != want {
+				t.Fatalf("config %+v workers=%d: TotalViolations = %d, want %d", cfg, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestDetectCanonicalOrder asserts the documented violation order: by
+// tuple id, then rule position in sigma, then partner id.
+func TestDetectCanonicalOrder(t *testing.T) {
+	ds, err := gen.New(gen.Config{Size: 500, NoiseRate: 0.1, ConstShare: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := make(map[*cfd.Normal]int, len(ds.Sigma))
+	for i, n := range ds.Sigma {
+		rank[n] = i
+	}
+	d := cfd.NewDetector(ds.Dirty, ds.Sigma)
+	vs := d.Detect()
+	for i := 1; i < len(vs); i++ {
+		a, b := vs[i-1], vs[i]
+		switch {
+		case a.T < b.T:
+		case a.T == b.T && rank[a.N] < rank[b.N]:
+		case a.T == b.T && rank[a.N] == rank[b.N] && a.With <= b.With:
+		default:
+			t.Fatalf("violations out of canonical order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	// Violations(limit) must be a prefix of Detect().
+	lim := len(vs) / 2
+	if lim > 0 {
+		pre := cfd.NewDetector(ds.Dirty, ds.Sigma).Violations(lim)
+		if !reflect.DeepEqual(pre, vs[:lim]) {
+			t.Fatal("Violations(limit) is not a prefix of Detect()")
+		}
+	}
+}

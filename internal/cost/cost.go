@@ -12,22 +12,43 @@ package cost
 
 import (
 	"fmt"
+	"sync"
 
 	"cfdclean/internal/relation"
 	"cfdclean/internal/strdist"
 )
 
+// memoCap bounds the interned-pair distance memo; beyond it, distances are
+// computed without caching rather than growing memory unboundedly.
+const memoCap = 1 << 20
+
 // Model carries the distance metric; the zero value is not usable, call
-// Default or New.
+// Default or New. Models memoize normalized distances between interned
+// value pairs under a fixed-width integer key, so the repair loops — which
+// re-score the same (stored value, candidate) pairs over and over — pay
+// for each string-distance computation once. The memo is safe for
+// concurrent use; the parallel candidate evaluation of INCREPAIR shares
+// one model across workers.
 type Model struct {
 	metric strdist.Metric
+
+	mu   sync.Mutex
+	memo map[uint64]float64
+	// dict is the dictionary the memo's id keys are relative to, bound on
+	// first interned call. Ids from other dictionaries name different
+	// strings, so calls against a different dict bypass the memo instead
+	// of returning a stale distance. (A relation and its clones share one
+	// id space only until they diverge, so pointer identity is the rule.)
+	dict *relation.Dict
 }
 
 // Default returns a model with the paper's DL metric.
-func Default() *Model { return &Model{metric: strdist.DL} }
+func Default() *Model { return New(strdist.DL) }
 
 // New returns a model with a custom metric (§3.2 remark 2).
-func New(m strdist.Metric) *Model { return &Model{metric: m} }
+func New(m strdist.Metric) *Model {
+	return &Model{metric: m, memo: make(map[uint64]float64)}
+}
 
 // Dist returns the normalized distance dis(v,v')/max(|v|,|v'|) between two
 // values. Changing to or from null costs the maximum distance 1 (the value
@@ -55,6 +76,57 @@ func (m *Model) Change(t *relation.Tuple, a int, vp relation.Value) float64 {
 // overwritten during repair bookkeeping).
 func (m *Model) ChangeFrom(t *relation.Tuple, a int, old, vp relation.Value) float64 {
 	return t.Weight(a) * m.Dist(old, vp)
+}
+
+// distIDs is Dist memoized under the interned-pair key (ia, ib), valid
+// relative to dict. Either id being InvalidID (value absent from the
+// dictionary), or dict differing from the dictionary the memo is bound
+// to, bypasses the memo.
+func (m *Model) distIDs(dict *relation.Dict, ia, ib relation.ValueID, va, vb relation.Value) float64 {
+	if ia == relation.InvalidID || ib == relation.InvalidID || m.memo == nil || dict == nil {
+		return m.Dist(va, vb)
+	}
+	key := relation.PairKey(ia, ib)
+	m.mu.Lock()
+	if m.dict == nil {
+		m.dict = dict
+	}
+	bound := m.dict == dict
+	d, ok := m.memo[key]
+	m.mu.Unlock()
+	if !bound {
+		return m.Dist(va, vb)
+	}
+	if ok {
+		return d
+	}
+	d = m.Dist(va, vb)
+	m.mu.Lock()
+	if len(m.memo) < memoCap {
+		m.memo[key] = d
+	}
+	m.mu.Unlock()
+	return d
+}
+
+// ChangeInterned is Change with the distance memoized by interned ids:
+// t's stored id (when t is relation-owned) paired with vp's id in dict.
+func (m *Model) ChangeInterned(dict *relation.Dict, t *relation.Tuple, a int, vp relation.Value) float64 {
+	w := t.Weight(a)
+	if w == 0 {
+		return 0
+	}
+	return w * m.distIDs(dict, t.IDAt(a), dict.LookupValue(vp), t.Vals[a], vp)
+}
+
+// ChangeFromInterned is ChangeFrom with the distance memoized by the
+// interned ids of old and vp in dict.
+func (m *Model) ChangeFromInterned(dict *relation.Dict, t *relation.Tuple, a int, old, vp relation.Value) float64 {
+	w := t.Weight(a)
+	if w == 0 {
+		return 0
+	}
+	return w * m.distIDs(dict, dict.LookupValue(old), dict.LookupValue(vp), old, vp)
 }
 
 // Tuple returns the cost of changing tuple old into new: the sum of

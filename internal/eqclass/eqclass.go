@@ -50,26 +50,35 @@ func (k Kind) String() string {
 
 // class is a union-find node; fields are meaningful at roots only.
 type class struct {
-	parent  int
-	size    int
-	kind    Kind
-	val     string
+	parent int
+	size   int
+	kind   Kind
+	// val is the interned id of the constant target (kind == Const).
+	// Storing the id instead of the string makes target comparisons and
+	// merges O(1) integer operations.
+	val     relation.ValueID
 	members []Key // maintained at the root
 }
 
 // Classes manages the equivalence classes over (tuple, attribute) pairs.
 // Classes are created lazily: every key starts in its own singleton class
-// with target '_'.
+// with target '_'. Constant targets are interned in the dictionary the
+// manager was created with (normally the working relation's).
 type Classes struct {
+	dict  *relation.Dict
 	nodes []class
 	index map[Key]int
 
 	assigned int // classes whose target is Const or Null (roots only)
 }
 
-// New creates an empty class manager.
-func New() *Classes {
-	return &Classes{index: make(map[Key]int)}
+// New creates an empty class manager interning constant targets in dict.
+// A nil dict gets a private dictionary.
+func New(dict *relation.Dict) *Classes {
+	if dict == nil {
+		dict = relation.NewDict()
+	}
+	return &Classes{dict: dict, index: make(map[Key]int)}
 }
 
 func (c *Classes) node(k Key) int {
@@ -94,16 +103,27 @@ func (c *Classes) find(i int) int {
 // class containing k.
 func (c *Classes) Target(k Key) (Kind, string) {
 	r := c.find(c.node(k))
+	n := &c.nodes[r]
+	if n.kind == Const {
+		return Const, c.dict.Str(n.val)
+	}
+	return n.kind, ""
+}
+
+// TargetID returns the target kind and the interned constant id of k's
+// class; the id is only meaningful when kind is Const.
+func (c *Classes) TargetID(k Key) (Kind, relation.ValueID) {
+	r := c.find(c.node(k))
 	return c.nodes[r].kind, c.nodes[r].val
 }
 
 // Value renders the target of k's class as a relation value; ok is false
 // while the target is still '_'.
 func (c *Classes) Value(k Key) (v relation.Value, ok bool) {
-	kind, s := c.Target(k)
+	kind, id := c.TargetID(k)
 	switch kind {
 	case Const:
-		return relation.S(s), true
+		return c.dict.Value(id), true
 	case Null:
 		return relation.NullValue, true
 	default:
@@ -133,17 +153,18 @@ func (c *Classes) SameClass(k1, k2 Key) bool {
 // upgrades are irreversible (§4.1).
 func (c *Classes) SetConst(k Key, v string) error {
 	r := c.find(c.node(k))
+	id := c.dict.InternStr(v)
 	switch c.nodes[r].kind {
 	case Unset:
 		c.nodes[r].kind = Const
-		c.nodes[r].val = v
+		c.nodes[r].val = id
 		c.assigned++
 		return nil
 	case Const:
-		if c.nodes[r].val == v {
+		if c.nodes[r].val == id {
 			return nil
 		}
-		return fmt.Errorf("eqclass: target already fixed to %q, cannot change to %q", c.nodes[r].val, v)
+		return fmt.Errorf("eqclass: target already fixed to %q, cannot change to %q", c.dict.Str(c.nodes[r].val), v)
 	default:
 		return fmt.Errorf("eqclass: target already null, cannot set constant %q", v)
 	}
@@ -157,7 +178,7 @@ func (c *Classes) SetNull(k Key) {
 		c.assigned++
 	}
 	c.nodes[r].kind = Null
-	c.nodes[r].val = ""
+	c.nodes[r].val = relation.NullID
 }
 
 // CanMerge reports whether the classes of k1 and k2 may be merged under
@@ -190,7 +211,8 @@ func (c *Classes) Merge(k1, k2 Key) error {
 	}
 	if !c.CanMerge(k1, k2) {
 		n1, n2 := c.nodes[r1], c.nodes[r2]
-		return fmt.Errorf("eqclass: cannot merge targets %v(%q) and %v(%q)", n1.kind, n1.val, n2.kind, n2.val)
+		return fmt.Errorf("eqclass: cannot merge targets %v(%q) and %v(%q)",
+			n1.kind, c.dict.Str(n1.val), n2.kind, c.dict.Str(n2.val))
 	}
 	// Weighted union: attach the smaller tree under the larger.
 	if c.nodes[r1].size < c.nodes[r2].size {
@@ -251,6 +273,10 @@ func (c *Classes) Roots(f func(rep Key, kind Kind, val string, members []Key)) {
 			continue
 		}
 		n := &c.nodes[i]
-		f(n.members[0], n.kind, n.val, n.members)
+		val := ""
+		if n.kind == Const {
+			val = c.dict.Str(n.val)
+		}
+		f(n.members[0], n.kind, val, n.members)
 	}
 }

@@ -18,7 +18,9 @@ package increpair
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"cfdclean/internal/cfd"
 	"cfdclean/internal/cluster"
@@ -69,6 +71,12 @@ type Options struct {
 	// SkipCleanCheck skips verifying that D |= Σ on entry. The batch-mode
 	// driver sets it (its D is clean by construction).
 	SkipCleanCheck bool
+	// Workers bounds the parallelism of TUPLERESOLVE's candidate
+	// evaluation (attribute subsets are evaluated concurrently against
+	// per-worker scratch tuples) and of the V-INCREPAIR ordering pass.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the sequential path. The
+	// result is identical at every setting.
+	Workers int
 }
 
 func (o *Options) withDefaults() Options {
@@ -84,6 +92,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.NearestK <= 0 {
 		out.NearestK = 4
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
 	}
 	return out
 }
@@ -161,7 +172,7 @@ func Incremental(d *relation.Relation, delta []*relation.Tuple, sigma []*cfd.Nor
 		m |= 1 << uint(g.A())
 		e.groups = append(e.groups, groupInfo{g: g, mask: m})
 	}
-	ordered := orderDelta(d, delta, sigma, o.Ordering)
+	ordered := orderDelta(d, delta, sigma, o.Ordering, o.Workers)
 	res := &Result{Repair: repr}
 	for _, t := range ordered {
 		if len(t.Vals) != e.arity {
@@ -209,8 +220,17 @@ func Repair(d *relation.Relation, sigma []*cfd.Normal, opts *Options) (*Result, 
 	det := cfd.NewDetector(d, sigma)
 	dirtyIDs := det.VioAll()
 	clean := d.Clone()
-	var delta []*relation.Tuple
+	// Extract the dirty tuples in sorted id order: the repair content does
+	// not depend on it, but Delete compacts by swapping, so a fixed
+	// deletion order keeps the physical row order of the result — and
+	// hence its serialized form — reproducible run to run.
+	ids := make([]relation.TupleID, 0, len(dirtyIDs))
 	for id := range dirtyIDs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	delta := make([]*relation.Tuple, 0, len(ids))
+	for _, id := range ids {
 		t := clean.Tuple(id)
 		if t == nil {
 			continue
@@ -218,14 +238,15 @@ func Repair(d *relation.Relation, sigma []*cfd.Normal, opts *Options) (*Result, 
 		delta = append(delta, t.Clone())
 		clean.Delete(id)
 	}
-	// Deterministic base order before the configured ordering applies.
-	sort.Slice(delta, func(i, j int) bool { return delta[i].ID < delta[j].ID })
 	o.SkipCleanCheck = true
 	return Incremental(clean, delta, sigma, &o)
 }
 
-// orderDelta applies the §5.2 ordering to the delta batch.
-func orderDelta(d *relation.Relation, delta []*relation.Tuple, sigma []*cfd.Normal, ord Ordering) []*relation.Tuple {
+// orderDelta applies the §5.2 ordering to the delta batch. The
+// ByViolations pass computes vio(t) for every delta tuple concurrently
+// across workers; the counts land in a position-indexed slice, so the
+// resulting order is independent of the parallelism.
+func orderDelta(d *relation.Relation, delta []*relation.Tuple, sigma []*cfd.Normal, ord Ordering, workers int) []*relation.Tuple {
 	out := append([]*relation.Tuple(nil), delta...)
 	switch ord {
 	case ByViolations:
@@ -240,8 +261,22 @@ func orderDelta(d *relation.Relation, delta []*relation.Tuple, sigma []*cfd.Norm
 		}
 		det := cfd.NewDetector(scratch, sigma)
 		vio := make([]int, len(out))
-		for i := range out {
-			vio[i] = det.VioTuple(scratchTuples[i])
+		if workers > 1 && len(out) >= 2*workers {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(out); i += workers {
+						vio[i] = det.VioTuple(scratchTuples[i])
+					}
+				}(w)
+			}
+			wg.Wait()
+		} else {
+			for i := range out {
+				vio[i] = det.VioTuple(scratchTuples[i])
+			}
 		}
 		idx := make([]int, len(out))
 		for i := range idx {

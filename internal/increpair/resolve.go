@@ -2,6 +2,7 @@ package increpair
 
 import (
 	"sort"
+	"sync"
 
 	"cfdclean/internal/cfd"
 	"cfdclean/internal/cluster"
@@ -204,16 +205,21 @@ func (f fix) better(g fix) bool {
 // combination and returns the best valid fix. At least one valid fix
 // always exists: the all-null assignment matches no pattern and conflicts
 // with nothing (Example 5.1's (null, null)).
+//
+// The attribute subsets are independent of one another, so their
+// evaluation fans out across the engine's worker pool, each worker
+// mutating its own clone of rt. Candidate values depend only on rt's
+// current (unmutated) state and are computed once up front — this also
+// keeps the nearest-neighbour cache single-threaded. The merge picks the
+// fix the sequential left-to-right scan would have kept: the lowest
+// subset index attaining the minimal costfix ranking.
 func (e *engine) bestFix(rt *relation.Tuple, fixed uint64, attrs []int, k int, violated []uint64) fix {
-	var best fix
+	var subsets [][]int
 	subset := make([]int, k)
 	var rec func(start, depth int)
 	rec = func(start, depth int) {
 		if depth == k {
-			f := e.bestValsFor(rt, fixed, append([]int(nil), subset...), violated)
-			if f.valid && f.better(best) {
-				best = f
-			}
+			subsets = append(subsets, append([]int(nil), subset...))
 			return
 		}
 		for i := start; i < len(attrs); i++ {
@@ -222,6 +228,55 @@ func (e *engine) bestFix(rt *relation.Tuple, fixed uint64, attrs []int, k int, v
 		}
 	}
 	rec(0, 0)
+	cands := make(map[int][]relation.Value, len(attrs))
+	for _, a := range attrs {
+		cands[a] = e.candidates(rt, a)
+	}
+	var best fix
+	nw := e.opts.Workers
+	if nw > len(subsets) {
+		nw = len(subsets)
+	}
+	if nw <= 1 {
+		for _, c := range subsets {
+			f := e.bestValsFor(rt, fixed, c, violated, cands)
+			if f.valid && f.better(best) {
+				best = f
+			}
+		}
+	} else {
+		type ranked struct {
+			f   fix
+			idx int
+		}
+		bests := make([]ranked, nw)
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				local := ranked{idx: -1}
+				wrt := rt.Clone()
+				for i := w; i < len(subsets); i += nw {
+					f := e.bestValsFor(wrt, fixed, subsets[i], violated, cands)
+					if f.valid && f.better(local.f) {
+						local = ranked{f: f, idx: i}
+					}
+				}
+				bests[w] = local
+			}(w)
+		}
+		wg.Wait()
+		bestIdx := -1
+		for _, r := range bests {
+			if r.idx < 0 {
+				continue
+			}
+			if bestIdx < 0 || r.f.better(best) || (!best.better(r.f) && r.idx < bestIdx) {
+				best, bestIdx = r.f, r.idx
+			}
+		}
+	}
 	if !best.valid {
 		// Defensive: the all-null fix on the first k attributes.
 		vals := make([]relation.Value, k)
@@ -234,8 +289,8 @@ func (e *engine) bestFix(rt *relation.Tuple, fixed uint64, attrs []int, k int, v
 }
 
 // bestValsFor finds the cheapest consistent value combination for the
-// attribute set c.
-func (e *engine) bestValsFor(rt *relation.Tuple, fixed uint64, c []int, violated []uint64) fix {
+// attribute set c, drawing per-attribute candidates from cands.
+func (e *engine) bestValsFor(rt *relation.Tuple, fixed uint64, c []int, violated []uint64, cands map[int][]relation.Value) fix {
 	var cmask uint64
 	for _, a := range c {
 		cmask |= 1 << uint(a)
@@ -247,9 +302,9 @@ func (e *engine) bestValsFor(rt *relation.Tuple, fixed uint64, c []int, violated
 			contested++
 		}
 	}
-	cands := make([][]relation.Value, len(c))
+	cvals := make([][]relation.Value, len(c))
 	for i, a := range c {
-		cands[i] = e.candidates(rt, a)
+		cvals[i] = cands[a]
 	}
 	saved := make([]relation.Value, len(c))
 	for i, a := range c {
@@ -264,13 +319,13 @@ func (e *engine) bestValsFor(rt *relation.Tuple, fixed uint64, c []int, violated
 	idx := make([]int, len(c))
 	for {
 		for i, a := range c {
-			rt.Vals[a] = cands[i][idx[i]]
+			rt.Vals[a] = cvals[i][idx[i]]
 		}
 		if e.consistentOn(rt, checkMask) {
 			var chg float64
 			for i, a := range c {
 				if !relation.StrictEq(saved[i], rt.Vals[a]) {
-					chg += e.model.ChangeFrom(rt, a, saved[i], rt.Vals[a])
+					chg += e.model.ChangeFromInterned(e.repr.Dict(), rt, a, saved[i], rt.Vals[a])
 				}
 			}
 			v := e.vio(rt)
@@ -291,7 +346,7 @@ func (e *engine) bestValsFor(rt *relation.Tuple, fixed uint64, c []int, violated
 		i := 0
 		for ; i < len(idx); i++ {
 			idx[i]++
-			if idx[i] < len(cands[i]) {
+			if idx[i] < len(cvals[i]) {
 				break
 			}
 			idx[i] = 0

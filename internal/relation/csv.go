@@ -18,6 +18,9 @@ const NullLiteral = `\N`
 func ReadCSV(name string, r io.Reader) (*Relation, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
+	// Records are copied into Values (and interned by Insert) immediately,
+	// so the reader's record slice can be reused across rows.
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("relation: reading CSV header: %w", err)

@@ -1,26 +1,30 @@
 package relation
 
 // HashIndex is an equality index over a fixed set of attributes, mapping
-// the composite key of a tuple's projection to the tuple ids carrying it.
-// It is the workhorse behind violation detection and the LHS indices of
-// INCREPAIR (§5.2): given a candidate repair t” we look up t”[X] and test
-// whether the indexed A-values agree.
+// the fixed-width integer composite key of a tuple's projection (interned
+// value ids) to the tuple ids carrying it. It is the workhorse behind
+// violation detection and the LHS indices of INCREPAIR (§5.2): given a
+// candidate repair t” we look up t”[X] and test whether the indexed
+// A-values agree.
 //
 // The index is maintained eagerly: callers notify it of inserts, deletes
 // and attribute updates. The Relation does not own indices; repair
 // algorithms build the ones they need.
 type HashIndex struct {
+	rel     *Relation
 	attrs   []int
-	buckets map[string][]TupleID
-	slot    map[TupleID]string // current key per indexed tuple, for updates
+	buckets map[Key][]TupleID
+	slot    map[TupleID]Key // current key per indexed tuple, for updates
 }
 
 // NewHashIndex builds an index on attrs over the current contents of r.
 func NewHashIndex(r *Relation, attrs []int) *HashIndex {
+	n := r.Size()
 	ix := &HashIndex{
+		rel:     r,
 		attrs:   append([]int(nil), attrs...),
-		buckets: make(map[string][]TupleID),
-		slot:    make(map[TupleID]string),
+		buckets: make(map[Key][]TupleID, n),
+		slot:    make(map[TupleID]Key, n),
 	}
 	for _, t := range r.Tuples() {
 		ix.Add(t)
@@ -31,9 +35,24 @@ func NewHashIndex(r *Relation, attrs []int) *HashIndex {
 // Attrs returns the indexed attribute positions.
 func (ix *HashIndex) Attrs() []int { return ix.attrs }
 
+// keyOf computes the integer composite key of t's projection. Indexed
+// tuples are always relation-owned and interned; a free-standing tuple
+// (defensive) is keyed through the relation's dictionary.
+func (ix *HashIndex) keyOf(t *Tuple) Key {
+	if t.Interned() {
+		return t.KeyOnIDs(ix.attrs)
+	}
+	var buf [8]ValueID
+	ids := buf[:0]
+	for _, a := range ix.attrs {
+		ids = append(ids, ix.rel.dict.Intern(t.Vals[a]))
+	}
+	return KeyOfIDs(ids)
+}
+
 // Add indexes tuple t.
 func (ix *HashIndex) Add(t *Tuple) {
-	k := t.KeyOn(ix.attrs)
+	k := ix.keyOf(t)
 	ix.buckets[k] = append(ix.buckets[k], t.ID)
 	ix.slot[t.ID] = k
 }
@@ -54,19 +73,19 @@ func (ix *HashIndex) Remove(id TupleID) {
 // Update re-indexes tuple t after its attribute values changed. It is a
 // no-op if the key is unchanged.
 func (ix *HashIndex) Update(t *Tuple) {
-	nk := t.KeyOn(ix.attrs)
-	ok, indexed := ix.slot[t.ID]
-	if indexed && ok == nk {
+	newKey := ix.keyOf(t)
+	oldKey, indexed := ix.slot[t.ID]
+	if indexed && oldKey == newKey {
 		return
 	}
 	if indexed {
-		ix.buckets[ok] = dropID(ix.buckets[ok], t.ID)
-		if len(ix.buckets[ok]) == 0 {
-			delete(ix.buckets, ok)
+		ix.buckets[oldKey] = dropID(ix.buckets[oldKey], t.ID)
+		if len(ix.buckets[oldKey]) == 0 {
+			delete(ix.buckets, oldKey)
 		}
 	}
-	ix.buckets[nk] = append(ix.buckets[nk], t.ID)
-	ix.slot[t.ID] = nk
+	ix.buckets[newKey] = append(ix.buckets[newKey], t.ID)
+	ix.slot[t.ID] = newKey
 }
 
 // Touches reports whether attribute a participates in the index key.
@@ -80,17 +99,53 @@ func (ix *HashIndex) Touches(a int) bool {
 }
 
 // Lookup returns the ids of tuples whose projection onto the indexed
-// attributes equals vals.
+// attributes equals vals. Values absent from the relation's dictionary
+// can match no indexed tuple, so the lookup short-circuits to nil.
 func (ix *HashIndex) Lookup(vals []Value) []TupleID {
-	return ix.buckets[KeyOf(vals...)]
+	var buf [8]ValueID
+	ids := buf[:0]
+	for _, v := range vals {
+		id := ix.rel.dict.LookupValue(v)
+		if id == InvalidID {
+			return nil
+		}
+		ids = append(ids, id)
+	}
+	return ix.buckets[KeyOfIDs(ids)]
+}
+
+// LookupTuple returns the ids of tuples agreeing with t on the indexed
+// attributes, taking the interned fast path when t is relation-owned.
+func (ix *HashIndex) LookupTuple(t *Tuple) []TupleID {
+	if t.Interned() {
+		return ix.buckets[t.KeyOnIDs(ix.attrs)]
+	}
+	var buf [8]Value
+	vals := buf[:0]
+	for _, a := range ix.attrs {
+		vals = append(vals, t.Vals[a])
+	}
+	return ix.Lookup(vals)
+}
+
+// LookupIDs returns the ids of tuples whose projection onto the indexed
+// attributes equals the given interned ids; InvalidID components match
+// nothing.
+func (ix *HashIndex) LookupIDs(ids []ValueID) []TupleID {
+	for _, id := range ids {
+		if id == InvalidID {
+			return nil
+		}
+	}
+	return ix.buckets[KeyOfIDs(ids)]
 }
 
 // LookupKey returns the ids in the bucket for a precomputed key.
-func (ix *HashIndex) LookupKey(key string) []TupleID { return ix.buckets[key] }
+func (ix *HashIndex) LookupKey(key Key) []TupleID { return ix.buckets[key] }
 
-// Buckets iterates over all (key, ids) pairs. The callback must not
-// mutate the index.
-func (ix *HashIndex) Buckets(f func(key string, ids []TupleID)) {
+// Buckets iterates over all (key, ids) pairs in unspecified order. The
+// callback must not mutate the index.
+func (ix *HashIndex) Buckets(f func(key Key, ids []TupleID)) {
 	for k, ids := range ix.buckets {
 		f(k, ids)
 	}

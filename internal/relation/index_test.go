@@ -1,0 +1,198 @@
+package relation
+
+import "testing"
+
+func idxRel(t *testing.T) *Relation {
+	t.Helper()
+	r := New(MustSchema("r", "a", "b", "c"))
+	return r
+}
+
+func TestHashIndexAddLookup(t *testing.T) {
+	r := idxRel(t)
+	t1, _ := r.InsertRow("x", "1", "p")
+	t2, _ := r.InsertRow("x", "1", "q")
+	t3, _ := r.InsertRow("y", "2", "p")
+	ix := NewHashIndex(r, []int{0, 1})
+	got := ix.Lookup([]Value{S("x"), S("1")})
+	if len(got) != 2 || got[0] != t1.ID || got[1] != t2.ID {
+		t.Fatalf("Lookup(x,1) = %v, want [%d %d]", got, t1.ID, t2.ID)
+	}
+	if got := ix.Lookup([]Value{S("y"), S("2")}); len(got) != 1 || got[0] != t3.ID {
+		t.Fatalf("Lookup(y,2) = %v, want [%d]", got, t3.ID)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ix.Len())
+	}
+}
+
+func TestHashIndexLookupUnknownValue(t *testing.T) {
+	r := idxRel(t)
+	r.MustInsert(NewTuple(0, "x", "1", "p"))
+	ix := NewHashIndex(r, []int{0})
+	// "zzz" was never interned: the probe must short-circuit to nil
+	// without touching (or growing) the dictionary.
+	before := r.Dict().Len()
+	if got := ix.Lookup([]Value{S("zzz")}); got != nil {
+		t.Fatalf("Lookup(zzz) = %v, want nil", got)
+	}
+	if r.Dict().Len() != before {
+		t.Fatalf("probe interned a value: dict grew %d -> %d", before, r.Dict().Len())
+	}
+}
+
+func TestHashIndexUpdateSameKey(t *testing.T) {
+	r := idxRel(t)
+	tp, _ := r.InsertRow("x", "1", "p")
+	ix := NewHashIndex(r, []int{0})
+	// Change an un-indexed attribute: key on attr 0 is unchanged.
+	if _, err := r.Set(tp.ID, 2, S("q")); err != nil {
+		t.Fatal(err)
+	}
+	ix.Update(tp)
+	got := ix.Lookup([]Value{S("x")})
+	if len(got) != 1 || got[0] != tp.ID {
+		t.Fatalf("after same-key update, Lookup(x) = %v, want [%d] exactly once", got, tp.ID)
+	}
+}
+
+func TestHashIndexUpdateMovesBucket(t *testing.T) {
+	r := idxRel(t)
+	tp, _ := r.InsertRow("x", "1", "p")
+	ix := NewHashIndex(r, []int{0})
+	if _, err := r.Set(tp.ID, 0, S("y")); err != nil {
+		t.Fatal(err)
+	}
+	ix.Update(tp)
+	if got := ix.Lookup([]Value{S("x")}); len(got) != 0 {
+		t.Fatalf("old bucket still holds %v", got)
+	}
+	got := ix.Lookup([]Value{S("y")})
+	if len(got) != 1 || got[0] != tp.ID {
+		t.Fatalf("new bucket = %v, want [%d]", got, tp.ID)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (empty bucket must be deleted)", ix.Len())
+	}
+}
+
+func TestHashIndexUpdateUnindexedTupleAdds(t *testing.T) {
+	r := idxRel(t)
+	ix := NewHashIndex(r, []int{0})
+	tp, _ := r.InsertRow("x", "1", "p")
+	// Update on a tuple the index has never seen must behave like Add.
+	ix.Update(tp)
+	got := ix.Lookup([]Value{S("x")})
+	if len(got) != 1 || got[0] != tp.ID {
+		t.Fatalf("Update-as-add: Lookup(x) = %v, want [%d]", got, tp.ID)
+	}
+}
+
+func TestHashIndexRemove(t *testing.T) {
+	r := idxRel(t)
+	t1, _ := r.InsertRow("x", "1", "p")
+	t2, _ := r.InsertRow("x", "1", "q")
+	ix := NewHashIndex(r, []int{0})
+	ix.Remove(t1.ID)
+	got := ix.Lookup([]Value{S("x")})
+	if len(got) != 1 || got[0] != t2.ID {
+		t.Fatalf("after remove, Lookup(x) = %v, want [%d]", got, t2.ID)
+	}
+	ix.Remove(t2.ID)
+	if got := ix.Lookup([]Value{S("x")}); len(got) != 0 {
+		t.Fatalf("after removing all, Lookup(x) = %v", got)
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", ix.Len())
+	}
+}
+
+func TestHashIndexRemoveUnindexed(t *testing.T) {
+	r := idxRel(t)
+	t1, _ := r.InsertRow("x", "1", "p")
+	ix := NewHashIndex(r, []int{0})
+	ix.Remove(TupleID(9999)) // never indexed: must be a no-op
+	got := ix.Lookup([]Value{S("x")})
+	if len(got) != 1 || got[0] != t1.ID {
+		t.Fatalf("remove of unindexed id disturbed the index: %v", got)
+	}
+}
+
+func TestHashIndexNullKeys(t *testing.T) {
+	r := idxRel(t)
+	tn := &Tuple{Vals: []Value{NullValue, S("1"), S("p")}}
+	r.MustInsert(tn)
+	tx, _ := r.InsertRow("x", "1", "p")
+	ix := NewHashIndex(r, []int{0})
+	if got := ix.Lookup([]Value{NullValue}); len(got) != 1 || got[0] != tn.ID {
+		t.Fatalf("Lookup(null) = %v, want [%d]", got, tn.ID)
+	}
+	if got := ix.Lookup([]Value{S("x")}); len(got) != 1 || got[0] != tx.ID {
+		t.Fatalf("Lookup(x) = %v, want [%d]", got, tx.ID)
+	}
+}
+
+func TestHashIndexLookupTupleFreeStanding(t *testing.T) {
+	r := idxRel(t)
+	t1, _ := r.InsertRow("x", "1", "p")
+	ix := NewHashIndex(r, []int{0, 1})
+	probe := NewTuple(0, "x", "1", "anything")
+	if probe.Interned() {
+		t.Fatal("free-standing tuple must not be interned")
+	}
+	got := ix.LookupTuple(probe)
+	if len(got) != 1 || got[0] != t1.ID {
+		t.Fatalf("LookupTuple(probe) = %v, want [%d]", got, t1.ID)
+	}
+}
+
+func TestKeyOfIDsWideArity(t *testing.T) {
+	// Keys beyond four attributes spill into ext and must stay exact.
+	a := KeyOfIDs([]ValueID{1, 2, 3, 4, 5, 6})
+	b := KeyOfIDs([]ValueID{1, 2, 3, 4, 5, 7})
+	c := KeyOfIDs([]ValueID{1, 2, 3, 4, 5, 6})
+	if a == b {
+		t.Fatal("distinct wide keys compare equal")
+	}
+	if a != c {
+		t.Fatal("equal wide keys compare unequal")
+	}
+	if a.Hash() == b.Hash() && a.ext == b.ext {
+		t.Fatal("ext ignored by Hash")
+	}
+}
+
+func TestDictInternLookup(t *testing.T) {
+	d := NewDict()
+	id1 := d.InternStr("a")
+	id2 := d.InternStr("b")
+	if id1 == id2 || id1 == NullID || id2 == NullID {
+		t.Fatalf("bad ids %d %d", id1, id2)
+	}
+	if got := d.InternStr("a"); got != id1 {
+		t.Fatalf("re-intern gave %d, want %d", got, id1)
+	}
+	if got, ok := d.LookupStr("b"); !ok || got != id2 {
+		t.Fatalf("LookupStr(b) = %d,%v", got, ok)
+	}
+	if _, ok := d.LookupStr("zzz"); ok {
+		t.Fatal("LookupStr found unseen value")
+	}
+	if d.LookupValue(NullValue) != NullID {
+		t.Fatal("null must map to NullID")
+	}
+	if v := d.Value(id1); v.Null || v.Str != "a" {
+		t.Fatalf("Value(id1) = %v", v)
+	}
+	if v := d.Value(NullID); !v.Null {
+		t.Fatalf("Value(NullID) = %v, want null", v)
+	}
+	cl := d.Clone()
+	if got, ok := cl.LookupStr("a"); !ok || got != id1 {
+		t.Fatal("clone must preserve ids")
+	}
+	cl.InternStr("c")
+	if _, ok := d.LookupStr("c"); ok {
+		t.Fatal("clone interning leaked into the original")
+	}
+}

@@ -1,0 +1,200 @@
+package relation
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// ValueID is a dense interned identifier for a Value within one Dict.
+// ID 0 is reserved for SQL null; InvalidID marks "not interned", so probe
+// paths can encode "this constant appears nowhere in the dictionary"
+// without touching the strings themselves. All equality of interned values
+// is O(1) integer comparison.
+type ValueID uint32
+
+const (
+	// NullID is the reserved interned id of SQL null.
+	NullID ValueID = 0
+	// InvalidID is returned by lookups for constants absent from the
+	// dictionary. It is never assigned to a real value, so composite keys
+	// built from it match nothing.
+	InvalidID ValueID = ^ValueID(0)
+)
+
+// Dict is an interning dictionary mapping each distinct string constant to
+// a dense ValueID. A Dict only grows: ids stay valid for the lifetime of
+// the dictionary (and of its clones), even after every tuple carrying the
+// value is deleted. Dict is safe for concurrent use: building a Detector
+// interns pattern constants into the relation's dictionary, so independent
+// read-only queries (Satisfies, Detect, ...) may race on it otherwise.
+// The hot scan paths never touch the dictionary — relation-owned tuples
+// carry their ids — so the lock only guards scratch-probe lookups and
+// interning.
+type Dict struct {
+	mu    sync.RWMutex
+	byStr map[string]ValueID
+	strs  []string // strs[id]; strs[0] is the null placeholder
+}
+
+// NewDict returns an empty dictionary with the null id reserved.
+func NewDict() *Dict {
+	return &Dict{
+		byStr: make(map[string]ValueID),
+		strs:  []string{""},
+	}
+}
+
+// InternStr returns the id of constant s, assigning the next dense id on
+// first sight.
+func (d *Dict) InternStr(s string) ValueID {
+	d.mu.RLock()
+	id, ok := d.byStr[s]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.byStr[s]; ok {
+		return id
+	}
+	id = ValueID(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.byStr[s] = id
+	return id
+}
+
+// Intern returns the id of v: NullID for null, InternStr otherwise.
+func (d *Dict) Intern(v Value) ValueID {
+	if v.Null {
+		return NullID
+	}
+	return d.InternStr(v.Str)
+}
+
+// LookupStr returns the id of constant s without interning; ok is false
+// (and the id InvalidID) when s has never been seen.
+func (d *Dict) LookupStr(s string) (ValueID, bool) {
+	d.mu.RLock()
+	id, ok := d.byStr[s]
+	d.mu.RUnlock()
+	if ok {
+		return id, true
+	}
+	return InvalidID, false
+}
+
+// LookupValue returns the id of v without interning: NullID for null,
+// InvalidID for unseen constants.
+func (d *Dict) LookupValue(v Value) ValueID {
+	if v.Null {
+		return NullID
+	}
+	id, _ := d.LookupStr(v.Str)
+	return id
+}
+
+// Value resolves an id back to its Value. NullID yields the null value.
+func (d *Dict) Value(id ValueID) Value {
+	if id == NullID {
+		return NullValue
+	}
+	return Value{Str: d.Str(id)}
+}
+
+// Str resolves a non-null id to its constant.
+func (d *Dict) Str(id ValueID) string {
+	d.mu.RLock()
+	s := d.strs[id]
+	d.mu.RUnlock()
+	return s
+}
+
+// Len returns the number of distinct constants interned (null excluded).
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	n := len(d.strs) - 1
+	d.mu.RUnlock()
+	return n
+}
+
+// Clone copies the dictionary; ids are preserved, so interned tuples of a
+// cloned relation keep their ids valid against the cloned dictionary.
+func (d *Dict) Clone() *Dict {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	c := &Dict{
+		byStr: make(map[string]ValueID, len(d.byStr)),
+		strs:  append([]string(nil), d.strs...),
+	}
+	for s, id := range d.byStr {
+		c.byStr[s] = id
+	}
+	return c
+}
+
+// Key is a fixed-width composite key over interned value ids, replacing
+// the string composite keys (Tuple.KeyOn / KeyOf) on the hot paths. Keys
+// over up to four attributes pack exactly into the two machine words; the
+// rare wider keys spill the remaining ids into ext, so equality stays
+// exact at every arity (no lossy hashing). Key is comparable and is used
+// directly as a Go map key.
+type Key struct {
+	lo, hi uint64
+	ext    string
+}
+
+// KeyOfIDs packs a sequence of interned ids into a Key. The caller is
+// responsible for arity discipline: keys are only comparable within one
+// index or bucket family, which always projects a fixed attribute set.
+func KeyOfIDs(ids []ValueID) Key {
+	var k Key
+	switch len(ids) {
+	case 0:
+	case 1:
+		k.lo = uint64(ids[0])
+	case 2:
+		k.lo = uint64(ids[0]) | uint64(ids[1])<<32
+	case 3:
+		k.lo = uint64(ids[0]) | uint64(ids[1])<<32
+		k.hi = uint64(ids[2])
+	case 4:
+		k.lo = uint64(ids[0]) | uint64(ids[1])<<32
+		k.hi = uint64(ids[2]) | uint64(ids[3])<<32
+	default:
+		k.lo = uint64(ids[0]) | uint64(ids[1])<<32
+		k.hi = uint64(ids[2]) | uint64(ids[3])<<32
+		b := make([]byte, 4*(len(ids)-4))
+		for i, id := range ids[4:] {
+			binary.LittleEndian.PutUint32(b[4*i:], uint32(id))
+		}
+		k.ext = string(b)
+	}
+	return k
+}
+
+// Hash returns a well-mixed 64-bit hash of the key, used to shard buckets
+// across detection workers.
+func (k Key) Hash() uint64 {
+	h := mix64(k.lo) ^ mix64(k.hi+0x9e3779b97f4a7c15)
+	for i := 0; i+4 <= len(k.ext); i += 4 {
+		w := uint64(k.ext[i]) | uint64(k.ext[i+1])<<8 |
+			uint64(k.ext[i+2])<<16 | uint64(k.ext[i+3])<<24
+		h = mix64(h ^ w)
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// PairKey packs two interned ids into one uint64, for symmetric or ordered
+// pair-keyed memo tables (e.g. the cost model's distance cache).
+func PairKey(a, b ValueID) uint64 { return uint64(a)<<32 | uint64(b) }

@@ -13,28 +13,35 @@ type Relation struct {
 	tuples []*Tuple
 	byID   map[TupleID]int
 	nextID TupleID
+	dict   *Dict
 
-	// adom[a] maps each non-null constant appearing in attribute a to the
-	// number of tuples currently carrying it. Maintained incrementally.
-	adom []map[string]int
+	// adom[a] maps the interned id of each non-null constant appearing in
+	// attribute a to the number of tuples currently carrying it.
+	// Maintained incrementally.
+	adom []map[ValueID]int
 }
 
 // New creates an empty relation instance of schema s.
 func New(s *Schema) *Relation {
-	adom := make([]map[string]int, s.Arity())
+	adom := make([]map[ValueID]int, s.Arity())
 	for i := range adom {
-		adom[i] = make(map[string]int)
+		adom[i] = make(map[ValueID]int)
 	}
 	return &Relation{
 		schema: s,
 		byID:   make(map[TupleID]int),
 		nextID: 1,
+		dict:   NewDict(),
 		adom:   adom,
 	}
 }
 
 // Schema returns the relation's schema.
 func (r *Relation) Schema() *Schema { return r.schema }
+
+// Dict returns the relation's interning dictionary. The dictionary only
+// grows; ids handed out stay valid for the relation's lifetime.
+func (r *Relation) Dict() *Dict { return r.dict }
 
 // Size returns the number of tuples.
 func (r *Relation) Size() int { return len(r.tuples) }
@@ -73,9 +80,14 @@ func (r *Relation) Insert(t *Tuple) error {
 	}
 	r.byID[t.ID] = len(r.tuples)
 	r.tuples = append(r.tuples, t)
+	// (Re-)intern the tuple's values against this relation's dictionary;
+	// ids from a previous owner are meaningless here.
+	t.ids = make([]ValueID, len(t.Vals))
 	for a, v := range t.Vals {
-		if !v.Null {
-			r.adom[a][v.Str]++
+		id := r.dict.Intern(v)
+		t.ids[a] = id
+		if id != NullID {
+			r.adom[a][id]++
 		}
 	}
 	return nil
@@ -105,9 +117,9 @@ func (r *Relation) Delete(id TupleID) bool {
 		return false
 	}
 	t := r.tuples[i]
-	for a, v := range t.Vals {
-		if !v.Null {
-			r.dropAdom(a, v.Str)
+	for a, id := range t.ids {
+		if id != NullID {
+			r.dropAdom(a, id)
 		}
 	}
 	last := len(r.tuples) - 1
@@ -130,21 +142,23 @@ func (r *Relation) Set(id TupleID, a int, v Value) (Value, error) {
 	if StrictEq(old, v) {
 		return old, nil
 	}
-	if !old.Null {
-		r.dropAdom(a, old.Str)
+	if oldID := t.ids[a]; oldID != NullID {
+		r.dropAdom(a, oldID)
 	}
-	if !v.Null {
-		r.adom[a][v.Str]++
+	vid := r.dict.Intern(v)
+	if vid != NullID {
+		r.adom[a][vid]++
 	}
 	t.Vals[a] = v
+	t.ids[a] = vid
 	return old, nil
 }
 
-func (r *Relation) dropAdom(a int, s string) {
-	if n := r.adom[a][s]; n <= 1 {
-		delete(r.adom[a], s)
+func (r *Relation) dropAdom(a int, id ValueID) {
+	if n := r.adom[a][id]; n <= 1 {
+		delete(r.adom[a], id)
 	} else {
-		r.adom[a][s] = n - 1
+		r.adom[a][id] = n - 1
 	}
 }
 
@@ -154,8 +168,8 @@ func (r *Relation) dropAdom(a int, s string) {
 // invented (§3.1).
 func (r *Relation) ActiveDomain(a int) []string {
 	out := make([]string, 0, len(r.adom[a]))
-	for s := range r.adom[a] {
-		out = append(out, s)
+	for id := range r.adom[a] {
+		out = append(out, r.dict.Str(id))
 	}
 	sort.Strings(out)
 	return out
@@ -166,11 +180,20 @@ func (r *Relation) ActiveDomainSize(a int) int { return len(r.adom[a]) }
 
 // DomainCount returns the number of tuples whose attribute a currently
 // equals constant s.
-func (r *Relation) DomainCount(a int, s string) int { return r.adom[a][s] }
+func (r *Relation) DomainCount(a int, s string) int {
+	id, ok := r.dict.LookupStr(s)
+	if !ok {
+		return 0
+	}
+	return r.adom[a][id]
+}
 
-// Clone deep-copies the relation, tuples included.
+// Clone deep-copies the relation, tuples included. The interning
+// dictionary is cloned id-preservingly, so value ids remain comparable
+// across a relation and its clones.
 func (r *Relation) Clone() *Relation {
 	c := New(r.schema)
+	c.dict = r.dict.Clone()
 	for _, t := range r.tuples {
 		c.MustInsert(t.Clone())
 	}

@@ -288,7 +288,7 @@ func TestHashIndexBuckets(t *testing.T) {
 	r.MustInsert(NewTuple(0, "y"))
 	ix := NewHashIndex(r, []int{0})
 	n := 0
-	ix.Buckets(func(key string, ids []TupleID) { n += len(ids) })
+	ix.Buckets(func(key Key, ids []TupleID) { n += len(ids) })
 	if n != 2 {
 		t.Errorf("bucket walk saw %d ids", n)
 	}

@@ -18,6 +18,14 @@ type Tuple struct {
 	ID   TupleID
 	Vals []Value
 	W    []float64
+
+	// ids holds the interned ValueID of each attribute value, parallel to
+	// Vals. It is owned by the Relation the tuple lives in: Insert fills
+	// it against the relation's Dict and Set keeps it in sync. A nil ids
+	// marks a free-standing tuple (built by NewTuple/Clone, or a scratch
+	// probe whose Vals are mutated directly); such tuples take the
+	// value-based slow paths.
+	ids []ValueID
 }
 
 // NewTuple builds a tuple with unit weights from plain strings.
@@ -92,6 +100,35 @@ func (t *Tuple) KeyOn(attrs []int) string {
 		b = append(b, t.Vals[a].Key()...)
 	}
 	return string(b)
+}
+
+// Interned reports whether t carries interned value ids (i.e. it is owned
+// by a Relation and its ids are in sync with Vals).
+func (t *Tuple) Interned() bool { return t.ids != nil }
+
+// IDAt returns the interned id of attribute a, or InvalidID for a
+// free-standing tuple.
+func (t *Tuple) IDAt(a int) ValueID {
+	if t.ids == nil {
+		return InvalidID
+	}
+	return t.ids[a]
+}
+
+// ProjectIDs appends the interned ids of t at attrs to dst and returns it.
+// The tuple must be interned.
+func (t *Tuple) ProjectIDs(dst []ValueID, attrs []int) []ValueID {
+	for _, a := range attrs {
+		dst = append(dst, t.ids[a])
+	}
+	return dst
+}
+
+// KeyOnIDs builds the fixed-width integer composite key of t's projection
+// onto attrs. The tuple must be interned.
+func (t *Tuple) KeyOnIDs(attrs []int) Key {
+	var buf [8]ValueID
+	return KeyOfIDs(t.ProjectIDs(buf[:0], attrs))
 }
 
 // HasNullOn reports whether any of the given attributes of t is null.

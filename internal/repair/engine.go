@@ -87,8 +87,9 @@ type engine struct {
 	comp  []int // comp[i] = dependency stratum of groups[i]
 
 	// sIdx are the FINDV support indices on X ∪ {A} \ {B} (§4.2),
-	// keyed by canonical attr-set key. Built lazily.
-	sIdx map[string]*relation.HashIndex
+	// keyed by the fixed-width integer key of the sorted attribute set.
+	// Built lazily.
+	sIdx map[relation.Key]*relation.HashIndex
 
 	// touching[a] lists group indices whose X ∪ {A} contains attribute a.
 	touching map[int][]int
@@ -96,14 +97,14 @@ type engine struct {
 	resolutions int
 }
 
-func attrsKey(attrs []int) string {
+func attrsKey(attrs []int) relation.Key {
 	s := append([]int(nil), attrs...)
 	sort.Ints(s)
-	b := make([]byte, 0, 4*len(s))
-	for _, a := range s {
-		b = append(b, byte(a), byte(a>>8), ',')
+	ids := make([]relation.ValueID, len(s))
+	for i, a := range s {
+		ids[i] = relation.ValueID(a)
 	}
-	return string(b)
+	return relation.KeyOfIDs(ids)
 }
 
 func newEngine(d *relation.Relation, sigma []*cfd.Normal, opts Options) (*engine, error) {
@@ -119,9 +120,9 @@ func newEngine(d *relation.Relation, sigma []*cfd.Normal, opts Options) (*engine
 		det:      det,
 		groups:   det.Groups(),
 		model:    opts.CostModel,
-		classes:  eqclass.New(),
+		classes:  eqclass.New(work.Dict()),
 		opts:     opts,
-		sIdx:     make(map[string]*relation.HashIndex),
+		sIdx:     make(map[relation.Key]*relation.HashIndex),
 		touching: make(map[int][]int),
 	}
 	e.dirty = make([]map[relation.TupleID]bool, len(e.groups))
@@ -242,6 +243,9 @@ type violation struct {
 	partner *relation.Tuple // nil for constant-RHS (case 1) violations
 }
 
+// dict returns the working relation's interning dictionary.
+func (e *engine) dict() *relation.Dict { return e.rel.Dict() }
+
 // findViolation returns the first live violation of tuple t within group
 // gi, or ok=false if t currently satisfies every rule of the group.
 func (e *engine) findViolation(gi int, t *relation.Tuple) (violation, bool) {
@@ -290,7 +294,7 @@ func (e *engine) classCost(k eqclass.Key, v relation.Value) float64 {
 		if t == nil {
 			continue
 		}
-		sum += e.model.Change(t, m.A, v)
+		sum += e.model.ChangeInterned(e.dict(), t, m.A, v)
 	}
 	return sum
 }

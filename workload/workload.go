@@ -4,6 +4,17 @@
 // weight protocol of the cost model. It is the documented substitution
 // for the paper's data scraped from AMAZON and other websites (see
 // DESIGN.md §2) and drives both the examples and the benchmark harness.
+//
+// # Reproducibility
+//
+// Workload runs are reproducible end to end under the interned value
+// substrate. Identical Configs yield byte-identical datasets: all
+// randomness flows from Seed, and interned value ids are assigned in
+// insertion order, so dictionaries, active domains and hash indices come
+// out identical run to run. Repairs over a generated dataset are equally
+// deterministic — same seed, same repair cost, same repaired database —
+// at every detection/INCREPAIR worker count, because the parallel paths
+// merge their shards in a canonical order (see repro_test.go).
 package workload
 
 import (
