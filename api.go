@@ -204,6 +204,21 @@ func Repair(d *Relation, sigma []*NormalCFD, opts *IncOptions) (*IncResult, erro
 	return increpair.Repair(d, sigma, opts)
 }
 
+// Session is a streaming repair session: a cleaner opened over a
+// database once, accepting ΔD batches with ApplyDelta. Violation state
+// is delta-maintained across batches — the base is never rescanned and
+// no detector is rebuilt — so each batch costs O(|ΔD|), opening the
+// online-cleaning scenario of §5. Close it when done streaming.
+type Session = increpair.Session
+
+// NewSession opens a streaming cleaner over d (cloned, never modified).
+// A dirty d is first cleaned with the §5.3 driver — Session.Initial
+// reports that repair. Push batches with ApplyDelta; read the maintained
+// result with Current. opts may be nil.
+func NewSession(d *Relation, sigma []*NormalCFD, opts *IncOptions) (*Session, error) {
+	return increpair.NewSession(d, sigma, opts)
+}
+
 // Framework (Fig. 3) and accuracy.
 type (
 	// Cleaner runs the repair→sample→feedback loop.

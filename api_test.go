@@ -218,3 +218,68 @@ func TestOrderingNames(t *testing.T) {
 		}
 	}
 }
+
+func TestStreamingSessionEndToEnd(t *testing.T) {
+	ds, err := workload.Generate(workload.Config{Size: 600, NoiseRate: 0.08, Seed: 13, Weights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, truth := ds.StreamBatches(4)
+	if len(deltas) != 4 || len(truth) != len(deltas) {
+		t.Fatalf("StreamBatches returned %d/%d batches, want 4", len(deltas), len(truth))
+	}
+
+	sess, err := cfdclean.NewSession(ds.Opt, ds.Sigma,
+		&cfdclean.IncOptions{Ordering: cfdclean.OrderByViolations})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Initial() != nil {
+		t.Fatal("clean base must not trigger an initial repair")
+	}
+
+	streamed, correct := 0, 0
+	for i, delta := range deltas {
+		res, err := sess.ApplyDelta(delta)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if !sess.Satisfied() {
+			t.Fatalf("batch %d: maintained state reports violations", i)
+		}
+		streamed += len(delta)
+		for _, rt := range res.Inserted {
+			for _, want := range truth[i] {
+				if want.ID != rt.ID {
+					continue
+				}
+				same := true
+				for a := range rt.Vals {
+					if rt.Vals[a].String() != want.Vals[a].String() {
+						same = false
+						break
+					}
+				}
+				if same {
+					correct++
+				}
+			}
+		}
+	}
+	// The invariant: a full re-detection over the final database agrees
+	// with the session's O(1) maintained answer.
+	if !cfdclean.Satisfies(sess.Current(), ds.Sigma) {
+		t.Fatal("final session database violates Σ under full re-detection")
+	}
+	if got := sess.Current().Size(); got != ds.Opt.Size()+streamed {
+		t.Fatalf("final size %d, want base %d + streamed %d", got, ds.Opt.Size(), streamed)
+	}
+	if float64(correct) < 0.5*float64(streamed) {
+		t.Fatalf("only %d/%d streamed tuples repaired to ground truth", correct, streamed)
+	}
+	batches, tuples, cost, _ := sess.Stats()
+	if batches != len(deltas) || tuples != streamed || cost <= 0 {
+		t.Fatalf("stats (%d, %d, %v) inconsistent with stream", batches, tuples, cost)
+	}
+}

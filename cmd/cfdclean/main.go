@@ -4,6 +4,7 @@
 //
 //	cfdclean -data dirty.csv -cfds cfds.txt [-mode batch|inc] [-o repaired.csv]
 //	         [-detect] [-truth clean.csv] [-ordering linear|vio|weight] [-k N]
+//	         [-workers N]
 //
 // With -detect the tool only reports violations. Otherwise it computes a
 // repair with BATCHREPAIR (mode batch, the default) or INCREPAIR's §5.3
@@ -30,6 +31,7 @@ func main() {
 	ordering := flag.String("ordering", "vio", "inc mode tuple order: linear, vio, or weight")
 	k := flag.Int("k", 2, "inc mode attribute-subset size")
 	limit := flag.Int("limit", 20, "max violations to print with -detect (0 = all)")
+	workers := flag.Int("workers", 0, "detection/repair parallelism (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	if *data == "" || *cfds == "" {
@@ -37,13 +39,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*data, *cfds, *mode, *out, *truth, *ordering, *detect, *k, *limit); err != nil {
+	if err := run(*data, *cfds, *mode, *out, *truth, *ordering, *detect, *k, *limit, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "cfdclean: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, cfdPath, mode, outPath, truthPath, ordering string, detect bool, k, limit int) error {
+func run(dataPath, cfdPath, mode, outPath, truthPath, ordering string, detect bool, k, limit, workers int) error {
 	f, err := os.Open(dataPath)
 	if err != nil {
 		return err
@@ -71,10 +73,10 @@ func run(dataPath, cfdPath, mode, outPath, truthPath, ordering string, detect bo
 		rel.Size(), len(parsed), len(sigma))
 
 	if detect {
-		return report(rel, sigma, limit)
+		return report(rel, sigma, limit, workers)
 	}
 
-	repaired, changes, cost, err := repairWith(rel, sigma, mode, ordering, k)
+	repaired, changes, cost, err := repairWith(rel, sigma, mode, ordering, k, workers)
 	if err != nil {
 		return err
 	}
@@ -109,10 +111,19 @@ func run(dataPath, cfdPath, mode, outPath, truthPath, ordering string, detect bo
 	return cfdclean.WriteCSV(repaired, w)
 }
 
-func report(rel *cfdclean.Relation, sigma []*cfdclean.NormalCFD, limit int) error {
-	vios := cfdclean.Violations(rel, sigma, limit)
-	counts := cfdclean.VioCounts(rel, sigma)
-	fmt.Printf("%d tuples violate Σ\n", len(counts))
+func report(rel *cfdclean.Relation, sigma []*cfdclean.NormalCFD, limit, workers int) error {
+	// One detection pass serves both the listing and the per-tuple
+	// counts; -workers bounds its parallelism.
+	all := cfdclean.Detect(rel, sigma, workers)
+	violating := make(map[cfdclean.TupleID]bool, len(all))
+	for _, v := range all {
+		violating[v.T] = true
+	}
+	vios := all
+	if limit > 0 && len(vios) > limit {
+		vios = vios[:limit]
+	}
+	fmt.Printf("%d tuples violate Σ\n", len(violating))
 	for _, v := range vios {
 		if v.With == 0 {
 			fmt.Printf("  tuple %d violates %s\n", v.T, v.N.Name)
@@ -126,7 +137,7 @@ func report(rel *cfdclean.Relation, sigma []*cfdclean.NormalCFD, limit int) erro
 	return nil
 }
 
-func repairWith(rel *cfdclean.Relation, sigma []*cfdclean.NormalCFD, mode, ordering string, k int) (*cfdclean.Relation, int, float64, error) {
+func repairWith(rel *cfdclean.Relation, sigma []*cfdclean.NormalCFD, mode, ordering string, k, workers int) (*cfdclean.Relation, int, float64, error) {
 	switch mode {
 	case "batch":
 		res, err := cfdclean.BatchRepair(rel, sigma, nil)
@@ -146,7 +157,7 @@ func repairWith(rel *cfdclean.Relation, sigma []*cfdclean.NormalCFD, mode, order
 		default:
 			return nil, 0, 0, fmt.Errorf("unknown ordering %q", ordering)
 		}
-		res, err := cfdclean.Repair(rel, sigma, &cfdclean.IncOptions{Ordering: ord, K: k})
+		res, err := cfdclean.Repair(rel, sigma, &cfdclean.IncOptions{Ordering: ord, K: k, Workers: workers})
 		if err != nil {
 			return nil, 0, 0, err
 		}

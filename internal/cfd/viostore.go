@@ -1,0 +1,391 @@
+package cfd
+
+import (
+	"sync"
+
+	"cfdclean/internal/relation"
+)
+
+// VioStore is a stateful, delta-maintained violation store: detection
+// turned from a scan into an index. It owns a Detector over a relation,
+// computes the full violation state once at construction, then subscribes
+// to the relation's mutation journal and keeps that state incrementally
+// up to date — per-group violation lists, per-tuple vio(t) counts, and
+// the global total — paying O(affected buckets) per insert, delete or
+// update instead of O(|D|) per query. Detect, VioAll, VioTuple and
+// Satisfied are answered from maintained state and are always exactly
+// equal to what a freshly built Detector would return (the equivalence is
+// fuzz-tested in viostore_test.go).
+//
+// The store is the paper's IncRepair enabler: the detect→fix→re-detect
+// loop of both repair engines runs against one store for the whole run,
+// so each round costs O(|Δ|), never O(|D|·rounds). Close detaches the
+// store from the relation's journal; after Close the relation can be
+// mutated freely without maintenance cost, but the store's answers go
+// stale.
+//
+// VioStore is not safe for concurrent mutation; like the Relation it
+// observes, it assumes one mutator. Read-only queries may run
+// concurrently with each other but not with mutations.
+type VioStore struct {
+	d   *Detector
+	rel *relation.Relation
+
+	// vio is vio(t) for every tuple with at least one violation; total is
+	// the sum over all tuples (the paper's vio(D), §3.1).
+	vio   map[relation.TupleID]int
+	total int
+
+	// state[i] holds the maintained violation lists of d.groups[i].
+	state []groupVioState
+
+	sc          *scanScratch
+	unsubscribe func()
+}
+
+// groupVioState is the maintained violation set of one embedded-FD group.
+// Variable-RHS groups key their violations by LHS-index bucket (the unit
+// of recomputation under deltas); constant-only groups have no index and
+// key per tuple, since case-1 violations involve one tuple alone.
+type groupVioState struct {
+	total    int
+	byBucket map[relation.Key][]Violation
+	byTuple  map[relation.TupleID][]Violation
+}
+
+// NewVioStore builds the violation store for sigma over rel: one full
+// (partition-parallel) detection pass, then subscription to rel's
+// mutation journal. The relation must not be mutated concurrently with
+// construction.
+func NewVioStore(rel *relation.Relation, sigma []*Normal) *VioStore {
+	return NewVioStoreWorkers(rel, sigma, 0)
+}
+
+// NewVioStoreWorkers is NewVioStore with explicit parallelism for the
+// initial scan (and the detector's later whole-database scans): 1 forces
+// the sequential path, <= 0 means runtime.GOMAXPROCS(0). The resulting
+// state is identical at every setting.
+func NewVioStoreWorkers(rel *relation.Relation, sigma []*Normal, workers int) *VioStore {
+	d := NewDetector(rel, sigma)
+	d.SetWorkers(workers)
+	s := &VioStore{
+		d:     d,
+		rel:   rel,
+		vio:   make(map[relation.TupleID]int),
+		state: make([]groupVioState, len(d.groups)),
+		sc:    newScanScratch(),
+	}
+
+	// Variable-RHS groups need their LHS indices live for maintenance;
+	// build them now and snapshot the bucket work list. Constant-only
+	// groups stay index-free (their violations are per-tuple).
+	type bucketWork struct {
+		gi  int
+		key relation.Key
+		ids []relation.TupleID
+	}
+	var work []bucketWork
+	for gi, g := range d.groups {
+		st := &s.state[gi]
+		if g.hasVar {
+			st.byBucket = make(map[relation.Key][]Violation)
+			d.index(g).Buckets(func(key relation.Key, ids []relation.TupleID) {
+				work = append(work, bucketWork{gi: gi, key: key, ids: ids})
+			})
+		} else {
+			st.byTuple = make(map[relation.TupleID][]Violation)
+		}
+	}
+
+	// Scan buckets in parallel; results land in an index-aligned slice,
+	// so the merge below is deterministic regardless of worker count.
+	results := make([][]Violation, len(work))
+	nw := d.workers
+	if nw > len(work) {
+		nw = len(work)
+	}
+	scanOne := func(w bucketWork, sc *scanScratch) []Violation {
+		var vios []Violation
+		d.scanBucket(d.groups[w.gi], w.ids, sc, func(t *relation.Tuple, n *Normal, with relation.TupleID) {
+			vios = append(vios, Violation{T: t.ID, N: n, With: with})
+		})
+		return vios
+	}
+	if nw > 1 {
+		var wg sync.WaitGroup
+		for wk := 0; wk < nw; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				sc := newScanScratch()
+				for i := wk; i < len(work); i += nw {
+					results[i] = scanOne(work[i], sc)
+				}
+			}(wk)
+		}
+		wg.Wait()
+	} else {
+		for i := range work {
+			results[i] = scanOne(work[i], s.sc)
+		}
+	}
+	for i, w := range work {
+		if len(results[i]) == 0 {
+			continue
+		}
+		s.state[w.gi].byBucket[w.key] = results[i]
+		s.account(w.gi, results[i], +1)
+	}
+
+	// Constant-only groups: one pass of per-tuple pattern probes.
+	for gi, g := range d.groups {
+		if g.hasVar {
+			continue
+		}
+		st := &s.state[gi]
+		d.scanConstTuples(g, rel.Tuples(), func(t *relation.Tuple, n *Normal, with relation.TupleID) {
+			st.byTuple[t.ID] = append(st.byTuple[t.ID], Violation{T: t.ID, N: n, With: with})
+		})
+		for _, vios := range st.byTuple {
+			s.account(gi, vios, +1)
+		}
+	}
+
+	s.unsubscribe = rel.Subscribe(s.onDelta)
+	return s
+}
+
+// account applies the vio(t) and total bookkeeping for a violation list
+// entering (sign +1) or leaving (sign -1) the store.
+func (s *VioStore) account(gi int, vios []Violation, sign int) {
+	for _, v := range vios {
+		n := s.vio[v.T] + sign
+		if n == 0 {
+			delete(s.vio, v.T)
+		} else {
+			s.vio[v.T] = n
+		}
+	}
+	s.state[gi].total += sign * len(vios)
+	s.total += sign * len(vios)
+}
+
+// Close detaches the store from the relation's mutation journal. The
+// store stops maintaining; its answers reflect the state at Close time.
+func (s *VioStore) Close() {
+	if s.unsubscribe != nil {
+		s.unsubscribe()
+		s.unsubscribe = nil
+	}
+}
+
+// Detector returns the underlying detector (shared indices, group
+// handles, scratch-tuple probes).
+func (s *VioStore) Detector() *Detector { return s.d }
+
+// Relation returns the observed relation.
+func (s *VioStore) Relation() *relation.Relation { return s.rel }
+
+// onDelta is the journal hook: it re-derives the violation state of
+// exactly the buckets (or tuples) a mutation can affect.
+func (s *VioStore) onDelta(dl relation.Delta) {
+	switch dl.Kind {
+	case relation.DeltaInsert:
+		t := dl.T
+		for gi, g := range s.d.groups {
+			if g.hasVar {
+				g.xIndex.Add(t)
+				s.rescanBucket(gi, t.KeyOnIDs(g.x))
+			} else {
+				if g.xIndex != nil {
+					g.xIndex.Add(t)
+				}
+				s.rescanConstTuple(gi, t)
+			}
+		}
+	case relation.DeltaDelete:
+		t := dl.T
+		for gi, g := range s.d.groups {
+			if g.hasVar {
+				key := t.KeyOnIDs(g.x)
+				g.xIndex.Remove(t.ID)
+				s.rescanBucket(gi, key)
+			} else {
+				if g.xIndex != nil {
+					g.xIndex.Remove(t.ID)
+				}
+				s.dropConstTuple(gi, t.ID)
+			}
+		}
+	case relation.DeltaUpdate:
+		t, a := dl.T, dl.Attr
+		for gi, g := range s.d.groups {
+			inX := containsAttr(g.x, a)
+			if !g.hasVar {
+				if g.xIndex != nil && inX {
+					g.xIndex.Update(t)
+				}
+				if inX || g.a == a {
+					s.rescanConstTuple(gi, t)
+				}
+				continue
+			}
+			if inX {
+				oldKey := keyWithOverride(t, g.x, a, dl.OldID)
+				g.xIndex.Update(t)
+				newKey := t.KeyOnIDs(g.x)
+				s.rescanBucket(gi, oldKey)
+				if newKey != oldKey {
+					s.rescanBucket(gi, newKey)
+				}
+			} else if g.a == a {
+				s.rescanBucket(gi, t.KeyOnIDs(g.x))
+			}
+		}
+	}
+}
+
+// rescanBucket recomputes the violation list of one LHS-key bucket of a
+// variable-RHS group and swaps it into the maintained state.
+func (s *VioStore) rescanBucket(gi int, key relation.Key) {
+	st := &s.state[gi]
+	if old := st.byBucket[key]; len(old) > 0 {
+		s.account(gi, old, -1)
+	}
+	g := s.d.groups[gi]
+	ids := g.xIndex.LookupKey(key)
+	var vios []Violation
+	if len(ids) > 0 {
+		s.d.scanBucket(g, ids, s.sc, func(t *relation.Tuple, n *Normal, with relation.TupleID) {
+			vios = append(vios, Violation{T: t.ID, N: n, With: with})
+		})
+	}
+	if len(vios) == 0 {
+		delete(st.byBucket, key)
+		return
+	}
+	st.byBucket[key] = vios
+	s.account(gi, vios, +1)
+}
+
+// rescanConstTuple recomputes the case-1 violations of one tuple within a
+// constant-only group.
+func (s *VioStore) rescanConstTuple(gi int, t *relation.Tuple) {
+	s.dropConstTuple(gi, t.ID)
+	st := &s.state[gi]
+	var vios []Violation
+	s.d.scanConstTuples(s.d.groups[gi], []*relation.Tuple{t}, func(t *relation.Tuple, n *Normal, with relation.TupleID) {
+		vios = append(vios, Violation{T: t.ID, N: n, With: with})
+	})
+	if len(vios) == 0 {
+		return
+	}
+	st.byTuple[t.ID] = vios
+	s.account(gi, vios, +1)
+}
+
+func (s *VioStore) dropConstTuple(gi int, id relation.TupleID) {
+	st := &s.state[gi]
+	if old := st.byTuple[id]; len(old) > 0 {
+		s.account(gi, old, -1)
+	}
+	delete(st.byTuple, id)
+}
+
+// keyWithOverride is t's LHS-index key with attribute a's interned id
+// replaced by oldID — the bucket t occupied before an update.
+func keyWithOverride(t *relation.Tuple, attrs []int, a int, oldID relation.ValueID) relation.Key {
+	var buf [8]relation.ValueID
+	ids := buf[:0]
+	for _, x := range attrs {
+		id := t.IDAt(x)
+		if x == a {
+			id = oldID
+		}
+		ids = append(ids, id)
+	}
+	return relation.KeyOfIDs(ids)
+}
+
+func containsAttr(xs []int, a int) bool {
+	for _, x := range xs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Detect returns every current violation in the canonical (tuple id,
+// rule rank, partner id) order, straight from maintained state — no
+// scan. The result is bit-identical to Detector.Detect on the same
+// relation contents.
+func (s *VioStore) Detect() []Violation {
+	out := make([]Violation, 0, s.total)
+	for gi := range s.state {
+		st := &s.state[gi]
+		for _, vios := range st.byBucket {
+			out = append(out, vios...)
+		}
+		for _, vios := range st.byTuple {
+			out = append(out, vios...)
+		}
+	}
+	s.d.sortViolations(out)
+	return out
+}
+
+// EachViolation visits every maintained violation together with the
+// index of its embedded-FD group (per Detector.Groups order). Visit
+// order is unspecified.
+func (s *VioStore) EachViolation(f func(gi int, v Violation)) {
+	for gi := range s.state {
+		st := &s.state[gi]
+		for _, vios := range st.byBucket {
+			for _, v := range vios {
+				f(gi, v)
+			}
+		}
+		for _, vios := range st.byTuple {
+			for _, v := range vios {
+				f(gi, v)
+			}
+		}
+	}
+}
+
+// VioAll returns a copy of the maintained vio(t) map: every tuple with at
+// least one violation and its count. O(dirty tuples), no scan.
+func (s *VioStore) VioAll() map[relation.TupleID]int {
+	out := make(map[relation.TupleID]int, len(s.vio))
+	for id, n := range s.vio {
+		out[id] = n
+	}
+	return out
+}
+
+// VioCount returns the maintained vio(t) of the tuple with the given id
+// (0 if it violates nothing).
+func (s *VioStore) VioCount(id relation.TupleID) int { return s.vio[id] }
+
+// VioTuple returns vio(t). Relation-owned tuples are answered from the
+// maintained count in O(1); free-standing scratch probes fall back to the
+// detector's index probes (they are not part of the maintained state).
+func (s *VioStore) VioTuple(t *relation.Tuple) int {
+	if t.Interned() && s.rel.Tuple(t.ID) == t {
+		return s.vio[t.ID]
+	}
+	return s.d.VioTuple(t)
+}
+
+// TotalViolations returns the maintained vio(D) in O(1).
+func (s *VioStore) TotalViolations() int { return s.total }
+
+// GroupTotal returns the maintained violation count of one embedded-FD
+// group (per Detector.Groups order), in O(1). A zero group total is a
+// sound fast-path for skipping the group entirely: every violation the
+// repair engines can observe is also counted here.
+func (s *VioStore) GroupTotal(gi int) int { return s.state[gi].total }
+
+// Satisfied reports rel |= sigma from the maintained total, in O(1).
+func (s *VioStore) Satisfied() bool { return s.total == 0 }

@@ -1,0 +1,202 @@
+package cfd
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cfdclean/internal/relation"
+)
+
+// checkStoreEquivalence asserts the store's maintained state is exactly
+// what a freshly built detector computes over the relation's current
+// contents: the canonical violation list bit for bit (tuples, rules,
+// partners, merge order), the vio(t) map, and the total.
+func checkStoreEquivalence(t *testing.T, tag string, s *VioStore, rel *relation.Relation, sigma []*Normal) {
+	t.Helper()
+	fresh := NewDetector(rel, sigma)
+	wantVios := fresh.Detect()
+	gotVios := s.Detect()
+	if !(len(gotVios) == 0 && len(wantVios) == 0) && !reflect.DeepEqual(gotVios, wantVios) {
+		t.Fatalf("%s: store Detect diverged: got %d violations, want %d\ngot:  %v\nwant: %v",
+			tag, len(gotVios), len(wantVios), gotVios, wantVios)
+	}
+	wantAll := fresh.VioAll()
+	gotAll := s.VioAll()
+	if !reflect.DeepEqual(gotAll, wantAll) {
+		t.Fatalf("%s: store VioAll diverged:\ngot:  %v\nwant: %v", tag, gotAll, wantAll)
+	}
+	if got, want := s.TotalViolations(), fresh.TotalViolations(); got != want {
+		t.Fatalf("%s: store total %d, fresh total %d", tag, got, want)
+	}
+	if got, want := s.Satisfied(), fresh.Satisfied(); got != want {
+		t.Fatalf("%s: store Satisfied %v, fresh %v", tag, got, want)
+	}
+	// Per-tuple counts through the owned-tuple fast path.
+	for _, tt := range rel.Tuples() {
+		if got, want := s.VioTuple(tt), fresh.VioTuple(tt); got != want {
+			t.Fatalf("%s: VioTuple(t%d) = %d, fresh %d", tag, tt.ID, got, want)
+		}
+	}
+	// Group totals must cover the whole multiset.
+	sum := 0
+	for gi := range fresh.Groups() {
+		sum += s.GroupTotal(gi)
+	}
+	if sum != s.TotalViolations() {
+		t.Fatalf("%s: group totals sum %d != total %d", tag, sum, s.TotalViolations())
+	}
+}
+
+func paperSigma(s *relation.Schema) []*Normal {
+	return NormalizeAll([]*CFD{phi1(s), phi2(s), phi3(s), phi4(s)})
+}
+
+func TestVioStoreMatchesDetectorOnPaperData(t *testing.T) {
+	rel := paperData(t)
+	sigma := paperSigma(rel.Schema())
+	s := NewVioStore(rel, sigma)
+	defer s.Close()
+	checkStoreEquivalence(t, "initial", s, rel, sigma)
+
+	// The Fig. 1 repair: t1[CT] := NYC resolves phi1's 212 pattern rows.
+	first := rel.Tuples()[2]
+	if _, err := rel.Set(first.ID, 6, relation.S("NYC")); err != nil {
+		t.Fatal(err)
+	}
+	checkStoreEquivalence(t, "after Set CT", s, rel, sigma)
+
+	// Insert a fresh violating tuple.
+	tu, err := rel.InsertRow("a23", "H. Porter", "99.99", "215", "8983490", "Walnut", "CHI", "IL", "19014")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStoreEquivalence(t, "after insert", s, rel, sigma)
+
+	// Delete it again.
+	rel.Delete(tu.ID)
+	checkStoreEquivalence(t, "after delete", s, rel, sigma)
+}
+
+// TestVioStoreFuzzEquivalence drives random insert/delete/update
+// sequences against a store and asserts, after every mutation, that the
+// maintained state is bit-identical to a freshly built detector.
+func TestVioStoreFuzzEquivalence(t *testing.T) {
+	schema := orderSchema()
+	sigma := paperSigma(schema)
+
+	// Small value pools per attribute keep collisions (and hence
+	// violations, bucket moves, pattern matches) frequent.
+	pools := [][]string{
+		{"a23", "a12", "a89"},                        // id
+		{"H. Porter", "J. Denver", "Snow White"},     // name
+		{"17.99", "7.94", "18.99"},                   // PR
+		{"212", "215", "610", "415"},                 // AC
+		{"8983490", "3456789", "3345677", "5674322"}, // PN
+		{"Walnut", "Spruce", "Canel", "Broad"},       // STR
+		{"PHI", "NYC", "CHI"},                        // CT
+		{"PA", "NY", "IL"},                           // ST
+		{"10012", "19014", "60614"},                  // zip
+	}
+	randVal := func(rng *rand.Rand, a int) relation.Value {
+		if rng.Intn(8) == 0 {
+			return relation.NullValue
+		}
+		p := pools[a]
+		return relation.S(p[rng.Intn(len(p))])
+	}
+
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			rel := relation.New(schema)
+			// Seed population.
+			for i := 0; i < 12; i++ {
+				vals := make([]relation.Value, schema.Arity())
+				for a := range vals {
+					vals[a] = randVal(rng, a)
+				}
+				rel.MustInsert(&relation.Tuple{Vals: vals})
+			}
+			s := NewVioStore(rel, sigma)
+			defer s.Close()
+			checkStoreEquivalence(t, "seeded", s, rel, sigma)
+
+			for step := 0; step < 120; step++ {
+				tag := fmt.Sprintf("step %d", step)
+				switch op := rng.Intn(10); {
+				case op < 3: // insert
+					vals := make([]relation.Value, schema.Arity())
+					for a := range vals {
+						vals[a] = randVal(rng, a)
+					}
+					rel.MustInsert(&relation.Tuple{Vals: vals})
+				case op < 5: // delete
+					ts := rel.Tuples()
+					if len(ts) == 0 {
+						continue
+					}
+					rel.Delete(ts[rng.Intn(len(ts))].ID)
+				default: // update
+					ts := rel.Tuples()
+					if len(ts) == 0 {
+						continue
+					}
+					tu := ts[rng.Intn(len(ts))]
+					a := rng.Intn(schema.Arity())
+					if _, err := rel.Set(tu.ID, a, randVal(rng, a)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				checkStoreEquivalence(t, tag, s, rel, sigma)
+			}
+		})
+	}
+}
+
+// TestVioStoreCloseDetaches asserts mutations after Close are no longer
+// maintained (and cost nothing): the store keeps its last state.
+func TestVioStoreCloseDetaches(t *testing.T) {
+	rel := paperData(t)
+	sigma := paperSigma(rel.Schema())
+	s := NewVioStore(rel, sigma)
+	before := s.TotalViolations()
+	s.Close()
+	if _, err := rel.InsertRow("zz", "X", "1", "212", "3345677", "Canel", "LA", "CA", "10012"); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalViolations() != before {
+		t.Fatalf("store kept maintaining after Close: %d -> %d", before, s.TotalViolations())
+	}
+}
+
+// TestVioStoreApplyUndoProbe exercises the apply/undo pattern the repair
+// layers use: insert scratch tuples, read maintained counts, delete them,
+// rewind the id mark — the store must return exactly to its prior state.
+func TestVioStoreApplyUndoProbe(t *testing.T) {
+	rel := paperData(t)
+	sigma := paperSigma(rel.Schema())
+	s := NewVioStore(rel, sigma)
+	defer s.Close()
+	beforeVios := s.Detect()
+	beforeNext := rel.NextID()
+
+	probe := relation.NewTuple(0, "a23", "H. Porter", "1.00", "215", "8983490", "Walnut", "CHI", "IL", "19014")
+	rel.MustInsert(probe)
+	if s.VioCount(probe.ID) == 0 {
+		t.Fatal("probe tuple should violate (CT/ST disagree with the 215 bucket)")
+	}
+	rel.Delete(probe.ID)
+	rel.RestoreNextID(beforeNext)
+
+	if got := rel.NextID(); got != beforeNext {
+		t.Fatalf("id mark not restored: %d != %d", got, beforeNext)
+	}
+	afterVios := s.Detect()
+	if !reflect.DeepEqual(beforeVios, afterVios) {
+		t.Fatalf("apply/undo left residue:\nbefore: %v\nafter:  %v", beforeVios, afterVios)
+	}
+	checkStoreEquivalence(t, "after undo", s, rel, sigma)
+}

@@ -1,0 +1,50 @@
+package gen
+
+import "cfdclean/internal/relation"
+
+// StreamBatches arranges the dataset's perturbed tuples as a stream of
+// ΔD insertion batches for the §5 online scenario: the clean Opt serves
+// as the trusted base, and the dirty versions of the perturbed tuples
+// arrive as new orders to be cleaned on insertion. It returns n parallel
+// batch pairs — deltas[i] holds dirty tuples, truth[i] their ground-truth
+// versions under the same (fresh) ids, disjoint from Opt's id range — so
+// harnesses can both drive a streaming session and score its output.
+// Batches are contiguous slices of the perturbation order. After
+// clamping n to [1, number of dirty tuples], exactly n non-empty batches
+// are returned (sizes differ by at most one); a dataset with no dirty
+// tuples yields none.
+func (d *Dataset) StreamBatches(n int) (deltas, truth [][]*relation.Tuple) {
+	ids := d.DirtyIDs
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(ids) {
+		n = len(ids)
+	}
+	base := relation.TupleID(d.cfg.Size)
+	deltas = make([][]*relation.Tuple, 0, n)
+	truth = make([][]*relation.Tuple, 0, n)
+	for b := 0; b < n; b++ {
+		// Balanced partition: exactly n batches whose sizes differ by at
+		// most one, all non-empty when len(ids) >= n.
+		start := b * len(ids) / n
+		end := (b + 1) * len(ids) / n
+		db := make([]*relation.Tuple, 0, end-start)
+		tb := make([]*relation.Tuple, 0, end-start)
+		for i, id := range ids[start:end] {
+			fresh := base + relation.TupleID(start+i) + 1
+			dt := d.Dirty.Tuple(id).Clone()
+			dt.ID = fresh
+			ct := d.Opt.Tuple(id).Clone()
+			ct.ID = fresh
+			db = append(db, dt)
+			tb = append(tb, ct)
+		}
+		deltas = append(deltas, db)
+		truth = append(truth, tb)
+	}
+	return deltas, truth
+}

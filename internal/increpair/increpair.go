@@ -14,13 +14,20 @@
 // Section 5.3's observation — extract the violation-free tuples of a
 // dirty database and treat the rest as ΔD — turns INCREPAIR into a batch
 // cleaner; Repair implements it.
+//
+// Every entry point runs against exactly one delta-maintained violation
+// store (cfd.VioStore) for the whole run: detection state is computed
+// once and then maintained under the engine's own inserts and deletes
+// through the relation's mutation journal, so per-tuple work is O(|Δ|),
+// never O(|D|). Session exposes this engine as a long-lived streaming
+// cleaner: open it over D once, push ΔD batches with ApplyDelta, and the
+// maintained state carries over from batch to batch.
 package increpair
 
 import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"cfdclean/internal/cfd"
 	"cfdclean/internal/cluster"
@@ -73,9 +80,9 @@ type Options struct {
 	SkipCleanCheck bool
 	// Workers bounds the parallelism of TUPLERESOLVE's candidate
 	// evaluation (attribute subsets are evaluated concurrently against
-	// per-worker scratch tuples) and of the V-INCREPAIR ordering pass.
-	// 0 means runtime.GOMAXPROCS(0); 1 forces the sequential path. The
-	// result is identical at every setting.
+	// per-worker scratch tuples) and of the violation store's initial
+	// scan. 0 means runtime.GOMAXPROCS(0); 1 forces the sequential path.
+	// The result is identical at every setting.
 	Workers int
 }
 
@@ -99,7 +106,8 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
-// Result reports a completed incremental repair.
+// Result reports a completed incremental repair (one run, or one Session
+// batch).
 type Result struct {
 	// Repair is D ⊕ ΔDRepr: the clean database with the repaired tuples
 	// inserted. Input relations and tuples are never modified.
@@ -114,9 +122,13 @@ type Result struct {
 	Changes int
 }
 
-// engine holds the state of one INCREPAIR run.
+// engine holds the state of one INCREPAIR run or Session. It is built
+// around exactly one violation store: all detection questions — the
+// clean check, dirty-tuple extraction, V-ordering, candidate probing —
+// are answered from (or through) the store's maintained state.
 type engine struct {
 	repr  *relation.Relation
+	store *cfd.VioStore
 	det   *cfd.Detector
 	model *cost.Model
 	opts  Options
@@ -139,32 +151,28 @@ type groupInfo struct {
 	mask uint64 // attribute-set bitmask of X ∪ {A}
 }
 
-// Incremental runs INCREPAIR: repairs each tuple of delta against d ∪
-// (already repaired tuples) and returns the combined repair. d must
-// satisfy sigma (checked unless Options.SkipCleanCheck).
-func Incremental(d *relation.Relation, delta []*relation.Tuple, sigma []*cfd.Normal, opts *Options) (*Result, error) {
-	o := opts.withDefaults()
+// newEngine builds the engine over repr, which it takes ownership of
+// (callers clone their input first). Exactly one detector/store is
+// constructed here; nothing downstream builds another.
+func newEngine(repr *relation.Relation, sigma []*cfd.Normal, o Options) (*engine, error) {
 	if _, err := cfd.Satisfiable(sigma); err != nil {
 		return nil, fmt.Errorf("increpair: %w", err)
 	}
-	if d.Schema().Arity() > 64 {
+	if repr.Schema().Arity() > 64 {
 		return nil, fmt.Errorf("increpair: schemas beyond 64 attributes are not supported")
 	}
-	repr := d.Clone()
-	det := cfd.NewDetector(repr, sigma)
-	if !o.SkipCleanCheck && !det.Satisfied() {
-		return nil, fmt.Errorf("increpair: input database does not satisfy sigma; use Repair for dirty databases")
-	}
+	store := cfd.NewVioStoreWorkers(repr, sigma, o.Workers)
 	e := &engine{
 		repr:       repr,
-		det:        det,
+		store:      store,
+		det:        store.Detector(),
 		model:      o.CostModel,
 		opts:       o,
-		arity:      d.Schema().Arity(),
+		arity:      repr.Schema().Arity(),
 		clusterIdx: make(map[int]cluster.Index),
 		nearCache:  make(map[int]map[string][]string),
 	}
-	for _, g := range det.Groups() {
+	for _, g := range e.det.Groups() {
 		var m uint64
 		for _, a := range g.X() {
 			m |= 1 << uint(a)
@@ -172,17 +180,32 @@ func Incremental(d *relation.Relation, delta []*relation.Tuple, sigma []*cfd.Nor
 		m |= 1 << uint(g.A())
 		e.groups = append(e.groups, groupInfo{g: g, mask: m})
 	}
-	ordered := orderDelta(d, delta, sigma, o.Ordering, o.Workers)
-	res := &Result{Repair: repr}
-	for _, t := range ordered {
+	return e, nil
+}
+
+// close detaches the violation store from the working relation, so the
+// returned repair can be mutated by the caller without maintenance cost.
+func (e *engine) close() {
+	e.store.Close()
+}
+
+// insertBatch repairs the tuples of delta one at a time (in the
+// configured ordering) and inserts them into Repr; the violation store
+// maintains itself under each insert. This is the INCREPAIR main loop
+// (Fig. 6), shared by Incremental, Repair and Session.ApplyDelta.
+func (e *engine) insertBatch(delta []*relation.Tuple) (*Result, error) {
+	for _, t := range delta {
 		if len(t.Vals) != e.arity {
 			return nil, fmt.Errorf("increpair: delta tuple %d has arity %d, want %d", t.ID, len(t.Vals), e.arity)
 		}
+	}
+	ordered := e.orderDelta(delta)
+	res := &Result{Repair: e.repr}
+	for _, t := range ordered {
 		rt := e.tupleResolve(t)
-		if err := repr.Insert(rt); err != nil {
+		if err := e.repr.Insert(rt); err != nil {
 			return nil, fmt.Errorf("increpair: inserting repaired tuple: %w", err)
 		}
-		e.det.AddTuple(rt)
 		for a, ix := range e.clusterIdx {
 			if !rt.Vals[a].Null {
 				before := ix.Len()
@@ -210,74 +233,96 @@ func Incremental(d *relation.Relation, delta []*relation.Tuple, sigma []*cfd.Nor
 	return res, nil
 }
 
+// Incremental runs INCREPAIR: repairs each tuple of delta against d ∪
+// (already repaired tuples) and returns the combined repair. d must
+// satisfy sigma (checked unless Options.SkipCleanCheck).
+func Incremental(d *relation.Relation, delta []*relation.Tuple, sigma []*cfd.Normal, opts *Options) (*Result, error) {
+	o := opts.withDefaults()
+	e, err := newEngine(d.Clone(), sigma, o)
+	if err != nil {
+		return nil, err
+	}
+	defer e.close()
+	if !o.SkipCleanCheck && !e.store.Satisfied() {
+		return nil, fmt.Errorf("increpair: input database does not satisfy sigma; use Repair for dirty databases")
+	}
+	return e.insertBatch(delta)
+}
+
 // Repair cleans a dirty database with INCREPAIR per §5.3: the tuples
 // violating no constraint form the clean core D; the rest are re-inserted
 // as ΔD, one repaired tuple at a time. (Finding a maximum consistent
 // subset is NP-hard — Proposition 5.4 — but the violation-free subset is
 // computable by detection alone and is large at realistic error rates.)
+//
+// One working clone, one violation store: the dirty tuples are read off
+// the store's maintained vio(t) map, their deletion streams through the
+// mutation journal (draining the store to zero), and the same store then
+// serves the re-insertion loop.
 func Repair(d *relation.Relation, sigma []*cfd.Normal, opts *Options) (*Result, error) {
 	o := opts.withDefaults()
-	det := cfd.NewDetector(d, sigma)
-	dirtyIDs := det.VioAll()
-	clean := d.Clone()
-	// Extract the dirty tuples in sorted id order: the repair content does
-	// not depend on it, but Delete compacts by swapping, so a fixed
-	// deletion order keeps the physical row order of the result — and
-	// hence its serialized form — reproducible run to run.
-	ids := make([]relation.TupleID, 0, len(dirtyIDs))
-	for id := range dirtyIDs {
+	e, err := newEngine(d.Clone(), sigma, o)
+	if err != nil {
+		return nil, err
+	}
+	defer e.close()
+	delta := e.extractDirty()
+	return e.insertBatch(delta)
+}
+
+// extractDirty removes every violating tuple from Repr and returns their
+// clones as the ΔD batch, per §5.3. Deletions happen in sorted id order:
+// the repair content does not depend on it, but Delete compacts by
+// swapping, so a fixed order keeps the physical row order of the result —
+// and hence its serialized form — reproducible run to run.
+func (e *engine) extractDirty() []*relation.Tuple {
+	dirty := e.store.VioAll()
+	ids := make([]relation.TupleID, 0, len(dirty))
+	for id := range dirty {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	delta := make([]*relation.Tuple, 0, len(ids))
 	for _, id := range ids {
-		t := clean.Tuple(id)
+		t := e.repr.Tuple(id)
 		if t == nil {
 			continue
 		}
 		delta = append(delta, t.Clone())
-		clean.Delete(id)
+		e.repr.Delete(id)
 	}
-	o.SkipCleanCheck = true
-	return Incremental(clean, delta, sigma, &o)
+	return delta
 }
 
 // orderDelta applies the §5.2 ordering to the delta batch. The
-// ByViolations pass computes vio(t) for every delta tuple concurrently
-// across workers; the counts land in a position-indexed slice, so the
-// resulting order is independent of the parallelism.
-func orderDelta(d *relation.Relation, delta []*relation.Tuple, sigma []*cfd.Normal, ord Ordering, workers int) []*relation.Tuple {
+// ByViolations pass ranks ΔD with apply/undo probes against the
+// violation store: the delta tuples are inserted into Repr (the journal
+// maintains the store in O(|Δ|)), vio(t) is read off the maintained
+// counts, and the tuples are deleted again, restoring the store — and
+// the id sequence — to their prior state. No database clone, no second
+// detector.
+func (e *engine) orderDelta(delta []*relation.Tuple) []*relation.Tuple {
 	out := append([]*relation.Tuple(nil), delta...)
-	switch ord {
+	switch e.opts.Ordering {
 	case ByViolations:
-		// vio(t) is computed against D ⊕ ΔD: build a scratch instance.
-		scratch := d.Clone()
-		scratchTuples := make([]*relation.Tuple, len(out))
+		// vio(t) is counted against D ⊕ ΔD (§5.2), so all probes are
+		// applied before any count is read.
+		mark := e.repr.NextID()
+		scratch := make([]*relation.Tuple, len(out))
 		for i, t := range out {
 			c := t.Clone()
 			c.ID = 0
-			scratch.MustInsert(c)
-			scratchTuples[i] = c
+			e.repr.MustInsert(c)
+			scratch[i] = c
 		}
-		det := cfd.NewDetector(scratch, sigma)
 		vio := make([]int, len(out))
-		if workers > 1 && len(out) >= 2*workers {
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					for i := w; i < len(out); i += workers {
-						vio[i] = det.VioTuple(scratchTuples[i])
-					}
-				}(w)
-			}
-			wg.Wait()
-		} else {
-			for i := range out {
-				vio[i] = det.VioTuple(scratchTuples[i])
-			}
+		for i, c := range scratch {
+			vio[i] = e.store.VioCount(c.ID)
 		}
+		for i := len(scratch) - 1; i >= 0; i-- {
+			e.repr.Delete(scratch[i].ID)
+		}
+		e.repr.RestoreNextID(mark)
 		idx := make([]int, len(out))
 		for i := range idx {
 			idx[i] = i

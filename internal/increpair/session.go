@@ -1,0 +1,102 @@
+package increpair
+
+import (
+	"errors"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/relation"
+)
+
+var errClosed = errors.New("increpair: session is closed")
+
+// Session is a long-lived streaming repair session — the paper's online
+// scenario (§5) as a stateful object. NewSession opens a cleaner over a
+// database D: it builds the working copy and the delta-maintained
+// violation store once, cleans D with the §5.3 driver if it is dirty,
+// and then keeps the engine alive. Each ApplyDelta pushes a ΔD batch
+// through INCREPAIR against the maintained state, so the per-batch cost
+// is O(|ΔD|) — the base is never rescanned, no detector is ever rebuilt,
+// and TUPLERESOLVE's donor indices, cost-based cluster indices and
+// nearest-neighbour caches all carry over from batch to batch.
+type Session struct {
+	e *engine
+
+	initial *Result
+	batches int
+	applied int
+	cost    float64
+	changes int
+	closed  bool
+}
+
+// NewSession opens a streaming repair session over d. The input is
+// cloned, never modified. If d violates sigma, the §5.3 driver repairs
+// it first; Initial reports that cleaning. opts may be nil.
+func NewSession(d *relation.Relation, sigma []*cfd.Normal, opts *Options) (*Session, error) {
+	o := opts.withDefaults()
+	e, err := newEngine(d.Clone(), sigma, o)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{e: e}
+	if !e.store.Satisfied() {
+		delta := e.extractDirty()
+		res, err := e.insertBatch(delta)
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		s.initial = res
+	}
+	return s, nil
+}
+
+// ApplyDelta repairs one ΔD batch against the session's current state
+// and inserts the repaired tuples. The returned Result describes this
+// batch alone; Result.Repair is the session's live relation.
+func (s *Session) ApplyDelta(delta []*relation.Tuple) (*Result, error) {
+	if s.closed {
+		return nil, errClosed
+	}
+	res, err := s.e.insertBatch(delta)
+	if err != nil {
+		return nil, err
+	}
+	s.batches++
+	s.applied += len(res.Inserted)
+	s.cost += res.Cost
+	s.changes += res.Changes
+	return res, nil
+}
+
+// Current returns the session's live repaired relation: D's clean core
+// plus every repaired batch so far. Callers must not mutate it while the
+// session is open; Close first.
+func (s *Session) Current() *relation.Relation { return s.e.repr }
+
+// Initial reports the §5.3 cleaning NewSession performed on a dirty
+// input, or nil if the input already satisfied sigma.
+func (s *Session) Initial() *Result { return s.initial }
+
+// Satisfied reports whether the session's relation currently satisfies
+// sigma, from the store's maintained total in O(1). It is an invariant
+// of INCREPAIR that this holds after every ApplyDelta.
+func (s *Session) Satisfied() bool { return s.e.store.Satisfied() }
+
+// Stats returns cumulative session counters: batches applied, tuples
+// inserted, total repair cost and changed cells (excluding the initial
+// cleaning).
+func (s *Session) Stats() (batches, tuples int, cost float64, changes int) {
+	return s.batches, s.applied, s.cost, s.changes
+}
+
+// Close detaches the session's violation store from its relation. The
+// relation remains valid (and is returned by Current); further ApplyDelta
+// calls fail.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.e.close()
+}

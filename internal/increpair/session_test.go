@@ -1,0 +1,197 @@
+package increpair
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/relation"
+)
+
+// randomDelta builds n delta tuples over the paper schema with values
+// drawn from pools that collide with the clean base.
+func randomDelta(rng *rand.Rand, n int) []*relation.Tuple {
+	ids := []string{"a23", "a12", "a89", "a45"}
+	names := []string{"H. Porter", "J. Denver", "Snow White", "B. Good"}
+	prs := []string{"17.99", "7.94", "18.99", "3.99"}
+	acs := []string{"212", "215", "610"}
+	pns := []string{"8983490", "3456789", "3345677", "5674322"}
+	strs := []string{"Walnut", "Spruce", "Canel", "Broad"}
+	cts := []string{"PHI", "NYC", "CHI"}
+	sts := []string{"PA", "NY", "IL"}
+	zips := []string{"10012", "19014", "60614"}
+	pick := func(p []string) string { return p[rng.Intn(len(p))] }
+	out := make([]*relation.Tuple, n)
+	for i := range out {
+		out[i] = relation.NewTuple(0,
+			pick(ids), pick(names), pick(prs), pick(acs), pick(pns),
+			pick(strs), pick(cts), pick(sts), pick(zips))
+	}
+	return out
+}
+
+// TestSessionMatchesOneShotLinear: with Linear ordering, streaming a
+// delta through a session in batches walks exactly the same sequence of
+// TUPLERESOLVE states as one Incremental call over the concatenation, so
+// the repairs must be identical, batch boundaries notwithstanding.
+func TestSessionMatchesOneShotLinear(t *testing.T) {
+	d := cleanPaperData(t)
+	sigma := cfd.NormalizeAll(paperCFDs(d.Schema()))
+	delta := randomDelta(rand.New(rand.NewSource(3)), 24)
+
+	cloneAll := func(ts []*relation.Tuple) []*relation.Tuple {
+		out := make([]*relation.Tuple, len(ts))
+		for i, tt := range ts {
+			out[i] = tt.Clone()
+		}
+		return out
+	}
+
+	oneShot, err := Incremental(d, cloneAll(delta), sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := NewSession(d, sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Initial() != nil {
+		t.Fatal("clean input must not trigger an initial repair")
+	}
+	var totalCost float64
+	totalChanges := 0
+	for start := 0; start < len(delta); start += 7 {
+		end := start + 7
+		if end > len(delta) {
+			end = len(delta)
+		}
+		res, err := sess.ApplyDelta(cloneAll(delta[start:end]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sess.Satisfied() {
+			t.Fatalf("session violates sigma after batch at %d", start)
+		}
+		totalCost += res.Cost
+		totalChanges += res.Changes
+	}
+
+	// Costs accumulate in a different association order (per-batch sums
+	// vs one accumulator), so allow float rounding; everything else is
+	// exact.
+	if diff := totalCost - oneShot.Cost; diff < -1e-9 || diff > 1e-9 || totalChanges != oneShot.Changes {
+		t.Fatalf("session stream (cost %v, changes %d) != one-shot (cost %v, changes %d)",
+			totalCost, totalChanges, oneShot.Cost, oneShot.Changes)
+	}
+	var a, b bytes.Buffer
+	if err := relation.WriteCSV(sess.Current(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := relation.WriteCSV(oneShot.Repair, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("session stream and one-shot repair diverged")
+	}
+}
+
+// TestSessionInitialMatchesRepair: opening a session over a dirty
+// database performs the §5.3 cleaning, identical to Repair.
+func TestSessionInitialMatchesRepair(t *testing.T) {
+	d := cleanPaperData(t)
+	// Dirty it: t1[CT] -> "PHL" violates phi2's 19014 row.
+	first := d.Tuples()[0]
+	if _, err := d.Set(first.ID, 6, relation.S("PHL")); err != nil {
+		t.Fatal(err)
+	}
+	sigma := cfd.NormalizeAll(paperCFDs(d.Schema()))
+
+	want, err := Repair(d, sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(d, sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	init := sess.Initial()
+	if init == nil {
+		t.Fatal("dirty input must trigger an initial repair")
+	}
+	if init.Cost != want.Cost || init.Changes != want.Changes {
+		t.Fatalf("initial clean (cost %v, changes %d) != Repair (cost %v, changes %d)",
+			init.Cost, init.Changes, want.Cost, want.Changes)
+	}
+	var a, b bytes.Buffer
+	if err := relation.WriteCSV(sess.Current(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := relation.WriteCSV(want.Repair, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("session initial clean and Repair diverged")
+	}
+}
+
+// TestSessionOrderingsStaySatisfied drives every §5.2 ordering through a
+// multi-batch stream and asserts the invariant Repr |= Σ after each
+// batch, plus correct cumulative stats.
+func TestSessionOrderingsStaySatisfied(t *testing.T) {
+	sigma := cfd.NormalizeAll(paperCFDs(orderSchema()))
+	for _, ord := range []Ordering{Linear, ByViolations, ByWeight} {
+		d := cleanPaperData(t)
+		sess, err := NewSession(d, sigma, &Options{Ordering: ord})
+		if err != nil {
+			t.Fatalf("%v: %v", ord, err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		wantTuples := 0
+		for b := 0; b < 4; b++ {
+			delta := randomDelta(rng, 5)
+			if _, err := sess.ApplyDelta(delta); err != nil {
+				t.Fatalf("%v batch %d: %v", ord, b, err)
+			}
+			wantTuples += len(delta)
+			if !sess.Satisfied() {
+				t.Fatalf("%v: violates sigma after batch %d", ord, b)
+			}
+			if !cfd.Satisfies(sess.Current(), sigma) {
+				t.Fatalf("%v: full re-detection disagrees with maintained state after batch %d", ord, b)
+			}
+		}
+		batches, tuples, _, _ := sess.Stats()
+		if batches != 4 || tuples != wantTuples {
+			t.Fatalf("%v: stats (%d batches, %d tuples), want (4, %d)", ord, batches, tuples, wantTuples)
+		}
+		sess.Close()
+		if _, err := sess.ApplyDelta(randomDelta(rng, 1)); err == nil {
+			t.Fatalf("%v: ApplyDelta after Close must fail", ord)
+		}
+	}
+}
+
+// TestSessionArityMismatch: a bad batch is rejected without corrupting
+// the session.
+func TestSessionArityMismatch(t *testing.T) {
+	d := cleanPaperData(t)
+	sigma := cfd.NormalizeAll(paperCFDs(d.Schema()))
+	sess, err := NewSession(d, sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.ApplyDelta([]*relation.Tuple{relation.NewTuple(0, "only", "three", "vals")}); err == nil {
+		t.Fatal("arity mismatch must be rejected")
+	}
+	if !sess.Satisfied() {
+		t.Fatal("rejected batch corrupted the session")
+	}
+	if _, err := sess.ApplyDelta([]*relation.Tuple{t5()}); err != nil {
+		t.Fatalf("session unusable after rejected batch: %v", err)
+	}
+}

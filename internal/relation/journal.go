@@ -1,0 +1,84 @@
+package relation
+
+// The mutation journal turns a Relation into a stream of typed deltas.
+// Inserts, deletes and Set calls notify every subscriber synchronously,
+// after the relation's own bookkeeping (tuple table, interned ids, active
+// domains) is consistent with the new state. Subscribers see mutations in
+// program order; there is no buffering and no goroutine hand-off, so a
+// subscriber's view is never stale. This is the substrate that lets
+// violation state be *maintained* under deltas instead of recomputed from
+// scratch: the detection layer subscribes once and pays O(|Δ|) per
+// mutation, never O(|D|).
+
+// DeltaKind discriminates the three mutation deltas a Relation emits.
+type DeltaKind uint8
+
+const (
+	// DeltaInsert reports a tuple added to the relation.
+	DeltaInsert DeltaKind = iota
+	// DeltaDelete reports a tuple removed from the relation. The Tuple in
+	// the delta is no longer owned by the relation, but its values and
+	// interned ids still reflect its state at removal time.
+	DeltaDelete
+	// DeltaUpdate reports one attribute of a tuple changed via Set. The
+	// Tuple already carries the new value; Old and OldID preserve the
+	// replaced value so subscribers can locate state keyed on it.
+	DeltaUpdate
+)
+
+// Delta is one relation mutation, emitted after the fact.
+type Delta struct {
+	Kind DeltaKind
+	T    *Tuple
+	// Attr, Old and OldID are meaningful for DeltaUpdate only: the changed
+	// attribute position, its previous value, and the previous interned id.
+	Attr  int
+	Old   Value
+	OldID ValueID
+}
+
+// Subscribe registers fn to observe every subsequent mutation of the
+// relation and returns a function that removes the subscription.
+// Subscribers are notified synchronously in subscription order, after the
+// relation's own state is updated; fn must not mutate the relation.
+func (r *Relation) Subscribe(fn func(Delta)) (unsubscribe func()) {
+	id := r.nextSub
+	r.nextSub++
+	r.subs = append(r.subs, subscriber{id: id, fn: fn})
+	return func() {
+		for i, s := range r.subs {
+			if s.id == id {
+				r.subs = append(r.subs[:i], r.subs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+type subscriber struct {
+	id int
+	fn func(Delta)
+}
+
+func (r *Relation) notify(d Delta) {
+	for _, s := range r.subs {
+		s.fn(d)
+	}
+}
+
+// NextID returns the id the next Insert of an id-less tuple would be
+// assigned. Together with RestoreNextID it lets callers run apply/undo
+// probes — insert scratch tuples, observe maintained state, delete them —
+// without permanently advancing the id sequence.
+func (r *Relation) NextID() TupleID { return r.nextID }
+
+// RestoreNextID rewinds the id counter to a value previously obtained
+// from NextID. The caller must have deleted every tuple inserted since
+// the mark; otherwise future ids would collide. Insert still bumps the
+// counter past any explicit id, so a stale mark degrades to a no-op
+// rather than corrupting the relation.
+func (r *Relation) RestoreNextID(mark TupleID) {
+	if mark < r.nextID {
+		r.nextID = mark
+	}
+}

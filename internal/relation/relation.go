@@ -19,6 +19,11 @@ type Relation struct {
 	// attribute a to the number of tuples currently carrying it.
 	// Maintained incrementally.
 	adom []map[ValueID]int
+
+	// subs are the mutation-journal subscribers (see journal.go); notified
+	// synchronously after each insert, delete and update.
+	subs    []subscriber
+	nextSub int
 }
 
 // New creates an empty relation instance of schema s.
@@ -90,6 +95,9 @@ func (r *Relation) Insert(t *Tuple) error {
 			r.adom[a][id]++
 		}
 	}
+	if len(r.subs) > 0 {
+		r.notify(Delta{Kind: DeltaInsert, T: t})
+	}
 	return nil
 }
 
@@ -127,6 +135,9 @@ func (r *Relation) Delete(id TupleID) bool {
 	r.byID[r.tuples[i].ID] = i
 	r.tuples = r.tuples[:last]
 	delete(r.byID, id)
+	if len(r.subs) > 0 {
+		r.notify(Delta{Kind: DeltaDelete, T: t})
+	}
 	return true
 }
 
@@ -142,7 +153,8 @@ func (r *Relation) Set(id TupleID, a int, v Value) (Value, error) {
 	if StrictEq(old, v) {
 		return old, nil
 	}
-	if oldID := t.ids[a]; oldID != NullID {
+	oldID := t.ids[a]
+	if oldID != NullID {
 		r.dropAdom(a, oldID)
 	}
 	vid := r.dict.Intern(v)
@@ -151,6 +163,9 @@ func (r *Relation) Set(id TupleID, a int, v Value) (Value, error) {
 	}
 	t.Vals[a] = v
 	t.ids[a] = vid
+	if len(r.subs) > 0 {
+		r.notify(Delta{Kind: DeltaUpdate, T: t, Attr: a, Old: old, OldID: oldID})
+	}
 	return old, nil
 }
 

@@ -25,15 +25,14 @@ func Batch(d *relation.Relation, sigma []*cfd.Normal, opts *Options) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	// Initialize Dirty_Tuples (Fig. 4 line 4): one pass per embedded-FD
-	// group over the working copy.
-	for gi := range e.groups {
-		for _, t := range e.rel.Tuples() {
-			if _, live := e.findViolation(gi, t); live {
-				e.dirty[gi][t.ID] = true
-			}
-		}
-	}
+	// Detach the store before handing the repaired relation to the
+	// caller, so their later mutations don't pay maintenance.
+	defer e.store.Close()
+	// Initialize Dirty_Tuples (Fig. 4 line 4) from the violation store's
+	// initial state — no per-group passes over the working copy.
+	e.store.EachViolation(func(gi int, v cfd.Violation) {
+		e.dirty[gi][v.T] = true
+	})
 	// Safety bound from the termination argument of Theorem 4.2: the
 	// progress measure is bounded by 3k for k = (tuple, attribute) pairs.
 	maxSteps := 3*e.rel.Size()*e.rel.Schema().Arity() + 1024
@@ -97,6 +96,13 @@ func (e *engine) pickNext() (plan, bool) {
 	for _, gi := range e.order {
 		if bestOK && e.comp[gi] > bestComp {
 			break // strictly later stratum; the current best stands
+		}
+		if e.store.GroupTotal(gi) == 0 {
+			// The maintained per-group count is zero, and every violation
+			// the class-aware findViolation can see is also a raw store
+			// violation (class identity only ever *adds* equality), so
+			// the whole dirty set of this group is stale — skip it.
+			continue
 		}
 		set := e.dirty[gi]
 		scanned := 0

@@ -74,7 +74,8 @@ type engine struct {
 	rel     *relation.Relation // working copy; stored values track targets
 	orig    *relation.Relation // input database (for cost accounting)
 	sigma   []*cfd.Normal
-	det     *cfd.Detector // mask/index machinery over the working copy
+	store   *cfd.VioStore // delta-maintained violation state over the working copy
+	det     *cfd.Detector // the store's mask/index machinery
 	groups  []cfd.Group
 	model   *cost.Model
 	classes *eqclass.Classes
@@ -112,11 +113,16 @@ func newEngine(d *relation.Relation, sigma []*cfd.Normal, opts Options) (*engine
 		return nil, fmt.Errorf("repair: %w", err)
 	}
 	work := d.Clone()
-	det := cfd.NewDetector(work, sigma)
+	// One violation store for the whole run: it scans once here and then
+	// maintains itself under every write the engine performs, via the
+	// relation's mutation journal — no per-round detector rebuilds.
+	store := cfd.NewVioStore(work, sigma)
+	det := store.Detector()
 	e := &engine{
 		rel:      work,
 		orig:     d,
 		sigma:    sigma,
+		store:    store,
 		det:      det,
 		groups:   det.Groups(),
 		model:    opts.CostModel,
@@ -178,7 +184,9 @@ func (e *engine) setStored(t *relation.Tuple, a int, v relation.Value) {
 	if e.opts.Trace != nil {
 		e.opts.Trace("write    t%d.%s %q -> %q", t.ID, e.rel.Schema().Attr(a), old, v)
 	}
-	e.det.UpdateTuple(t)
+	// The violation store (and with it the detector's LHS indices) is
+	// maintained by the relation's mutation journal; only the FINDV
+	// support indices are engine-owned and refreshed here.
 	for _, ix := range e.sIdx {
 		if ix.Touches(a) {
 			ix.Update(t)

@@ -51,4 +51,7 @@ const (
 var OrderAttrs = gen.OrderAttrs
 
 // Generate builds a dataset; identical Configs yield identical data.
+// For the streaming scenario, Dataset.StreamBatches arranges the
+// perturbed tuples as ΔD insertion batches (with ground truth) over the
+// clean Opt base — the input format of the Session/ApplyDelta API.
 func Generate(cfg Config) (*Dataset, error) { return gen.New(cfg) }
