@@ -186,6 +186,14 @@ const (
 
 // BatchRepair computes a repair of d satisfying sigma (BATCHREPAIR, §4).
 // d is not modified. opts may be nil.
+//
+// Execution is component-parallel: the violation graph's connected
+// components (tuples sharing no violation) are repaired concurrently
+// across BatchOptions.Workers workers, each against a pristine view of
+// the database with per-worker equivalence-class and cost state, and
+// the resolved fixes are merged in canonical component order. Workers 0
+// means all cores, 1 forces the sequential path; the repaired output is
+// byte-identical at every setting.
 func BatchRepair(d *Relation, sigma []*NormalCFD, opts *BatchOptions) (*BatchResult, error) {
 	return repair.Batch(d, sigma, opts)
 }

@@ -317,6 +317,30 @@ func BenchmarkDetectParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchRepair measures BATCHREPAIR end to end under the
+// component-parallel schedule: the violation graph's connected
+// components are repaired concurrently across the configured workers
+// and merged in canonical order. Every sub-bench returns byte-identical
+// repairs (enforced by the property battery); only wall-clock may
+// differ. workers=0 is the default (all cores).
+func BenchmarkBatchRepair(b *testing.B) {
+	ds := benchData(b, 2*benchSize, 0.05, 0.5)
+	for _, w := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var last *cfdclean.BatchResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				last, err = cfdclean.BatchRepair(ds.Dirty, ds.Sigma, &cfdclean.BatchOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(last.Resolutions), "resolutions")
+			reportQuality(b, ds, last.Repair)
+		})
+	}
+}
+
 // BenchmarkIncRepairDelta measures the per-batch cost of streaming a
 // fixed-size ΔD into an open Session while the base database D grows
 // across sub-benches. Under delta-maintained violation state the cost
@@ -325,13 +349,14 @@ func BenchmarkDetectParallel(b *testing.B) {
 // equal D. The session (store build, base indexing) is constructed
 // outside the timer; each iteration pays only ApplyDelta.
 func BenchmarkIncRepairDelta(b *testing.B) {
-	for _, cfg := range []struct{ base, delta int }{
-		{benchSize, 32},
-		{2 * benchSize, 32},
-		{4 * benchSize, 32},
-		{benchSize, 128},
+	for _, cfg := range []struct{ base, delta, workers int }{
+		{benchSize, 32, 1},
+		{2 * benchSize, 32, 1},
+		{4 * benchSize, 32, 1},
+		{benchSize, 128, 1},
+		{benchSize, 128, 4},
 	} {
-		b.Run(fmt.Sprintf("base=%d/delta=%d", cfg.base, cfg.delta), func(b *testing.B) {
+		b.Run(fmt.Sprintf("base=%d/delta=%d/workers=%d", cfg.base, cfg.delta, cfg.workers), func(b *testing.B) {
 			// ρ = 10% keeps the dirty pool ≥ 128 at every base size; the
 			// session's base is ds.Opt, which is independent of ρ.
 			ds := benchData(b, cfg.base, 0.10, 0.5)
@@ -344,7 +369,8 @@ func BenchmarkIncRepairDelta(b *testing.B) {
 				b.Skipf("only %d dirty tuples at this size", dirty)
 			}
 			batch := deltas[0][:cfg.delta]
-			sess, err := cfdclean.NewSession(ds.Opt, ds.Sigma, nil)
+			sess, err := cfdclean.NewSession(ds.Opt, ds.Sigma,
+				&cfdclean.IncOptions{Workers: cfg.workers})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cfdclean"
+)
+
+// writeCleanCSV builds a small clean extract with an obvious embedded FD
+// (zip -> CT, ST) and enough support behind each pattern for the miner's
+// default thresholds.
+func writeCleanCSV(t *testing.T, dir string) string {
+	t.Helper()
+	rows := []string{"zip,CT,ST"}
+	for i := 0; i < 8; i++ {
+		rows = append(rows, "10012,NYC,NY")
+	}
+	for i := 0; i < 6; i++ {
+		rows = append(rows, "19014,PHI,PA")
+	}
+	for i := 0; i < 5; i++ {
+		rows = append(rows, "60614,CHI,IL")
+	}
+	path := filepath.Join(dir, "clean.csv")
+	if err := os.WriteFile(path, []byte(strings.Join(rows, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunMinesAndRoundTrips is the command's smoke test: run() over a
+// clean extract must mine at least the zip->city dependency, write a
+// file cmd/cfdclean can consume (ParseCFDs round-trips it), and the
+// mined rules must hold on the data they were mined from.
+func TestRunMinesAndRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	data := writeCleanCSV(t, dir)
+	out := filepath.Join(dir, "cfds.txt")
+	if err := run(data, out, 2, 4, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	df, err := os.Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Close()
+	rel, err := cfdclean.ReadCSV("data", df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	mined, err := cfdclean.ParseCFDs(rel.Schema(), cf)
+	if err != nil {
+		t.Fatalf("mined output does not round-trip: %v", err)
+	}
+	if len(mined) == 0 {
+		t.Fatal("no rules mined from a dataset with an exact FD")
+	}
+	sigma := cfdclean.Normalize(mined)
+	if !cfdclean.Satisfies(rel, sigma) {
+		t.Fatal("mined rules do not hold on the data they were mined from")
+	}
+}
+
+// TestRunRejectsMissingData pins the error path: a nonexistent input
+// must surface as an error, not a panic or an empty output file.
+func TestRunRejectsMissingData(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(filepath.Join(dir, "nope.csv"), filepath.Join(dir, "out.txt"), 2, 4, 1, ""); err == nil {
+		t.Fatal("expected an error for a missing input file")
+	}
+}
+
+// TestRunAttrFilter restricts mining to a subset of attributes and
+// checks the filter is honored end to end.
+func TestRunAttrFilter(t *testing.T) {
+	dir := t.TempDir()
+	data := writeCleanCSV(t, dir)
+	out := filepath.Join(dir, "cfds.txt")
+	if err := run(data, out, 1, 4, 1, "zip,CT"); err != nil {
+		t.Fatal(err)
+	}
+	content, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(content), "ST") {
+		t.Fatalf("attribute filter leaked ST into the output:\n%s", content)
+	}
+}

@@ -1,6 +1,7 @@
 package cfd
 
 import (
+	"sort"
 	"sync"
 
 	"cfdclean/internal/relation"
@@ -39,8 +40,64 @@ type VioStore struct {
 	// state[i] holds the maintained violation lists of d.groups[i].
 	state []groupVioState
 
+	// comp is the maintained violation-graph connectivity (see
+	// Components): a union-find over violating tuples, grown in O(α) per
+	// violation entering the store and rebuilt lazily after removals.
+	comp compState
+
 	sc          *scanScratch
 	unsubscribe func()
+}
+
+// compState is the union-find behind Components. Violations entering the
+// store union their endpoints immediately; violations leaving the store
+// can split a component, which a union-find cannot express, so removals
+// only mark the structure stale and the next Components call rebuilds it
+// from the maintained violation lists in O(vio(D)·α). In the insert-only
+// regime of a streaming session the structure therefore stays exact
+// without ever being rebuilt.
+type compState struct {
+	parent map[relation.TupleID]relation.TupleID
+	stale  bool
+}
+
+func (c *compState) add(v Violation) {
+	if c.parent == nil {
+		c.parent = make(map[relation.TupleID]relation.TupleID)
+	}
+	c.node(v.T)
+	if v.With != 0 {
+		c.union(v.T, v.With)
+	}
+}
+
+func (c *compState) node(id relation.TupleID) {
+	if _, ok := c.parent[id]; !ok {
+		c.parent[id] = id
+	}
+}
+
+func (c *compState) find(id relation.TupleID) relation.TupleID {
+	for c.parent[id] != id {
+		c.parent[id] = c.parent[c.parent[id]] // path halving
+		id = c.parent[id]
+	}
+	return id
+}
+
+// union merges the components of a and b; the smaller root id wins, which
+// keeps the representative choice independent of union order.
+func (c *compState) union(a, b relation.TupleID) {
+	c.node(a)
+	c.node(b)
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		return
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	c.parent[rb] = ra
 }
 
 // groupVioState is the maintained violation set of one embedded-FD group.
@@ -165,6 +222,14 @@ func (s *VioStore) account(gi int, vios []Violation, sign int) {
 		} else {
 			s.vio[v.T] = n
 		}
+	}
+	if sign > 0 {
+		for _, v := range vios {
+			s.comp.add(v)
+		}
+	} else if len(vios) > 0 {
+		// Removed violations can split a component; rebuild lazily.
+		s.comp.stale = true
 	}
 	s.state[gi].total += sign * len(vios)
 	s.total += sign * len(vios)
@@ -389,3 +454,37 @@ func (s *VioStore) GroupTotal(gi int) int { return s.state[gi].total }
 
 // Satisfied reports rel |= sigma from the maintained total, in O(1).
 func (s *VioStore) Satisfied() bool { return s.total == 0 }
+
+// Components returns the connected components of the violation graph:
+// tuples are nodes, and an edge joins two tuples that co-occur in a
+// violation (the With partner of a variable-RHS violation). Tuples whose
+// only violations are single-tuple (constant-RHS) ones form singleton
+// components. Each component is sorted ascending by tuple id and the
+// components are ordered by their smallest member, so the result is a
+// canonical, deterministic partition of the currently violating tuples.
+//
+// Two tuples in different components share no violation, so repairing
+// them is independent: this is the decomposition the component-parallel
+// repair engine schedules across workers. The underlying union-find is
+// maintained incrementally as violations enter the store; removals mark
+// it stale and the next call rebuilds it from the maintained lists in
+// O(vio(D)). The result slice is freshly allocated on every call.
+func (s *VioStore) Components() [][]relation.TupleID {
+	if s.comp.stale {
+		s.comp.parent = nil
+		s.comp.stale = false
+		s.EachViolation(func(_ int, v Violation) { s.comp.add(v) })
+	}
+	byRoot := make(map[relation.TupleID][]relation.TupleID)
+	for id := range s.vio {
+		root := s.comp.find(id)
+		byRoot[root] = append(byRoot[root], id)
+	}
+	out := make([][]relation.TupleID, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 
 	"cfdclean/internal/relation"
@@ -47,6 +48,56 @@ func checkStoreEquivalence(t *testing.T, tag string, s *VioStore, rel *relation.
 	if sum != s.TotalViolations() {
 		t.Fatalf("%s: group totals sum %d != total %d", tag, sum, s.TotalViolations())
 	}
+	// The maintained violation-graph components must equal the partition
+	// a scratch union-find derives from the fresh violation list.
+	if got, want := s.Components(), referenceComponents(wantVios); !reflect.DeepEqual(got, want) {
+		if len(got) != 0 || len(want) != 0 {
+			t.Fatalf("%s: components diverged:\ngot:  %v\nwant: %v", tag, got, want)
+		}
+	}
+}
+
+// referenceComponents computes the violation-graph partition from a
+// violation list with a throwaway union-find, in the canonical order
+// Components promises (members ascending, components by smallest member).
+func referenceComponents(vios []Violation) [][]relation.TupleID {
+	parent := make(map[relation.TupleID]relation.TupleID)
+	var find func(relation.TupleID) relation.TupleID
+	find = func(id relation.TupleID) relation.TupleID {
+		if parent[id] == id {
+			return id
+		}
+		r := find(parent[id])
+		parent[id] = r
+		return r
+	}
+	node := func(id relation.TupleID) {
+		if _, ok := parent[id]; !ok {
+			parent[id] = id
+		}
+	}
+	for _, v := range vios {
+		node(v.T)
+		if v.With != 0 {
+			node(v.With)
+			ra, rb := find(v.T), find(v.With)
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	byRoot := make(map[relation.TupleID][]relation.TupleID)
+	for id := range parent {
+		byRoot[find(id)] = append(byRoot[find(id)], id)
+	}
+	out := make([][]relation.TupleID, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
 }
 
 func paperSigma(s *relation.Schema) []*Normal {

@@ -129,6 +129,79 @@ func (m *Model) ChangeFromInterned(dict *relation.Dict, t *relation.Tuple, a int
 	return w * m.distIDs(dict, dict.LookupValue(old), dict.LookupValue(vp), old, vp)
 }
 
+// scratchCap bounds each per-worker local memo independently of the
+// shared one.
+const scratchCap = 1 << 18
+
+// Scratch is a per-worker view of a Model: a lock-free local distance
+// memo in front of the shared (mutex-guarded) one. Repair workers score
+// the same (stored value, candidate) pairs over and over within their
+// own partition of the work, so after the first miss every repeat hit
+// is an uncontended map read. The miss path goes through Model.distIDs,
+// which consults and feeds the shared memo only when the caller's
+// dictionary is the one the model is bound to: INCREPAIR's candidate
+// workers all score against one relation and genuinely share, while the
+// component-parallel batch workers each own a cloned relation (own
+// Dict), so at most one of them matches the binding and the rest warm
+// purely local memos — correct either way, shared only when pointer-
+// identical dictionaries make it sound. A Scratch must not be shared
+// between goroutines; the Model underneath may be.
+type Scratch struct {
+	m     *Model
+	local map[uint64]float64
+	// dict is the dictionary the local keys are relative to, bound on
+	// first use exactly like the shared memo's binding.
+	dict *relation.Dict
+}
+
+// Scratch returns a fresh per-worker scratch over m.
+func (m *Model) Scratch() *Scratch {
+	return &Scratch{m: m, local: make(map[uint64]float64)}
+}
+
+// Model returns the shared model underneath.
+func (s *Scratch) Model() *Model { return s.m }
+
+func (s *Scratch) distIDs(dict *relation.Dict, ia, ib relation.ValueID, va, vb relation.Value) float64 {
+	if ia == relation.InvalidID || ib == relation.InvalidID || dict == nil {
+		return s.m.Dist(va, vb)
+	}
+	if s.dict == nil {
+		s.dict = dict
+	}
+	if s.dict != dict {
+		return s.m.Dist(va, vb)
+	}
+	key := relation.PairKey(ia, ib)
+	if d, ok := s.local[key]; ok {
+		return d
+	}
+	d := s.m.distIDs(dict, ia, ib, va, vb)
+	if len(s.local) < scratchCap {
+		s.local[key] = d
+	}
+	return d
+}
+
+// ChangeInterned is Model.ChangeInterned through the worker-local memo.
+func (s *Scratch) ChangeInterned(dict *relation.Dict, t *relation.Tuple, a int, vp relation.Value) float64 {
+	w := t.Weight(a)
+	if w == 0 {
+		return 0
+	}
+	return w * s.distIDs(dict, t.IDAt(a), dict.LookupValue(vp), t.Vals[a], vp)
+}
+
+// ChangeFromInterned is Model.ChangeFromInterned through the worker-local
+// memo.
+func (s *Scratch) ChangeFromInterned(dict *relation.Dict, t *relation.Tuple, a int, old, vp relation.Value) float64 {
+	w := t.Weight(a)
+	if w == 0 {
+		return 0
+	}
+	return w * s.distIDs(dict, dict.LookupValue(old), dict.LookupValue(vp), old, vp)
+}
+
 // Tuple returns the cost of changing tuple old into new: the sum of
 // cost(old[A], new[A]) over the attributes whose value is modified.
 // StrictEq decides modification: replacing a constant by null counts.

@@ -81,6 +81,18 @@ func New(dict *relation.Dict) *Classes {
 	return &Classes{dict: dict, index: make(map[Key]int)}
 }
 
+// Reset empties the manager for reuse, keeping its dictionary and the
+// allocated capacity of the node table and key index. The component-
+// parallel repair engine runs one equivalence-class universe per
+// violation-graph component; Reset is what lets a worker reuse one
+// Classes (its per-worker scratch state) across the components it is
+// assigned instead of reallocating per component.
+func (c *Classes) Reset() {
+	c.nodes = c.nodes[:0]
+	clear(c.index)
+	c.assigned = 0
+}
+
 func (c *Classes) node(k Key) int {
 	if i, ok := c.index[k]; ok {
 		return i

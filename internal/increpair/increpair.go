@@ -136,6 +136,13 @@ type engine struct {
 	groups []groupInfo
 	arity  int
 
+	// scratches[w] is worker w's memoized view of the cost model: a
+	// lock-free local distance memo over the shared one, so concurrent
+	// candidate scoring does not serialize on the model's mutex. Sized
+	// lazily to the worker count; scratches[0] serves the sequential
+	// path.
+	scratches []*cost.Scratch
+
 	// clusterIdx[a] is the cost-based index over adom(Repr, a); built
 	// lazily for the attributes Σ constrains.
 	clusterIdx map[int]cluster.Index

@@ -6,6 +6,7 @@ import (
 
 	"cfdclean/internal/cfd"
 	"cfdclean/internal/cluster"
+	"cfdclean/internal/cost"
 	"cfdclean/internal/relation"
 )
 
@@ -237,9 +238,10 @@ func (e *engine) bestFix(rt *relation.Tuple, fixed uint64, attrs []int, k int, v
 	if nw > len(subsets) {
 		nw = len(subsets)
 	}
+	e.ensureScratches(nw)
 	if nw <= 1 {
 		for _, c := range subsets {
-			f := e.bestValsFor(rt, fixed, c, violated, cands)
+			f := e.bestValsFor(rt, fixed, c, violated, cands, e.scratches[0])
 			if f.valid && f.better(best) {
 				best = f
 			}
@@ -257,8 +259,9 @@ func (e *engine) bestFix(rt *relation.Tuple, fixed uint64, attrs []int, k int, v
 				defer wg.Done()
 				local := ranked{idx: -1}
 				wrt := rt.Clone()
+				sc := e.scratches[w]
 				for i := w; i < len(subsets); i += nw {
-					f := e.bestValsFor(wrt, fixed, subsets[i], violated, cands)
+					f := e.bestValsFor(wrt, fixed, subsets[i], violated, cands, sc)
 					if f.valid && f.better(local.f) {
 						local = ranked{f: f, idx: i}
 					}
@@ -288,9 +291,23 @@ func (e *engine) bestFix(rt *relation.Tuple, fixed uint64, attrs []int, k int, v
 	return best
 }
 
+// ensureScratches sizes the per-worker cost scratch pool to at least n
+// (minimum one, for the sequential path). Scratches are reused across
+// bestFix calls — worker w always gets scratches[w], and the WaitGroup
+// barrier orders its uses — so the local memos warm up over the run.
+func (e *engine) ensureScratches(n int) {
+	if n < 1 {
+		n = 1
+	}
+	for len(e.scratches) < n {
+		e.scratches = append(e.scratches, e.model.Scratch())
+	}
+}
+
 // bestValsFor finds the cheapest consistent value combination for the
-// attribute set c, drawing per-attribute candidates from cands.
-func (e *engine) bestValsFor(rt *relation.Tuple, fixed uint64, c []int, violated []uint64, cands map[int][]relation.Value) fix {
+// attribute set c, drawing per-attribute candidates from cands; sc is
+// the calling worker's cost scratch.
+func (e *engine) bestValsFor(rt *relation.Tuple, fixed uint64, c []int, violated []uint64, cands map[int][]relation.Value, sc *cost.Scratch) fix {
 	var cmask uint64
 	for _, a := range c {
 		cmask |= 1 << uint(a)
@@ -325,7 +342,7 @@ func (e *engine) bestValsFor(rt *relation.Tuple, fixed uint64, c []int, violated
 			var chg float64
 			for i, a := range c {
 				if !relation.StrictEq(saved[i], rt.Vals[a]) {
-					chg += e.model.ChangeFromInterned(e.repr.Dict(), rt, a, saved[i], rt.Vals[a])
+					chg += sc.ChangeFromInterned(e.repr.Dict(), rt, a, saved[i], rt.Vals[a])
 				}
 			}
 			v := e.vio(rt)

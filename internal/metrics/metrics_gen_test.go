@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"testing"
+
+	"cfdclean/internal/gen"
+	"cfdclean/internal/relation"
+)
+
+// These tests pin the precision/recall computation against the noise
+// injector: gen.New knows exactly which cells it perturbed (NoisyCells,
+// and the Dirty/Opt diff), so every measure has a hand-computable
+// expected value for repairs we construct cell by cell.
+
+func genDataset(t *testing.T) *gen.Dataset {
+	t.Helper()
+	ds, err := gen.New(gen.Config{Size: 200, NoiseRate: 0.10, ConstShare: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NoisyCells == 0 {
+		t.Fatal("generator injected no noise; test is vacuous")
+	}
+	return ds
+}
+
+// noisyCells enumerates the injected noise as (tuple, attr) pairs in
+// canonical order.
+func noisyCells(ds *gen.Dataset) [][2]int {
+	var out [][2]int
+	for _, tu := range ds.Opt.Tuples() {
+		dirty := ds.Dirty.Tuple(tu.ID)
+		for a := range tu.Vals {
+			if !relation.StrictEq(tu.Vals[a], dirty.Vals[a]) {
+				out = append(out, [2]int{int(tu.ID), a})
+			}
+		}
+	}
+	return out
+}
+
+// TestPerfectRepairScoresOne: handing back the ground truth corrects
+// every injected cell and touches nothing else.
+func TestPerfectRepairScoresOne(t *testing.T) {
+	ds := genDataset(t)
+	q, err := Evaluate(ds.Dirty, ds.Opt, ds.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Noises != ds.NoisyCells {
+		t.Errorf("Noises = %d, generator injected %d", q.Noises, ds.NoisyCells)
+	}
+	if q.Precision != 1 || q.Recall != 1 {
+		t.Errorf("perfect repair scored %v", q)
+	}
+	if q.Changes != ds.NoisyCells || q.Corrected != ds.NoisyCells || q.Residual != 0 {
+		t.Errorf("perfect repair counters: %+v", q)
+	}
+}
+
+// TestNoopRepairScores: returning the dirty database unchanged has
+// precision 1 by convention (no changes, none wrong) and recall 0.
+func TestNoopRepairScores(t *testing.T) {
+	ds := genDataset(t)
+	q, err := Evaluate(ds.Dirty, ds.Dirty, ds.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Changes != 0 || q.Corrected != 0 {
+		t.Errorf("noop repair counters: %+v", q)
+	}
+	if q.Precision != 1 {
+		t.Errorf("noop precision = %v, want 1 (convention)", q.Precision)
+	}
+	if q.Recall != 0 {
+		t.Errorf("noop recall = %v, want 0", q.Recall)
+	}
+	if q.Residual != ds.NoisyCells {
+		t.Errorf("noop residual = %d, want %d", q.Residual, ds.NoisyCells)
+	}
+}
+
+// TestHalfRepairMatchesHandComputedPR: fixing exactly the first half of
+// the injected cells (from ground truth) yields precision 1 and recall
+// fixed/noises, computed by hand from the generator's bookkeeping.
+func TestHalfRepairMatchesHandComputedPR(t *testing.T) {
+	ds := genDataset(t)
+	cells := noisyCells(ds)
+	k := len(cells) / 2
+	repr := ds.Dirty.Clone()
+	for _, c := range cells[:k] {
+		id, a := relation.TupleID(c[0]), c[1]
+		if _, err := repr.Set(id, a, ds.Opt.Tuple(id).Vals[a]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := Evaluate(ds.Dirty, repr, ds.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Changes != k || q.Corrected != k {
+		t.Errorf("fixed %d cells, measured changes=%d corrected=%d", k, q.Changes, q.Corrected)
+	}
+	if q.Precision != 1 {
+		t.Errorf("precision = %v, want 1", q.Precision)
+	}
+	want := float64(k) / float64(ds.NoisyCells)
+	if q.Recall != want {
+		t.Errorf("recall = %v, want %v (%d/%d)", q.Recall, want, k, ds.NoisyCells)
+	}
+	if q.Residual != ds.NoisyCells-k {
+		t.Errorf("residual = %d, want %d", q.Residual, ds.NoisyCells-k)
+	}
+}
+
+// TestBotchedRepairPenalizesWrongWrites: fixing half the noise but also
+// overwriting clean cells with garbage drops precision exactly by the
+// garbage share, and residual counts both the unfixed noise and the new
+// damage.
+func TestBotchedRepairPenalizesWrongWrites(t *testing.T) {
+	ds := genDataset(t)
+	cells := noisyCells(ds)
+	k := len(cells) / 2
+	repr := ds.Dirty.Clone()
+	for _, c := range cells[:k] {
+		id, a := relation.TupleID(c[0]), c[1]
+		if _, err := repr.Set(id, a, ds.Opt.Tuple(id).Vals[a]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Damage g clean cells: attribute 0 of tuples the injector left
+	// untouched (values there always differ from "!!garbage!!").
+	g := 0
+	dirtySet := make(map[relation.TupleID]bool)
+	for _, id := range ds.DirtyIDs {
+		dirtySet[id] = true
+	}
+	for _, tu := range ds.Opt.Tuples() {
+		if g >= 10 {
+			break
+		}
+		if dirtySet[tu.ID] {
+			continue
+		}
+		if _, err := repr.Set(tu.ID, 0, relation.S("!!garbage!!")); err != nil {
+			t.Fatal(err)
+		}
+		g++
+	}
+	q, err := Evaluate(ds.Dirty, repr, ds.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Changes != k+g || q.Corrected != k {
+		t.Errorf("changes=%d corrected=%d, want %d and %d", q.Changes, q.Corrected, k+g, k)
+	}
+	wantP := float64(k) / float64(k+g)
+	if q.Precision != wantP {
+		t.Errorf("precision = %v, want %v", q.Precision, wantP)
+	}
+	if q.Residual != ds.NoisyCells-k+g {
+		t.Errorf("residual = %d, want %d", q.Residual, ds.NoisyCells-k+g)
+	}
+}

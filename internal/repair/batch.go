@@ -2,6 +2,7 @@ package repair
 
 import (
 	"fmt"
+	"sort"
 
 	"cfdclean/internal/cfd"
 	"cfdclean/internal/cost"
@@ -13,12 +14,20 @@ import (
 // sigma of normal-form CFDs, it computes a repair of d satisfying sigma.
 // The input database is not modified. Sigma must be satisfiable.
 //
-// The algorithm greedily resolves one violation at a time, chosen by
-// PICKNEXT as the cheapest available fix under the cost model, acting on
+// The greedy loop resolves one violation at a time, chosen by PICKNEXT
+// as the cheapest available fix under the cost model, acting on
 // equivalence classes of tuple attributes rather than on values directly;
 // when no dirty tuples remain, classes whose target is still '_' are
 // instantiated with least-cost constants, which may surface new
 // violations and re-enter the loop (Theorem 4.2 guarantees termination).
+//
+// Execution is component-parallel (see parallel.go): the loop runs per
+// connected component of the violation graph, components are distributed
+// across Options.Workers workers with per-worker engine state, and the
+// resolved fixes are merged in canonical component order. A residual
+// sequential pass resolves anything the merged fixes surface across
+// component boundaries, so the result satisfies sigma unconditionally
+// and is byte-identical at every worker count.
 func Batch(d *relation.Relation, sigma []*cfd.Normal, opts *Options) (*Result, error) {
 	o := opts.withDefaults()
 	e, err := newEngine(d, sigma, o)
@@ -28,41 +37,65 @@ func Batch(d *relation.Relation, sigma []*cfd.Normal, opts *Options) (*Result, e
 	// Detach the store before handing the repaired relation to the
 	// caller, so their later mutations don't pay maintenance.
 	defer e.store.Close()
-	// Initialize Dirty_Tuples (Fig. 4 line 4) from the violation store's
-	// initial state — no per-group passes over the working copy.
-	e.store.EachViolation(func(gi int, v cfd.Violation) {
-		e.dirty[gi][v.T] = true
-	})
 	// Safety bound from the termination argument of Theorem 4.2: the
 	// progress measure is bounded by 3k for k = (tuple, attribute) pairs.
 	maxSteps := 3*e.rel.Size()*e.rel.Schema().Arity() + 1024
-	rounds := 0
-	for {
-		if err := e.mainLoop(maxSteps); err != nil {
+	res := &Result{}
+	if comps := e.store.Components(); len(comps) > 0 {
+		fixes, st, err := e.runComponents(comps, maxSteps)
+		if err != nil {
 			return nil, err
 		}
-		rounds++
-		if !e.instantiate() {
-			break
+		// Merge in canonical component order: components by smallest
+		// member, cells by (tuple, attribute) within each. Conflicting
+		// writes from cross-component cascades resolve to the later
+		// component, deterministically.
+		for _, fl := range fixes {
+			for _, f := range fl {
+				if t := e.rel.Tuple(f.id); t != nil {
+					e.setStored(t, f.a, f.v)
+				}
+			}
 		}
+		res.Resolutions = st.resolutions
+		res.InstantiationRounds = st.rounds
+	}
+	// Residual pass (sequential, deterministic): the merged component
+	// fixes satisfy sigma except when components cascaded into shared
+	// clean tuples; whatever the store still reports is re-run through
+	// the same loop, seeded from the maintained state.
+	if !e.store.Satisfied() {
+		e.store.EachViolation(func(gi int, v cfd.Violation) {
+			e.dirty[gi][v.T] = true
+		})
+		before := e.resolutions
+		limit := e.resolutions + maxSteps
+		for {
+			if err := e.mainLoop(limit); err != nil {
+				return nil, err
+			}
+			res.InstantiationRounds++
+			if !e.instantiate() {
+				break
+			}
+		}
+		res.Resolutions += e.resolutions - before
 	}
 	repaired := e.rel
 	c, err := o.CostModel.Repair(repaired, d)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Repair:              repaired,
-		Cost:                c,
-		Changes:             cost.Dif(repaired, d),
-		Resolutions:         e.resolutions,
-		InstantiationRounds: rounds,
-	}, nil
+	res.Repair = repaired
+	res.Cost = c
+	res.Changes = cost.Dif(repaired, d)
+	return res, nil
 }
 
 // mainLoop resolves violations until every dirty set drains (Fig. 4
-// lines 5–8).
-func (e *engine) mainLoop(maxSteps int) error {
+// lines 5–8). limit is the absolute resolution count beyond which the
+// termination invariant is considered broken.
+func (e *engine) mainLoop(limit int) error {
 	for {
 		p, ok := e.pickNext()
 		if !ok {
@@ -71,8 +104,8 @@ func (e *engine) mainLoop(maxSteps int) error {
 		if err := e.execute(p); err != nil {
 			return fmt.Errorf("repair: resolving violation: %w", err)
 		}
-		if e.resolutions > maxSteps {
-			return fmt.Errorf("repair: exceeded %d resolutions; termination invariant broken", maxSteps)
+		if e.resolutions > limit {
+			return fmt.Errorf("repair: exceeded %d resolutions; termination invariant broken", limit)
 		}
 	}
 }
@@ -89,6 +122,12 @@ func (e *engine) mainLoop(maxSteps int) error {
 // low-weight (likely dirty) cells are repaired before trusted ones. At
 // most MaxScan live violations per group are evaluated in one call, and
 // stale dirty entries are dropped as they are discovered.
+//
+// Dirty tuples are visited in ascending id order — never in Go map
+// order — so the violations scanned under the MaxScan cap, and the
+// winner of cost ties, are fixed properties of the engine state. This is
+// what lets the component-parallel schedule promise byte-identical
+// output at every worker count.
 func (e *engine) pickNext() (plan, bool) {
 	var best plan
 	bestOK := false
@@ -105,8 +144,17 @@ func (e *engine) pickNext() (plan, bool) {
 			continue
 		}
 		set := e.dirty[gi]
-		scanned := 0
+		if len(set) == 0 {
+			continue
+		}
+		ids := e.idScratch[:0]
 		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		e.idScratch = ids
+		scanned := 0
+		for _, id := range ids {
 			t := e.rel.Tuple(id)
 			if t == nil {
 				delete(set, id)

@@ -8,6 +8,7 @@ package repair
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"cfdclean/internal/cfd"
@@ -32,6 +33,16 @@ type Options struct {
 	// groups (then groups are visited in input order). Exposed for the
 	// ablation benchmarks.
 	NoDepGraph bool
+	// Workers bounds the component-parallel execution of BATCHREPAIR:
+	// the violation graph's connected components (tuples sharing no
+	// violation edge, per cfd.VioStore.Components) are repaired
+	// concurrently, each against a pristine view of the database with
+	// per-worker equivalence-class and cost state, and the resolved fixes
+	// are merged in canonical component order. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces the sequential path. The repaired
+	// output is byte-identical at every setting — determinism is by
+	// construction, not by luck of scheduling.
+	Workers int
 	// Trace, when non-nil, receives a line per executed resolution step;
 	// for debugging and the verbose CLI mode.
 	Trace func(format string, args ...any)
@@ -51,6 +62,9 @@ func (o *Options) withDefaults() Options {
 	if out.MaxScan < 0 {
 		out.MaxScan = 0 // explicit "no cap"
 	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
 	return out
 }
 
@@ -62,14 +76,20 @@ type Result struct {
 	Cost float64
 	// Changes counts modified attribute values, dif(D, Repr).
 	Changes int
-	// Resolutions counts CFD-RESOLVE invocations (algorithm iterations).
+	// Resolutions counts CFD-RESOLVE invocations (algorithm iterations),
+	// summed across the violation-graph components (plus the residual
+	// pass); identical at every worker count.
 	Resolutions int
 	// InstantiationRounds counts how many times the instantiation phase
-	// (Fig. 4 lines 9–13) ran.
+	// (Fig. 4 lines 9–13) ran, summed the same way.
 	InstantiationRounds int
 }
 
-// engine is the mutable state of one BATCHREPAIR run.
+// engine is the mutable state of one BATCHREPAIR run. Under the
+// component-parallel schedule each worker owns one engine over its own
+// clone of the database, so every map below — equivalence classes, dirty
+// sets, cost memo, support indices — is per-worker scratch state, never
+// shared across goroutines.
 type engine struct {
 	rel     *relation.Relation // working copy; stored values track targets
 	orig    *relation.Relation // input database (for cost accounting)
@@ -77,7 +97,7 @@ type engine struct {
 	store   *cfd.VioStore // delta-maintained violation state over the working copy
 	det     *cfd.Detector // the store's mask/index machinery
 	groups  []cfd.Group
-	model   *cost.Model
+	scorer  *cost.Scratch // per-worker memoized view of the cost model
 	classes *eqclass.Classes
 	opts    Options
 
@@ -95,7 +115,29 @@ type engine struct {
 	// touching[a] lists group indices whose X ∪ {A} contains attribute a.
 	touching map[int][]int
 
+	// seedGroups maps each violating tuple to the groups it violates
+	// under; built once from the store to seed per-component dirty sets.
+	seedGroups map[relation.TupleID][]int
+
+	// recording, writes: while a component repair runs, every setStored
+	// is journaled (first write per cell keeps the pristine value) so the
+	// component's net fixes can be collected and the working copy rolled
+	// back to its pristine state for the next component.
+	recording bool
+	writes    []cellWrite
+
+	// idScratch is pickNext's reusable buffer for sorting dirty ids.
+	idScratch []relation.TupleID
+
 	resolutions int
+}
+
+// cellWrite is one journaled setStored: the cell and the value it held
+// before the write.
+type cellWrite struct {
+	id  relation.TupleID
+	a   int
+	old relation.Value
 }
 
 func attrsKey(attrs []int) relation.Key {
@@ -116,7 +158,7 @@ func newEngine(d *relation.Relation, sigma []*cfd.Normal, opts Options) (*engine
 	// One violation store for the whole run: it scans once here and then
 	// maintains itself under every write the engine performs, via the
 	// relation's mutation journal — no per-round detector rebuilds.
-	store := cfd.NewVioStore(work, sigma)
+	store := cfd.NewVioStoreWorkers(work, sigma, opts.Workers)
 	det := store.Detector()
 	e := &engine{
 		rel:      work,
@@ -125,7 +167,7 @@ func newEngine(d *relation.Relation, sigma []*cfd.Normal, opts Options) (*engine
 		store:    store,
 		det:      det,
 		groups:   det.Groups(),
-		model:    opts.CostModel,
+		scorer:   opts.CostModel.Scratch(),
 		classes:  eqclass.New(work.Dict()),
 		opts:     opts,
 		sIdx:     make(map[relation.Key]*relation.HashIndex),
@@ -181,6 +223,9 @@ func (e *engine) setStored(t *relation.Tuple, a int, v relation.Value) {
 	if relation.StrictEq(old, v) {
 		return
 	}
+	if e.recording {
+		e.writes = append(e.writes, cellWrite{id: t.ID, a: a, old: old})
+	}
 	if e.opts.Trace != nil {
 		e.opts.Trace("write    t%d.%s %q -> %q", t.ID, e.rel.Schema().Attr(a), old, v)
 	}
@@ -221,12 +266,20 @@ func (e *engine) markDirty(id relation.TupleID, a int) {
 	}
 }
 
-// supportIndex returns (building if needed) the FINDV index on attrs.
+// supportIndex returns (building if needed) the FINDV index on the attr
+// set. The index is always built on the *sorted* attribute positions —
+// the same canonical form the memo key uses — so every caller of a
+// shared index agrees on its key layout regardless of the attribute
+// order its rule happened to list; lookups must project via Attrs().
+// (Building with the first caller's order used to leave later callers
+// with a different order probing keys that could never match.)
 func (e *engine) supportIndex(attrs []int) *relation.HashIndex {
 	k := attrsKey(attrs)
 	ix, ok := e.sIdx[k]
 	if !ok {
-		ix = relation.NewHashIndex(e.rel, attrs)
+		sorted := append([]int(nil), attrs...)
+		sort.Ints(sorted)
+		ix = relation.NewHashIndex(e.rel, sorted)
 		e.sIdx[k] = ix
 	}
 	return ix
@@ -256,6 +309,12 @@ func (e *engine) dict() *relation.Dict { return e.rel.Dict() }
 
 // findViolation returns the first live violation of tuple t within group
 // gi, or ok=false if t currently satisfies every rule of the group.
+// Rules are visited in the group's (deterministic) order; within a rule
+// the canonical partner is the disagreeing tuple of smallest id, not the
+// first one the index bucket happens to list — bucket-internal order is
+// perturbed by the remove-and-swap index maintenance of earlier writes
+// and undos, and determinism-by-construction forbids it leaking into the
+// chosen plan.
 func (e *engine) findViolation(gi int, t *relation.Tuple) (violation, bool) {
 	g := e.groups[gi]
 	rules := g.MatchingRules(t)
@@ -277,6 +336,7 @@ func (e *engine) findViolation(gi int, t *relation.Tuple) (violation, bool) {
 		if bucket == nil {
 			bucket = g.Bucket(t)
 		}
+		var partner *relation.Tuple
 		for _, id := range bucket {
 			if id == t.ID {
 				continue
@@ -285,9 +345,12 @@ func (e *engine) findViolation(gi int, t *relation.Tuple) (violation, bool) {
 			if t2 == nil {
 				continue
 			}
-			if !e.eqOnRHS(t, t2, a) {
-				return violation{t: t, rule: n, partner: t2}, true
+			if !e.eqOnRHS(t, t2, a) && (partner == nil || t2.ID < partner.ID) {
+				partner = t2
 			}
+		}
+		if partner != nil {
+			return violation{t: t, rule: n, partner: partner}, true
 		}
 	}
 	return violation{}, false
@@ -302,7 +365,7 @@ func (e *engine) classCost(k eqclass.Key, v relation.Value) float64 {
 		if t == nil {
 			continue
 		}
-		sum += e.model.ChangeInterned(e.dict(), t, m.A, v)
+		sum += e.scorer.ChangeInterned(e.dict(), t, m.A, v)
 	}
 	return sum
 }

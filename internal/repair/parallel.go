@@ -1,0 +1,243 @@
+package repair
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/relation"
+)
+
+// This file is the component-parallel schedule of BATCHREPAIR. The
+// violation graph (tuples as nodes, an edge per shared violation — see
+// cfd.VioStore.Components) decomposes the dirty database into connected
+// components that share no violation, so the greedy repair loop can run
+// on each component independently. The schedule is deterministic by
+// construction, not by locking:
+//
+//   - every component is repaired against a *pristine* view of the
+//     database: a worker journals its writes and rolls them back before
+//     taking the next component, so what a component's repair observes
+//     never depends on which worker ran it or what ran before it;
+//   - each worker owns a full engine — its own clone of the relation,
+//     violation store, equivalence classes, cost memo and support
+//     indices — so nothing is shared but immutable inputs;
+//   - the per-component fix lists are merged into the result in
+//     canonical component order (components by smallest member, cells by
+//     (tuple, attribute)), making the merged state independent of
+//     completion order;
+//   - the greedy loop itself visits dirty tuples in sorted id order and
+//     ranks FINDV candidates in sorted value order, so a component's fix
+//     list is a pure function of the pristine database and Σ.
+//
+// Repairing a component can, rarely, cascade outside it: committing a
+// constant to an equivalence class can surface a new violation against a
+// previously clean tuple that another component also reaches. The merge
+// resolves write conflicts deterministically (later component wins) and
+// Batch runs a residual sequential pass over whatever violations remain
+// after the merge, so the engine's contract — the result satisfies Σ —
+// is unconditional.
+
+// cellFix is one net cell change a component repair resolved: the value
+// the cell holds after the component's repair, against pristine state.
+type cellFix struct {
+	id relation.TupleID
+	a  int
+	v  relation.Value
+}
+
+// compStats aggregates per-component counters into the run's Result.
+type compStats struct {
+	resolutions int
+	rounds      int
+}
+
+// seedFor returns the embedded-FD groups tuple id currently violates,
+// building the tuple→groups map from the store on first use.
+func (e *engine) seedFor(id relation.TupleID) []int {
+	if e.seedGroups == nil {
+		e.seedGroups = make(map[relation.TupleID][]int)
+		e.store.EachViolation(func(gi int, v cfd.Violation) {
+			e.seedGroups[v.T] = appendUnique(e.seedGroups[v.T], gi)
+		})
+	}
+	return e.seedGroups[id]
+}
+
+// repairComponent runs the full BATCHREPAIR loop (Fig. 4: resolve until
+// the dirty sets drain, instantiate, repeat) seeded with one violation-
+// graph component, collects the component's net cell fixes, and rolls
+// the working copy back to its pristine state. budget bounds the
+// resolutions of this component alone (Theorem 4.2's termination
+// measure, applied per component).
+func (e *engine) repairComponent(comp []relation.TupleID, budget int) ([]cellFix, compStats, error) {
+	e.recording = true
+	for _, id := range comp {
+		for _, gi := range e.seedFor(id) {
+			e.dirty[gi][id] = true
+		}
+	}
+	var st compStats
+	start := e.resolutions
+	limit := e.resolutions + budget
+	for {
+		if err := e.mainLoop(limit); err != nil {
+			e.rollback()
+			return nil, st, err
+		}
+		st.rounds++
+		if !e.instantiate() {
+			break
+		}
+	}
+	st.resolutions = e.resolutions - start
+	fixes := e.collectFixes()
+	e.rollback()
+	return fixes, st, nil
+}
+
+// collectFixes reduces the write journal to net per-cell changes against
+// pristine state, in canonical (tuple id, attribute) order. Cells whose
+// final value equals their pristine value are dropped.
+func (e *engine) collectFixes() []cellFix {
+	type cell struct {
+		id relation.TupleID
+		a  int
+	}
+	seen := make(map[cell]bool, len(e.writes))
+	var fixes []cellFix
+	for _, w := range e.writes {
+		c := cell{w.id, w.a}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		t := e.rel.Tuple(w.id)
+		if t == nil {
+			continue // unreachable: Batch never deletes tuples
+		}
+		// w.old of the first write to a cell is its pristine value.
+		if cur := t.Vals[w.a]; !relation.StrictEq(cur, w.old) {
+			fixes = append(fixes, cellFix{id: w.id, a: w.a, v: cur})
+		}
+	}
+	sort.Slice(fixes, func(i, j int) bool {
+		if fixes[i].id != fixes[j].id {
+			return fixes[i].id < fixes[j].id
+		}
+		return fixes[i].a < fixes[j].a
+	})
+	return fixes
+}
+
+// rollback restores every journaled cell to its pristine value and
+// resets the per-component scratch state (write journal, dirty sets,
+// equivalence classes), returning the engine to the state it was in
+// before the component repair began. The violation store maintains
+// itself back through the relation's journal.
+func (e *engine) rollback() {
+	e.recording = false
+	type cell struct {
+		id relation.TupleID
+		a  int
+	}
+	restored := make(map[cell]bool, len(e.writes))
+	for _, w := range e.writes {
+		c := cell{w.id, w.a}
+		if restored[c] {
+			continue
+		}
+		restored[c] = true
+		if t := e.rel.Tuple(w.id); t != nil {
+			e.setStored(t, w.a, w.old)
+		}
+	}
+	e.writes = e.writes[:0]
+	for i := range e.dirty {
+		clear(e.dirty[i])
+	}
+	e.classes.Reset()
+}
+
+// runComponents repairs every component and returns the per-component
+// fix lists, index-aligned with comps. With more than one worker, each
+// worker builds its own engine over a clone of the (pristine) working
+// copy and pulls components off a shared counter; results land in the
+// index-aligned slice, so scheduling never shows in the output.
+func (e *engine) runComponents(comps [][]relation.TupleID, budget int) ([][]cellFix, compStats, error) {
+	fixes := make([][]cellFix, len(comps))
+	stats := make([]compStats, len(comps))
+	nw := e.opts.Workers
+	if nw > len(comps) {
+		nw = len(comps)
+	}
+	// A worker is not free: it clones the relation and runs a full
+	// detection scan before repairing anything. Cap the worker count by
+	// the violating-tuple volume so a large, mostly-clean database with
+	// a handful of dirty tuples runs sequentially instead of paying
+	// cores × O(|D|) setup for milliseconds of repair work. The cap is a
+	// pure function of the input, so determinism is unaffected (and the
+	// output is identical at every worker count anyway).
+	totalDirty := 0
+	for _, comp := range comps {
+		totalDirty += len(comp)
+	}
+	if workCap := (totalDirty + 31) / 32; nw > workCap {
+		nw = workCap
+	}
+	if nw <= 1 {
+		for i, comp := range comps {
+			fl, st, err := e.repairComponent(comp, budget)
+			if err != nil {
+				return nil, compStats{}, err
+			}
+			fixes[i], stats[i] = fl, st
+		}
+	} else {
+		var next atomic.Int64
+		errs := make([]error, nw)
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Per-worker engine: own clone, store, classes, memo.
+				// The worker's store scan stays sequential — the
+				// parallelism budget is already spent on components.
+				wopts := e.opts
+				wopts.Workers = 1
+				we, err := newEngine(e.rel, e.sigma, wopts)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				defer we.store.Close()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(comps) {
+						return
+					}
+					fl, st, err := we.repairComponent(comps[i], budget)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					fixes[i], stats[i] = fl, st
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, compStats{}, err
+			}
+		}
+	}
+	var total compStats
+	for _, st := range stats {
+		total.resolutions += st.resolutions
+		total.rounds += st.rounds
+	}
+	return fixes, total, nil
+}

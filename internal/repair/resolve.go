@@ -1,6 +1,8 @@
 package repair
 
 import (
+	"sort"
+
 	"cfdclean/internal/cfd"
 	"cfdclean/internal/eqclass"
 	"cfdclean/internal/relation"
@@ -251,7 +253,8 @@ func (e *engine) findV(t *relation.Tuple, b int, n *cfd.Normal) (relation.Value,
 	// usually another tuple's typo of the same string, and picking it
 	// would spread noise onto clean tuples.
 	counts := make(map[string]int)
-	for _, id := range e.supportIndex(attrs).Lookup(t.Project(attrs)) {
+	ix := e.supportIndex(attrs)
+	for _, id := range ix.Lookup(t.Project(ix.Attrs())) {
 		if id == t.ID {
 			continue
 		}
@@ -272,11 +275,19 @@ func (e *engine) findV(t *relation.Tuple, b int, n *cfd.Normal) (relation.Value,
 	// value must fit every rule covering B, not just the one being
 	// resolved — a zip that matches the city but not the street would
 	// only shift the conflict onto ϕ4 and domino from there), then by
-	// support, then by Cost(t, B, v).
+	// support, then by Cost(t, B, v). Candidates are visited in sorted
+	// value order so full ties break lexicographically, never by map
+	// order — part of the engine's determinism-by-construction.
+	cands := make([]string, 0, len(counts))
+	for s := range counts {
+		cands = append(cands, s)
+	}
+	sort.Strings(cands)
 	probe := t.Clone()
 	var best relation.Value
 	bestVio, bestN, bestCost := -1, 0, -1.0
-	for s, n := range counts {
+	for _, s := range cands {
+		n := counts[s]
 		v := relation.S(s)
 		probe.Vals[b] = v
 		vio := e.det.VioTuple(probe)
