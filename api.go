@@ -213,11 +213,28 @@ func Repair(d *Relation, sigma []*NormalCFD, opts *IncOptions) (*IncResult, erro
 }
 
 // Session is a streaming repair session: a cleaner opened over a
-// database once, accepting ΔD batches with ApplyDelta. Violation state
-// is delta-maintained across batches — the base is never rescanned and
-// no detector is rebuilt — so each batch costs O(|ΔD|), opening the
-// online-cleaning scenario of §5. Close it when done streaming.
+// database once, accepting ΔD batches with ApplyDelta (inserts only) or
+// ApplyOps (mixed deletes, cell updates and inserts in one engine
+// pass). Violation state is delta-maintained across batches — the base
+// is never rescanned and no detector is rebuilt — so each batch costs
+// O(|ΔD|), opening the online-cleaning scenario of §5.
+//
+// Sessions are safe for concurrent use: mutations serialize on an
+// internal lock (single-writer), while Snapshot, Satisfied and Stats
+// read atomically published state without locking. Close it when done
+// streaming. For many sessions behind one process, see cmd/cfdserved —
+// the HTTP service hosting named sessions with per-session work queues,
+// whose responses are byte-identical to calling this API directly.
 type Session = increpair.Session
+
+// SessionSnapshot is an immutable, lock-free view of a Session's state,
+// published after every mutation and stamped with the relation
+// journal's NextID watermark and mutation version.
+type SessionSnapshot = increpair.Snapshot
+
+// SessionSet is one cell update in a Session.ApplyOps batch; the
+// updated tuple is re-cleaned by the engine like any arriving tuple.
+type SessionSet = increpair.SetOp
 
 // NewSession opens a streaming cleaner over d (cloned, never modified).
 // A dirty d is first cleaned with the §5.3 driver — Session.Initial

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"cfdclean/workload"
+)
+
+// loadReport is the BENCH_PR4.json shape: environment header plus one
+// workload.LoadResult row per concurrent-session count.
+type loadReport struct {
+	PR          int                    `json:"pr"`
+	Title       string                 `json:"title"`
+	Environment loadEnv                `json:"environment"`
+	Config      loadCfg                `json:"config"`
+	Results     []*workload.LoadResult `json:"results"`
+}
+
+type loadEnv struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Go         string `json:"go"`
+	Command    string `json:"command"`
+	Note       string `json:"note"`
+}
+
+type loadCfg struct {
+	BatchesPerSession int     `json:"batches_per_session"`
+	BaseSize          int     `json:"base_size"`
+	NoiseRate         float64 `json:"noise_rate"`
+	Seed              int64   `json:"seed"`
+	Workers           int     `json:"workers"`
+	QueueDepth        int     `json:"queue_depth"`
+}
+
+func runLoadtest(sessionsCSV string, batches, baseSize int, noise float64, seed int64, workers, queue int, outPath string) error {
+	var counts []int
+	for _, f := range strings.Split(sessionsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("-sessions: %q is not a positive integer", f)
+		}
+		counts = append(counts, n)
+	}
+
+	rep := &loadReport{
+		PR:    4,
+		Title: "cfdserved: concurrent multi-tenant cleaning service over streaming sessions",
+		Environment: loadEnv{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Go:         runtime.Version(),
+			Command: fmt.Sprintf("go run ./cmd/cfdserved -loadtest -sessions %s -batches %d -base %d -noise %g -seed %d -workers %d",
+				sessionsCSV, batches, baseSize, noise, seed, workers),
+			Note: "In-process server on a loopback listener: latencies include the full HTTP round trip (JSON codec, registry, queue hand-off, engine pass) but no network. Each session streams its own generated order workload; apply calls are synchronous, so per-session traffic is closed-loop and total offered load scales with the session count. On a GOMAXPROCS=1 container the per-session engine passes serialize onto one core, so aggregate batches/sec stays roughly flat as sessions are added while per-request latency grows linearly with the session count; on multicore hardware independent sessions run on distinct cores and aggregate throughput scales until cores saturate.",
+		},
+		Config: loadCfg{
+			BatchesPerSession: batches,
+			BaseSize:          baseSize,
+			NoiseRate:         noise,
+			Seed:              seed,
+			Workers:           workers,
+			QueueDepth:        queue,
+		},
+	}
+
+	for _, n := range counts {
+		fmt.Fprintf(os.Stderr, "loadtest: %d session(s), %d batches each ... ", n, batches)
+		t0 := time.Now()
+		res, err := workload.RunLoad(workload.LoadConfig{
+			Sessions:   n,
+			Batches:    batches,
+			BaseSize:   baseSize,
+			NoiseRate:  noise,
+			Seed:       seed,
+			Workers:    workers,
+			QueueDepth: queue,
+		})
+		if err != nil {
+			return fmt.Errorf("sessions=%d: %w", n, err)
+		}
+		fmt.Fprintf(os.Stderr, "%.1f batches/s, p50 %.0fms, p99 %.0fms (%v)\n",
+			res.BatchesPerSec, res.P50ms, res.P99ms, time.Since(t0).Round(time.Millisecond))
+		rep.Results = append(rep.Results, res)
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(outPath, b, 0o644)
+}

@@ -1,0 +1,117 @@
+// Command cfdserved serves concurrent streaming cleaning sessions over
+// HTTP/JSON: the paper's §5 online scenario (INCREPAIR over arriving ΔD
+// batches) as a multi-tenant service. Each named session hosts one base
+// database plus a CFD set; clients stream mutation batches and read
+// maintained violation state.
+//
+// Usage:
+//
+//	cfdserved [-addr :8344] [-queue 32] [-drain 10s]
+//	cfdserved -loadtest [-sessions 1,4,16] [-batches 8] [-base 800]
+//	          [-noise 0.08] [-seed 1] [-workers 1] [-out BENCH_PR4.json]
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET    /healthz                        liveness (503 while draining)
+//	GET    /v1/metrics                     service counters + pass latency
+//	GET    /v1/sessions                    list sessions
+//	POST   /v1/sessions                    create a session
+//	GET    /v1/sessions/{name}             lock-free state snapshot
+//	DELETE /v1/sessions/{name}             drain and close one session
+//	POST   /v1/sessions/{name}/apply       synchronous mutation batch
+//	POST   /v1/sessions/{name}/ingest      async insert batch (202/429)
+//	GET    /v1/sessions/{name}/violations  current violations (?limit=N)
+//	GET    /v1/sessions/{name}/dump        current relation as CSV
+//	GET    /v1/sessions/{name}/events      SSE stream of applied batches
+//
+// On SIGINT/SIGTERM the service drains gracefully: in-flight and queued
+// batches finish, sessions close, then the listener stops. With
+// -loadtest the binary instead measures its own sustained throughput
+// (see workload.RunLoad) and writes a JSON report.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cfdclean/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	queue := flag.Int("queue", 32, "per-session work queue depth (full queue: apply blocks, ingest gets 429)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget for queued work")
+
+	loadtest := flag.Bool("loadtest", false, "run the service load driver instead of serving")
+	sessions := flag.String("sessions", "1,4,16", "loadtest: comma-separated concurrent session counts")
+	batches := flag.Int("batches", 8, "loadtest: batches streamed per session")
+	baseSize := flag.Int("base", 800, "loadtest: clean base size per session")
+	noise := flag.Float64("noise", 0.08, "loadtest: generator noise rate")
+	seed := flag.Int64("seed", 1, "loadtest: generator seed (session i uses seed+i)")
+	workers := flag.Int("workers", 1, "loadtest: per-session engine workers")
+	out := flag.String("out", "", "loadtest: JSON report path (default stdout)")
+	flag.Parse()
+
+	if *loadtest {
+		if err := runLoadtest(*sessions, *batches, *baseSize, *noise, *seed, *workers, *queue, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "cfdserved: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	if err := serve(*addr, *queue, *drain, sigc, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "cfdserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the service until stop yields (a signal in production, a
+// test's synthetic value otherwise), then drains gracefully. ready, if
+// non-nil, receives the bound address once the listener is up.
+func serve(addr string, queue int, drain time.Duration, stop <-chan os.Signal, ready chan<- string) error {
+	svc := server.New(server.Options{QueueDepth: queue, DrainTimeout: drain})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("cfdserved: listening on %s (queue depth %d)", ln.Addr(), queue)
+		errc <- hs.Serve(ln)
+	}()
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("cfdserved: %v — draining (budget %v)", sig, drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("cfdserved: drain incomplete: %v", err)
+	} else {
+		log.Printf("cfdserved: drained cleanly")
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

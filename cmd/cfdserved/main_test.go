@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeLifecycle boots the real service loop on a loopback port,
+// performs one session round trip over HTTP, then stops it with a
+// synthetic signal and expects a clean drain.
+func TestServeLifecycle(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve("127.0.0.1:0", 8, 10*time.Second, stop, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	create := `{"name":"smoke","base_csv":"AC,CT\n212,NYC\n","cfds":"cfd phi1: [AC] -> [CT]\n(212 || NYC)\n"}`
+	resp, err = http.Post(base+"/v1/sessions", "application/json", bytes.NewReader([]byte(create)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d: %s", resp.StatusCode, body)
+	}
+	apply := `{"inserts":[{"vals":["212","PHI"]}]}`
+	resp, err = http.Post(base+"/v1/sessions/smoke/apply", "application/json", bytes.NewReader([]byte(apply)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"satisfied":true`)) {
+		t.Fatalf("apply: %d: %s", resp.StatusCode, body)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not drain after signal")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if err := serve("127.0.0.1:-1", 8, time.Second, nil, nil); err == nil {
+		t.Fatal("invalid listen address must fail")
+	}
+}
+
+// TestLoadtestWritesReport runs the self-loadtest at a tiny scale and
+// checks the BENCH_PR4.json shape it writes.
+func TestLoadtestWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := runLoadtest("1,2", 2, 120, 0.08, 3, 1, 8, out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.PR != 4 || len(rep.Results) != 2 {
+		t.Fatalf("report shape: %s", b)
+	}
+	if rep.Results[0].Sessions != 1 || rep.Results[1].Sessions != 2 {
+		t.Fatalf("session counts: %s", b)
+	}
+	for _, r := range rep.Results {
+		if r.BatchesPerSec <= 0 || r.P99ms < r.P50ms {
+			t.Fatalf("bad result row: %+v", r)
+		}
+	}
+}
+
+func TestLoadtestRejectsBadSessions(t *testing.T) {
+	if err := runLoadtest("1,zero", 1, 50, 0.05, 1, 1, 8, ""); err == nil {
+		t.Fatal("non-integer session count must fail")
+	}
+	if err := runLoadtest("0", 1, 50, 0.05, 1, 1, 8, ""); err == nil {
+		t.Fatal("zero session count must fail")
+	}
+}

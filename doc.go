@@ -6,27 +6,104 @@
 // tableau that binds semantically related values: standard FDs are the
 // special case of a single all-wildcard pattern row, while constant rows
 // let a single tuple violate a constraint (a 212 area code with a
-// Philadelphia city, say). The package detects such violations and
-// repairs them automatically:
+// Philadelphia city, say). The package detects such violations, repairs
+// them automatically, and serves long-lived cleaning sessions to many
+// concurrent tenants.
 //
-//   - BatchRepair implements the paper's BATCHREPAIR (§4): an
-//     equivalence-class, cost-guided heuristic that always terminates
-//     with a repair satisfying Σ (finding a minimum-cost repair is
-//     NP-complete even for fixed schema and Σ).
-//   - IncRepair implements INCREPAIR (§5): given a clean database and a
-//     batch of insertions, it repairs the new tuples one at a time —
-//     greedily over attribute subsets of size k — without touching the
-//     trusted data; Repair applies the same engine to a whole dirty
-//     database (§5.3). Three tuple orderings (linear, by violations, by
-//     weight) trade cost for accuracy.
-//   - Cleaner wires both into the framework of the paper's Fig. 3 with a
-//     sampling module (§6): a stratified sample of each candidate repair
-//     is inspected by a user (or an oracle), a one-sided z-test decides
-//     whether the repair's inaccuracy rate is below ε at confidence δ,
-//     and the user's corrections feed the next round.
+// # Paper-to-package map
+//
+// Each section of the paper lands in one internal package, re-exported
+// through this facade:
+//
+//	§2–3  model           internal/relation (schema, tuples, weights,
+//	                      nulls, active domains, interning, CSV) and
+//	                      internal/cfd (tableaus, normalization,
+//	                      satisfiability, detection)
+//	§3.2  cost model      internal/cost (weighted DL/ED distances, dif)
+//	§4    BATCHREPAIR     internal/repair + internal/eqclass (cost-guided
+//	                      equivalence classes, component-parallel engine)
+//	§5    INCREPAIR       internal/increpair (TUPLERESOLVE, the three
+//	                      orderings, streaming Session) with
+//	                      internal/cluster's cost-based indices
+//	§6    sampling        internal/sampling (stratified samples, z-test)
+//	                      wired by internal/core (the Fig. 3 loop)
+//	§7    evaluation      internal/gen + workload (the order-relation
+//	                      generator), internal/metrics (precision/
+//	                      recall), cmd/experiments, bench_test.go
+//	§9    future work     extensions.go: internal/discovery (CFD mining)
+//	                      and internal/ind (inclusion dependencies)
+//	—     service         internal/server + cmd/cfdserved (HTTP/JSON
+//	                      multi-tenant session host; the §5 online
+//	                      scenario as a long-running system)
+//
+// # Data flow
+//
+// All cleaning machinery hangs off one spine: a Relation emits typed
+// deltas through its mutation journal, a VioStore folds them into
+// maintained violation state, and the repair engines read that state
+// instead of re-scanning:
+//
+//	CSV / generator / wire batches
+//	        │ Insert / Delete / Set
+//	        ▼
+//	  Relation ──────── mutation journal (typed Delta, NextID watermark,
+//	        │                             Version counter)
+//	        │ subscribe                     │
+//	        ▼                               ▼
+//	  VioStore: per-group violation lists, vio(t), vio(D),
+//	            violation-graph components — all delta-maintained
+//	        │
+//	        ├── BatchRepair (§4): components repaired in parallel,
+//	        │   merged in canonical order
+//	        ├── IncRepair / Repair (§5): TUPLERESOLVE per arriving
+//	        │   tuple against maintained state
+//	        └── Session: the same engine kept alive across ΔD batches
+//	                │
+//	                ▼
+//	        internal/server: named sessions, per-session worker
+//	        queues, lock-free snapshots, SSE notifications
+//	                │
+//	                ▼
+//	        cmd/cfdserved (HTTP/JSON service)
+//
+// Detection state is computed once per engine run and then maintained:
+// every mutation costs O(affected buckets), never O(|D|), which is what
+// makes both the detect→fix→re-detect repair loops and the streaming
+// sessions scale.
+//
+// # Concurrency contracts
+//
+// Parallelism appears at four independent layers, each with the same
+// rule — concurrency changes wall-clock time, never output:
+//
+//   - Detection shards index buckets across workers and merges in the
+//     canonical (tuple, rule, partner) order.
+//   - BatchRepair repairs violation-graph components concurrently, each
+//     worker owning a full engine over its own clone, and merges fixes
+//     in canonical component order.
+//   - INCREPAIR evaluates TUPLERESOLVE's candidate attribute subsets on
+//     per-worker scratch tuples with a deterministic merge.
+//   - A Session is single-writer, many-reader: mutations serialize on
+//     an internal lock while snapshot reads are lock-free against
+//     atomically published state stamped with the journal's NextID
+//     watermark and mutation Version. The server builds on this with
+//     one worker goroutine per session (single-writer by construction),
+//     a sharded session registry, bounded queues with backpressure, and
+//     graceful drain.
+//
+// # Determinism
+//
+// Given the same inputs and options, every entry point produces
+// byte-identical output at every worker count — repairs, serialized
+// CSV, and the service's wire responses (the server is verified
+// byte-identical to in-process calls under -race). Randomized workloads
+// are reproducible from their seed; see workload's package
+// documentation.
 //
 // The quality of a repair against known ground truth is measured by
 // EvaluateQuality (precision/recall over attribute-level differences,
-// §7.1). See the examples directory for runnable walkthroughs and
-// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+// §7.1). See the examples directory for runnable walkthroughs
+// (quickstart, incremental, streaming, service, ETL, accuracy),
+// EXPERIMENTS.md for the reproduction of the paper's evaluation, and
+// README.md for the service quickstart.
 package cfdclean

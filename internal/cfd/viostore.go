@@ -233,6 +233,14 @@ func (s *VioStore) account(gi int, vios []Violation, sign int) {
 	}
 	s.state[gi].total += sign * len(vios)
 	s.total += sign * len(vios)
+	if s.total == 0 && s.comp.parent != nil {
+		// The violation graph is empty: drop the union-find outright.
+		// Long-lived streaming sessions drain violations to zero after
+		// every batch, so without this reset comp.parent would grow with
+		// every tuple that ever violated — unbounded memory for a
+		// structure Components can rebuild from the (now empty) lists.
+		s.comp = compState{}
+	}
 }
 
 // Close detaches the store from the relation's mutation journal. The

@@ -251,3 +251,52 @@ func TestVioStoreApplyUndoProbe(t *testing.T) {
 	}
 	checkStoreEquivalence(t, "after undo", s, rel, sigma)
 }
+
+// TestVioStoreComponentStateDrains pins the streaming-session memory
+// bound: when the violation total drains back to zero the union-find
+// behind Components is dropped outright, instead of accumulating an
+// entry for every tuple that ever violated. Re-entering violations must
+// rebuild it correctly from scratch.
+func TestVioStoreComponentStateDrains(t *testing.T) {
+	rel := paperData(t)
+	sigma := paperSigma(rel.Schema())
+	s := NewVioStore(rel, sigma)
+	defer s.Close()
+	if s.Satisfied() {
+		t.Fatal("paper data should start dirty")
+	}
+	if s.comp.parent == nil {
+		t.Fatal("violations present but no union-find state")
+	}
+
+	// Drain to zero by deleting every violating tuple; each tuple that
+	// ever violated would be a permanent comp.parent entry without the
+	// reset.
+	for !s.Satisfied() {
+		var victim relation.TupleID
+		for id := range s.VioAll() {
+			victim = id
+			break
+		}
+		rel.Delete(victim)
+	}
+	if s.comp.parent != nil || s.comp.stale {
+		t.Fatalf("drained store kept union-find state: %d entries, stale=%v",
+			len(s.comp.parent), s.comp.stale)
+	}
+	if got := s.Components(); len(got) != 0 {
+		t.Fatalf("drained store has %d components", len(got))
+	}
+
+	// Violations re-entering rebuild the structure from scratch and
+	// Components stays canonical.
+	if _, err := rel.InsertRow("a23", "H. Porter", "17.99", "215", "8983490", "Walnut", "CHI", "IL", "19014"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Satisfied() {
+		t.Fatal("inserted tuple should violate")
+	}
+	if got, want := s.Components(), referenceComponents(s.Detect()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("components after rebuild = %v, want %v", got, want)
+	}
+}

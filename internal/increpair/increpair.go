@@ -196,6 +196,17 @@ func (e *engine) close() {
 	e.store.Close()
 }
 
+// invalidateDomainCaches drops the cost-based cluster indices and the
+// nearest-neighbour cache. Both are derived from the active domain and
+// only ever grow under inserts; after a delete or update shrinks the
+// domain they could hand out values present nowhere in the database, so
+// the session's mixed-batch path clears them and lets the next
+// TUPLERESOLVE rebuild from the current domain.
+func (e *engine) invalidateDomainCaches() {
+	clear(e.clusterIdx)
+	clear(e.nearCache)
+}
+
 // insertBatch repairs the tuples of delta one at a time (in the
 // configured ordering) and inserts them into Repr; the violation store
 // maintains itself under each insert. This is the INCREPAIR main loop

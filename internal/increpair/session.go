@@ -2,6 +2,10 @@ package increpair
 
 import (
 	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
 
 	"cfdclean/internal/cfd"
 	"cfdclean/internal/relation"
@@ -18,15 +22,91 @@ var errClosed = errors.New("increpair: session is closed")
 // is O(|ΔD|) — the base is never rescanned, no detector is ever rebuilt,
 // and TUPLERESOLVE's donor indices, cost-based cluster indices and
 // nearest-neighbour caches all carry over from batch to batch.
+//
+// # Concurrency contract
+//
+// A Session is safe for concurrent use under a single-writer,
+// many-reader discipline that the Session itself enforces:
+//
+//   - Mutations (ApplyDelta, ApplyOps, Close) serialize on an internal
+//     mutex. Any goroutine may call them; at most one engine pass runs
+//     at a time, and passes are applied in lock-acquisition order. The
+//     repaired output for a given call sequence is therefore identical
+//     to issuing the same calls from one goroutine.
+//   - Snapshot reads (Snapshot, Satisfied, Stats) are lock-free: after
+//     every mutation the writer publishes an immutable Snapshot via an
+//     atomic pointer, stamped with the relation journal's NextID
+//     watermark and mutation Version. Readers load the pointer and
+//     never contend with a writer, observe a half-applied batch, or
+//     block behind a long engine pass.
+//   - Structure reads (Violations, Dump) need the live relation and
+//     violation store, so they briefly take the writer lock; they are
+//     consistent but not wait-free.
+//   - Current returns the live relation without locking; it is safe
+//     only when the caller can rule out concurrent mutations (after
+//     Close, or in single-goroutine use).
 type Session struct {
-	e *engine
+	// mu serializes every mutating entry point and every structure read;
+	// snapshot reads never take it.
+	mu sync.Mutex
+	e  *engine
 
 	initial *Result
 	batches int
 	applied int
+	deleted int
 	cost    float64
 	changes int
 	closed  bool
+
+	// snap is the last published state; rewritten (never mutated) under
+	// mu after each mutation, loaded lock-free by readers.
+	snap atomic.Pointer[Snapshot]
+}
+
+// Snapshot is an immutable, atomically published view of a Session's
+// state, the unit of the lock-free read path. Watermark and Version come
+// from the relation's mutation journal: Watermark is the next tuple id
+// to be assigned (it advances only on inserts and names the insertion
+// history), Version counts every mutation, so two Snapshots with equal
+// Version describe the identical relation state.
+type Snapshot struct {
+	// Watermark is the journal's NextID at publication time.
+	Watermark relation.TupleID
+	// Version is the journal's mutation counter at publication time.
+	Version uint64
+	// Size is the number of tuples in the session's relation.
+	Size int
+	// Batches counts completed ApplyDelta/ApplyOps calls.
+	Batches int
+	// Inserted counts tuples repaired and inserted across all batches.
+	Inserted int
+	// Deleted counts tuples removed across all batches.
+	Deleted int
+	// Cost is the cumulative repair cost over all batches (§3.3),
+	// excluding the initial cleaning.
+	Cost float64
+	// Changes is the cumulative count of modified cells over all
+	// batches, excluding the initial cleaning.
+	Changes int
+	// Violations is the maintained vio(D) total; an INCREPAIR invariant
+	// keeps it 0 after every completed batch.
+	Violations int
+	// Satisfied reports Violations == 0.
+	Satisfied bool
+	// Closed reports whether the session has been closed.
+	Closed bool
+}
+
+// SetOp is one cell update in an ApplyOps batch: set attribute Attr of
+// the existing tuple ID to Value. The updated tuple is re-cleaned — it
+// is removed and its modified version re-enters through TUPLERESOLVE, so
+// an update that introduces violations is repaired like any arriving
+// tuple (possibly onto a different value than the one requested).
+type SetOp struct {
+	ID    relation.TupleID
+	Attr  int
+	Value relation.Value
 }
 
 // NewSession opens a streaming repair session over d. The input is
@@ -48,6 +128,7 @@ func NewSession(d *relation.Relation, sigma []*cfd.Normal, opts *Options) (*Sess
 		}
 		s.initial = res
 	}
+	s.publish()
 	return s, nil
 }
 
@@ -55,48 +136,238 @@ func NewSession(d *relation.Relation, sigma []*cfd.Normal, opts *Options) (*Sess
 // and inserts the repaired tuples. The returned Result describes this
 // batch alone; Result.Repair is the session's live relation.
 func (s *Session) ApplyDelta(delta []*relation.Tuple) (*Result, error) {
+	res, _, err := s.ApplyOps(nil, nil, delta)
+	return res, err
+}
+
+// ApplyOps applies one mixed mutation batch in a single engine pass:
+// deletes first (deletions never introduce CFD violations, §3.3), then
+// cell updates, then inserts. Updates are re-cleaned: each updated tuple
+// is removed, its modified version keeps its id and joins the inserts as
+// ΔD, and the whole ΔD is repaired by one INCREPAIR pass in the
+// session's configured ordering. It returns the pass's Result and the
+// number of tuples deleted (updated tuples are not counted as deleted).
+//
+// The batch is validated before anything mutates: unknown delete or
+// update ids, out-of-range attributes, updates targeting a tuple
+// deleted in the same batch, bad insert arities or weight vectors, and
+// explicit insert ids that collide (with live tuples, with same-batch
+// updates, or with each other) all fail with the session state
+// untouched. An explicit insert id below the watermark (NextID) may
+// name any currently-unused slot — one freed by an earlier batch, or by
+// a deletion in this same batch; explicit ids at or beyond the
+// watermark (fresh ids the caller chose) must not be mixed with id-0
+// inserts in one batch, since the auto-assigner could take their slots
+// first; id 0 lets the relation assign the next id.
+func (s *Session) ApplyOps(deletes []relation.TupleID, sets []SetOp, inserts []*relation.Tuple) (*Result, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		return nil, errClosed
+		return nil, 0, errClosed
 	}
+
+	// Validate up front so errors leave the session untouched.
+	arity := s.e.arity
+	dropped := make(map[relation.TupleID]bool, len(deletes))
+	for _, id := range deletes {
+		if s.e.repr.Tuple(id) == nil {
+			return nil, 0, fmt.Errorf("increpair: delete of unknown tuple id %d", id)
+		}
+		if dropped[id] {
+			return nil, 0, fmt.Errorf("increpair: duplicate delete of tuple id %d", id)
+		}
+		dropped[id] = true
+	}
+	updatedIDs := make(map[relation.TupleID]bool, len(sets))
+	for _, op := range sets {
+		if op.Attr < 0 || op.Attr >= arity {
+			return nil, 0, fmt.Errorf("increpair: set on tuple %d addresses attribute %d of a %d-attribute schema", op.ID, op.Attr, arity)
+		}
+		if dropped[op.ID] {
+			return nil, 0, fmt.Errorf("increpair: set on tuple %d deleted in the same batch", op.ID)
+		}
+		if s.e.repr.Tuple(op.ID) == nil {
+			return nil, 0, fmt.Errorf("increpair: set on unknown tuple id %d", op.ID)
+		}
+		updatedIDs[op.ID] = true
+	}
+	seenInsertIDs := make(map[relation.TupleID]bool, len(inserts))
+	hasAuto, hasAboveWatermark := false, false
+	for i, t := range inserts {
+		if len(t.Vals) != arity {
+			return nil, 0, fmt.Errorf("increpair: insert %d has arity %d, want %d", i, len(t.Vals), arity)
+		}
+		if t.W != nil && len(t.W) != arity {
+			return nil, 0, fmt.Errorf("increpair: insert %d has %d weights, want %d", i, len(t.W), arity)
+		}
+		if t.ID == 0 {
+			hasAuto = true
+			continue
+		}
+		if t.ID >= s.e.repr.NextID() {
+			hasAboveWatermark = true
+		}
+		// An explicit id may only reuse a slot this same batch frees by
+		// deletion; updated tuples re-enter under their own id, so an
+		// insert claiming it would collide mid-pass.
+		if seenInsertIDs[t.ID] {
+			return nil, 0, fmt.Errorf("increpair: duplicate insert id %d in batch", t.ID)
+		}
+		seenInsertIDs[t.ID] = true
+		if updatedIDs[t.ID] {
+			return nil, 0, fmt.Errorf("increpair: insert id %d is updated in the same batch", t.ID)
+		}
+		if s.e.repr.Tuple(t.ID) != nil && !dropped[t.ID] {
+			return nil, 0, fmt.Errorf("increpair: insert id %d already exists", t.ID)
+		}
+	}
+	// A batch may carry explicit ids above the watermark (a caller
+	// choosing fresh ids, as StreamBatches does) or id-less inserts, but
+	// not both: the auto-assigner hands out ids from the watermark up, so
+	// mixing lets an id-less tuple take an explicit tuple's slot first
+	// and the latecomer would be silently renumbered mid-pass.
+	if hasAuto && hasAboveWatermark {
+		return nil, 0, fmt.Errorf("increpair: batch mixes id-less inserts with explicit ids at or beyond the watermark %d", s.e.repr.NextID())
+	}
+
+	for _, id := range deletes {
+		s.e.repr.Delete(id)
+	}
+
+	// Group cell updates per tuple (in first-appearance order), apply
+	// them to a detached clone, and remove the original: the modified
+	// tuple re-enters through the repair pass under its old id.
+	var updated []*relation.Tuple
+	mods := make(map[relation.TupleID]*relation.Tuple, len(sets))
+	for _, op := range sets {
+		c := mods[op.ID]
+		if c == nil {
+			c = s.e.repr.Tuple(op.ID).Clone()
+			mods[op.ID] = c
+			updated = append(updated, c)
+		}
+		c.Vals[op.Attr] = op.Value
+	}
+	for _, c := range updated {
+		s.e.repr.Delete(c.ID)
+	}
+	if len(deletes) > 0 || len(updated) > 0 {
+		// Values may just have left the active domain; drop the engine's
+		// domain-derived candidate caches so TUPLERESOLVE cannot offer a
+		// vanished value as a donor (§3.1: repairs draw from adom ∪
+		// null). They rebuild lazily from the current domain.
+		s.e.invalidateDomainCaches()
+	}
+
+	delta := make([]*relation.Tuple, 0, len(updated)+len(inserts))
+	delta = append(delta, updated...)
+	delta = append(delta, inserts...)
+
 	res, err := s.e.insertBatch(delta)
 	if err != nil {
-		return nil, err
+		// The pass may have partially applied; republish so snapshot
+		// readers see the true state rather than the last good batch.
+		s.publish()
+		return nil, 0, err
 	}
 	s.batches++
 	s.applied += len(res.Inserted)
+	s.deleted += len(deletes)
 	s.cost += res.Cost
 	s.changes += res.Changes
-	return res, nil
+	s.publish()
+	return res, len(deletes), nil
 }
 
+// publish stores a fresh immutable Snapshot; callers hold mu (or, in
+// NewSession, exclusive ownership).
+func (s *Session) publish() {
+	s.snap.Store(&Snapshot{
+		Watermark:  s.e.repr.NextID(),
+		Version:    s.e.repr.Version(),
+		Size:       s.e.repr.Size(),
+		Batches:    s.batches,
+		Inserted:   s.applied,
+		Deleted:    s.deleted,
+		Cost:       s.cost,
+		Changes:    s.changes,
+		Violations: s.e.store.TotalViolations(),
+		Satisfied:  s.e.store.Satisfied(),
+		Closed:     s.closed,
+	})
+}
+
+// Snapshot returns the last published session state. It is lock-free:
+// concurrent ApplyOps calls never block it and it never observes a
+// half-applied batch.
+func (s *Session) Snapshot() Snapshot { return *s.snap.Load() }
+
 // Current returns the session's live repaired relation: D's clean core
-// plus every repaired batch so far. Callers must not mutate it while the
-// session is open; Close first.
+// plus every repaired batch so far. It does not lock; callers must not
+// use it while another goroutine may be applying batches (use Dump for
+// a consistent serialization, or Close first).
 func (s *Session) Current() *relation.Relation { return s.e.repr }
 
 // Initial reports the §5.3 cleaning NewSession performed on a dirty
 // input, or nil if the input already satisfied sigma.
 func (s *Session) Initial() *Result { return s.initial }
 
-// Satisfied reports whether the session's relation currently satisfies
-// sigma, from the store's maintained total in O(1). It is an invariant
-// of INCREPAIR that this holds after every ApplyDelta.
-func (s *Session) Satisfied() bool { return s.e.store.Satisfied() }
+// Satisfied reports whether the session's relation satisfied sigma as of
+// the last published snapshot, in O(1) and lock-free. It is an invariant
+// of INCREPAIR that this holds after every completed batch.
+func (s *Session) Satisfied() bool { return s.snap.Load().Satisfied }
 
-// Stats returns cumulative session counters: batches applied, tuples
-// inserted, total repair cost and changed cells (excluding the initial
-// cleaning).
+// Stats returns cumulative session counters from the last published
+// snapshot (lock-free): batches applied, tuples inserted, total repair
+// cost and changed cells (excluding the initial cleaning).
 func (s *Session) Stats() (batches, tuples int, cost float64, changes int) {
-	return s.batches, s.applied, s.cost, s.changes
+	sn := s.snap.Load()
+	return sn.Batches, sn.Inserted, sn.Cost, sn.Changes
+}
+
+// Violations returns up to limit current violations (limit <= 0 means
+// all) in the canonical (tuple id, rule, partner id) order, plus the
+// maintained vio(D) total, both read from the store under the session
+// lock — the pair is mutually consistent, unlike combining a listing
+// with a separately loaded Snapshot. After Close the store is detached
+// and would answer stale; like Dump, the call refuses and returns nil.
+func (s *Session) Violations(limit int) (vs []cfd.Violation, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0
+	}
+	vs = s.e.store.Detect()
+	if limit > 0 && len(vs) > limit {
+		vs = vs[:limit]
+	}
+	return vs, s.e.store.TotalViolations()
+}
+
+// Dump writes the session's current relation as CSV under the session
+// lock, yielding a consistent serialization even while other goroutines
+// apply batches. The row order is deterministic for a deterministic
+// call sequence (see extractDirty on why physical order is pinned).
+func (s *Session) Dump(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	return relation.WriteCSV(s.e.repr, w)
 }
 
 // Close detaches the session's violation store from its relation. The
-// relation remains valid (and is returned by Current); further ApplyDelta
-// calls fail.
+// relation remains valid (and is returned by Current); further ApplyOps
+// calls fail. Close is idempotent and safe concurrently with readers
+// and writers.
 func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return
 	}
 	s.closed = true
 	s.e.close()
+	s.publish()
 }

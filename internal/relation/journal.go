@@ -69,8 +69,21 @@ func (r *Relation) notify(d Delta) {
 // NextID returns the id the next Insert of an id-less tuple would be
 // assigned. Together with RestoreNextID it lets callers run apply/undo
 // probes — insert scratch tuples, observe maintained state, delete them —
-// without permanently advancing the id sequence.
+// without permanently advancing the id sequence. NextID also serves as
+// the journal's insertion watermark: two states with equal NextID have
+// seen the same id-assigning history, which is what lets a streaming
+// session name its published snapshots (see increpair.Snapshot).
 func (r *Relation) NextID() TupleID { return r.nextID }
+
+// Version returns the journal's mutation counter: the total number of
+// Insert, Delete and effective Set calls the relation has seen. Unlike
+// NextID — which only advances on inserts — Version changes on *every*
+// mutation, so two reads observing the same Version are guaranteed to
+// have seen the identical relation state. It is the cheap freshness
+// token behind lock-free snapshot publication: a writer stamps each
+// published snapshot with (NextID, Version), and a reader comparing two
+// snapshot versions knows whether anything at all happened in between.
+func (r *Relation) Version() uint64 { return r.version }
 
 // RestoreNextID rewinds the id counter to a value previously obtained
 // from NextID. The caller must have deleted every tuple inserted since

@@ -21,9 +21,11 @@ type Relation struct {
 	adom []map[ValueID]int
 
 	// subs are the mutation-journal subscribers (see journal.go); notified
-	// synchronously after each insert, delete and update.
+	// synchronously after each insert, delete and update. version counts
+	// every mutation (see Version).
 	subs    []subscriber
 	nextSub int
+	version uint64
 }
 
 // New creates an empty relation instance of schema s.
@@ -95,6 +97,7 @@ func (r *Relation) Insert(t *Tuple) error {
 			r.adom[a][id]++
 		}
 	}
+	r.version++
 	if len(r.subs) > 0 {
 		r.notify(Delta{Kind: DeltaInsert, T: t})
 	}
@@ -135,6 +138,7 @@ func (r *Relation) Delete(id TupleID) bool {
 	r.byID[r.tuples[i].ID] = i
 	r.tuples = r.tuples[:last]
 	delete(r.byID, id)
+	r.version++
 	if len(r.subs) > 0 {
 		r.notify(Delta{Kind: DeltaDelete, T: t})
 	}
@@ -163,6 +167,7 @@ func (r *Relation) Set(id TupleID, a int, v Value) (Value, error) {
 	}
 	t.Vals[a] = v
 	t.ids[a] = vid
+	r.version++
 	if len(r.subs) > 0 {
 		r.notify(Delta{Kind: DeltaUpdate, T: t, Attr: a, Old: old, OldID: oldID})
 	}

@@ -1,0 +1,438 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cfdclean/internal/increpair"
+	"cfdclean/internal/relation"
+)
+
+// Registry errors surfaced to HTTP status codes by the handler layer.
+var (
+	// ErrNotFound reports an unknown session name.
+	ErrNotFound = errors.New("server: no such session")
+	// ErrExists reports a create with an already-taken name.
+	ErrExists = errors.New("server: session already exists")
+	// ErrDraining reports an operation against a draining service or a
+	// session being shut down.
+	ErrDraining = errors.New("server: draining")
+	// ErrBacklog reports an async ingest rejected because the session's
+	// work queue is full — the wire layer's backpressure signal.
+	ErrBacklog = errors.New("server: session queue is full")
+)
+
+const registryShards = 16
+
+// Registry is the sharded session table: name → hosted session, spread
+// over fixed shards by name hash so concurrent create/lookup/remove on
+// different sessions rarely contend on one lock. Each hosted session
+// owns a bounded work queue drained by a dedicated worker goroutine —
+// the session's single writer by construction — so HTTP handlers never
+// run an engine pass themselves; they enqueue and either wait for the
+// reply (apply) or return immediately (ingest).
+type Registry struct {
+	queueDepth int
+
+	shards [registryShards]shard
+
+	// draining flips once, when Drain begins: creates and new work are
+	// refused while in-flight queues run dry.
+	draining atomic.Bool
+
+	// Service-wide counters (see MetricsResponse).
+	passes    atomic.Uint64 // engine passes completed
+	batches   atomic.Uint64 // client batches accepted
+	coalesced atomic.Uint64 // client batches merged into a shared pass
+	rejected  atomic.Uint64 // ingests refused with ErrBacklog
+	tuples    atomic.Uint64 // tuples inserted
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*hosted
+}
+
+// NewRegistry builds an empty registry; queueDepth bounds each session's
+// work queue (minimum 1).
+func NewRegistry(queueDepth int) *Registry {
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	r := &Registry{queueDepth: queueDepth}
+	for i := range r.shards {
+		r.shards[i].m = make(map[string]*hosted)
+	}
+	return r
+}
+
+func (r *Registry) shard(name string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return &r.shards[h.Sum32()%registryShards]
+}
+
+// hosted is one session plus its service furniture: the work queue, the
+// worker goroutine's lifecycle channels, the event fan-out and a bounded
+// latency window.
+type hosted struct {
+	name   string
+	schema *relation.Schema
+	attrs  []string
+	sess   *increpair.Session
+
+	queue chan job
+	// quit is closed to ask the worker to drain and exit; done is closed
+	// by the worker after the queue is drained and the session closed.
+	quit     chan struct{}
+	done     chan struct{}
+	quitOnce sync.Once
+	// sendMu fences async enqueues against the worker's final drain: an
+	// ingest holds the read side across its check-quit-then-send window,
+	// and the exiting worker takes the write side (after quit is closed)
+	// before its last sweep of the queue. Every 202-accepted batch is
+	// therefore either swept or never accepted — no silent drops.
+	// Synchronous applies don't need the fence: they wait on a reply and
+	// detect an unprocessed job via done.
+	sendMu sync.RWMutex
+
+	seq  atomic.Uint64 // engine passes completed on this session
+	subs subscribers
+	lat  latWindow
+}
+
+// job is one unit of queued work. Async insert-only jobs (reply == nil,
+// coalescable) may be merged with queued neighbours into a single
+// engine pass; synchronous jobs always get a pass of their own so their
+// reply is byte-identical to the equivalent in-process ApplyOps call.
+type job struct {
+	deletes     []relation.TupleID
+	sets        []increpair.SetOp
+	inserts     []*relation.Tuple
+	coalescable bool
+	// extra counts client batches folded into this job beyond the first
+	// (set by the worker while coalescing).
+	extra int
+	reply chan jobReply
+}
+
+type jobReply struct {
+	res     *increpair.Result
+	deleted int
+	seq     uint64
+	// snap is the session snapshot right after this job's pass — the
+	// pass's own state, not whatever is current when the handler runs.
+	snap increpair.Snapshot
+	err  error
+}
+
+// Create opens a session under name and starts its worker. The caller
+// supplies a ready increpair.Session (built from the decoded create
+// request) and the schema used for wire encoding and attribute lookup.
+func (r *Registry) Create(name string, sess *increpair.Session, schema *relation.Schema) (*hosted, error) {
+	sh := r.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Checked under the shard lock: either this create is observed by
+	// Drain's sweep of the shard (and drained with everything else), or
+	// it sees draining and refuses. Checked before the lock, a create
+	// could slip in after the sweep and leak a live worker past Drain.
+	if r.draining.Load() {
+		return nil, ErrDraining
+	}
+	if _, dup := sh.m[name]; dup {
+		return nil, ErrExists
+	}
+	h := &hosted{
+		name:   name,
+		schema: schema,
+		attrs:  schema.Attrs(),
+		sess:   sess,
+		queue:  make(chan job, r.queueDepth),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	sh.m[name] = h
+	go h.run(r)
+	return h, nil
+}
+
+// Get returns the hosted session or ErrNotFound.
+func (r *Registry) Get(name string) (*hosted, error) {
+	sh := r.shard(name)
+	sh.mu.RLock()
+	h := sh.m[name]
+	sh.mu.RUnlock()
+	if h == nil {
+		return nil, ErrNotFound
+	}
+	return h, nil
+}
+
+// List returns the hosted sessions in name order.
+func (r *Registry) List() []*hosted {
+	var out []*hosted
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, h := range sh.m {
+			out = append(out, h)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Apply enqueues a synchronous batch on h and waits for its engine
+// pass. The reply is exactly what the equivalent in-process ApplyOps
+// returned. Taking the resolved session — not a name — matters: the
+// caller decoded the batch against h's schema, and a name lookup here
+// could resolve a different session if the name was deleted and
+// re-created mid-request.
+func (r *Registry) Apply(ctx context.Context, h *hosted, deletes []relation.TupleID, sets []increpair.SetOp, inserts []*relation.Tuple) (jobReply, error) {
+	j := job{deletes: deletes, sets: sets, inserts: inserts, reply: make(chan jobReply, 1)}
+	select {
+	case h.queue <- j:
+	case <-h.quit:
+		return jobReply{}, ErrDraining
+	case <-ctx.Done():
+		return jobReply{}, ctx.Err()
+	}
+	r.batches.Add(1)
+	select {
+	case rep := <-j.reply:
+		return rep, nil
+	case <-h.done:
+		// The worker drained the queue and exited; if our job was
+		// processed during the drain its reply is already buffered.
+		select {
+		case rep := <-j.reply:
+			return rep, nil
+		default:
+			return jobReply{}, ErrDraining
+		}
+	case <-ctx.Done():
+		return jobReply{}, ctx.Err()
+	}
+}
+
+// Ingest enqueues an asynchronous insert-only batch on h. It never
+// blocks: a full queue returns ErrBacklog immediately (the caller maps
+// it to 429), which is the service's backpressure signal. Like Apply it
+// takes the resolved session so the batch lands where it was decoded.
+func (r *Registry) Ingest(h *hosted, inserts []*relation.Tuple) error {
+	j := job{inserts: inserts, coalescable: true}
+	// Both the quit check and the send happen under the fence, so the
+	// worker's final drain cannot slip between them (see hosted.sendMu).
+	h.sendMu.RLock()
+	defer h.sendMu.RUnlock()
+	select {
+	case <-h.quit:
+		return ErrDraining
+	default:
+	}
+	select {
+	case h.queue <- j:
+		r.batches.Add(1)
+		return nil
+	default:
+		r.rejected.Add(1)
+		return ErrBacklog
+	}
+}
+
+// Remove drains and closes one session, waiting up to ctx for its queue
+// to run dry, and deletes it from the table.
+func (r *Registry) Remove(ctx context.Context, name string) error {
+	sh := r.shard(name)
+	sh.mu.Lock()
+	h := sh.m[name]
+	if h == nil {
+		sh.mu.Unlock()
+		return ErrNotFound
+	}
+	delete(sh.m, name)
+	sh.mu.Unlock()
+	h.quitOnce.Do(func() { close(h.quit) })
+	select {
+	case <-h.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Drain shuts the whole registry down gracefully: new creates and new
+// work are refused, every session worker finishes its queued batches,
+// closes its session, and Drain returns when all workers have exited
+// (or ctx expires first).
+func (r *Registry) Drain(ctx context.Context) error {
+	r.draining.Store(true)
+	var hs []*hosted
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for n, h := range sh.m {
+			hs = append(hs, h)
+			delete(sh.m, n)
+		}
+		sh.mu.Unlock()
+	}
+	for _, h := range hs {
+		h.quitOnce.Do(func() { close(h.quit) })
+	}
+	for _, h := range hs {
+		select {
+		case <-h.done:
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain: %w", ctx.Err())
+		}
+	}
+	return nil
+}
+
+// run is the session worker: the hosted session's single writer. It
+// applies queued jobs in arrival order, coalescing runs of consecutive
+// async insert-only batches into one engine pass, and on quit drains
+// the queue before closing the session — no accepted batch is dropped.
+func (h *hosted) run(r *Registry) {
+	defer close(h.done)
+	defer h.subs.closeAll()
+	defer h.sess.Close()
+	for {
+		select {
+		case j := <-h.queue:
+			h.dispatch(r, j)
+		case <-h.quit:
+			// Fence out async producers: once this Lock is acquired,
+			// every in-flight Ingest has either enqueued (and is swept
+			// below) or will observe the closed quit and refuse. Sync
+			// applies may still race the sweep, but they detect an
+			// unprocessed job through done and fail loudly.
+			h.sendMu.Lock()
+			h.sendMu.Unlock() //nolint:staticcheck // barrier, not critical section
+			for {
+				select {
+				case j := <-h.queue:
+					h.dispatch(r, j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// dispatch runs one queued job, first folding any directly following
+// coalescable jobs into it: their inserts concatenate in arrival order
+// and the whole run is repaired by a single engine pass. A synchronous
+// job is never folded — its reply must match a dedicated in-process
+// call — so a sync job encountered while folding just flushes the
+// accumulated pass and runs next.
+func (h *hosted) dispatch(r *Registry, j job) {
+	for j.coalescable {
+		var next job
+		select {
+		case next = <-h.queue:
+		default:
+			h.apply(r, j, 1+j.extra)
+			return
+		}
+		if next.coalescable {
+			j.inserts = append(j.inserts, next.inserts...)
+			j.extra++
+			r.coalesced.Add(1)
+			continue
+		}
+		h.apply(r, j, 1+j.extra)
+		j = next
+	}
+	h.apply(r, j, 1)
+}
+
+// apply runs one engine pass for job j (which may represent several
+// coalesced client batches), records latency, replies if the job was
+// synchronous, and broadcasts the pass event.
+func (h *hosted) apply(r *Registry, j job, batches int) {
+	start := time.Now()
+	res, deleted, err := h.sess.ApplyOps(j.deletes, j.sets, j.inserts)
+	h.lat.record(time.Since(start))
+	var seq uint64
+	if err == nil {
+		seq = h.seq.Add(1)
+		r.passes.Add(1)
+		r.tuples.Add(uint64(len(res.Inserted)))
+	}
+	if j.reply != nil {
+		j.reply <- jobReply{res: res, deleted: deleted, seq: seq, snap: h.sess.Snapshot(), err: err}
+	}
+	if err != nil {
+		return
+	}
+	h.subs.broadcast(Event{
+		Session:   h.name,
+		Seq:       seq,
+		Coalesced: batches,
+		Inserted:  len(res.Inserted),
+		Deleted:   deleted,
+		Dirty:     changedCells(res, h.attrs),
+		Snapshot:  encodeSnapshot(h.sess.Snapshot()),
+	})
+}
+
+// latWindow keeps a bounded ring of recent engine-pass latencies; big
+// enough for meaningful percentiles, small enough to never grow.
+type latWindow struct {
+	mu   sync.Mutex
+	ring [1024]time.Duration
+	n    int // total recorded
+}
+
+func (l *latWindow) record(d time.Duration) {
+	l.mu.Lock()
+	l.ring[l.n%len(l.ring)] = d
+	l.n++
+	l.mu.Unlock()
+}
+
+// window returns a copy of the recorded latencies (at most the ring
+// size, the most recent ones).
+func (l *latWindow) window() []time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.n
+	if n > len(l.ring) {
+		n = len(l.ring)
+	}
+	out := make([]time.Duration, n)
+	copy(out, l.ring[:n])
+	return out
+}
+
+// LatencySummary summarizes a latency sample into the wire shape
+// (nearest-rank percentiles in milliseconds); it sorts all in place.
+// Shared by /v1/metrics and the workload load driver so both report
+// identically defined p50/p99.
+func LatencySummary(all []time.Duration) *WireLatency {
+	if len(all) == 0 {
+		return nil
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(all)-1))
+		return float64(all[i]) / float64(time.Millisecond)
+	}
+	return &WireLatency{
+		Count: len(all),
+		P50ms: pick(0.50),
+		P99ms: pick(0.99),
+		Maxms: float64(all[len(all)-1]) / float64(time.Millisecond),
+	}
+}

@@ -1,0 +1,445 @@
+// Package server hosts many named streaming cleaning sessions behind an
+// HTTP/JSON interface — the paper's §5 online scenario (INCREPAIR over
+// arriving ΔD batches) turned into a multi-tenant service. Each session
+// is an increpair.Session: a base database plus a CFD set, cleaned once
+// at creation, then kept consistent under streamed mutation batches with
+// per-batch cost O(|ΔD|).
+//
+// # Concurrency architecture
+//
+// Sessions live in a sharded registry (name-hash → shard, one RWMutex
+// per shard), so tenants contend only on registry metadata, never on
+// each other's data. Every session owns a bounded work queue drained by
+// a dedicated worker goroutine — the session's single writer by
+// construction, which is what keeps service results byte-identical to
+// driving the in-process API: the worker issues the same ApplyOps calls
+// a single-threaded caller would.
+//
+// Two write paths feed the queue. POST .../apply is synchronous: the
+// handler enqueues and waits for the pass's reply (a full queue makes it
+// wait — natural backpressure bounded by the client's context). POST
+// .../ingest is asynchronous: it enqueues and returns 202 immediately,
+// or 429 when the queue is full; the worker coalesces runs of adjacent
+// ingested batches into one engine pass to amortize per-pass overhead
+// under burst load. Reads are lock-free (session snapshots are published
+// atomically after every pass) except violation listings and CSV dumps,
+// which briefly serialize with the worker.
+//
+// Shutdown is graceful: Drain refuses new work, lets every worker finish
+// its queued batches, and closes the sessions — no accepted batch is
+// ever dropped.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/increpair"
+	"cfdclean/internal/relation"
+)
+
+// Options configures a Server.
+type Options struct {
+	// QueueDepth bounds each session's work queue; a full queue blocks
+	// synchronous applies and rejects async ingests with 429. Default 32.
+	QueueDepth int
+	// DrainTimeout bounds Shutdown's wait for queued work. Default 10s.
+	DrainTimeout time.Duration
+	// MaxBodyBytes bounds request bodies. Default 64 MiB.
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 32
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	return o
+}
+
+// Server is the HTTP face of the session registry. Build one with New,
+// mount Handler on an http.Server, and call Shutdown to drain.
+type Server struct {
+	opts    Options
+	reg     *Registry
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a Server with an empty registry.
+func New(opts Options) *Server {
+	s := &Server{opts: opts.withDefaults(), started: time.Now()}
+	s.reg = NewRegistry(s.opts.QueueDepth)
+	m := http.NewServeMux()
+	m.HandleFunc("GET /healthz", s.handleHealth)
+	m.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	m.HandleFunc("GET /v1/sessions", s.handleList)
+	m.HandleFunc("POST /v1/sessions", s.handleCreate)
+	m.HandleFunc("GET /v1/sessions/{name}", s.handleGet)
+	m.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
+	m.HandleFunc("POST /v1/sessions/{name}/apply", s.handleApply)
+	m.HandleFunc("POST /v1/sessions/{name}/ingest", s.handleIngest)
+	m.HandleFunc("GET /v1/sessions/{name}/violations", s.handleViolations)
+	m.HandleFunc("GET /v1/sessions/{name}/dump", s.handleDump)
+	m.HandleFunc("GET /v1/sessions/{name}/events", s.handleEvents)
+	s.mux = m
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the session registry (the load driver and tests talk
+// to it directly).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Shutdown drains the registry gracefully: refuses new work, finishes
+// queued batches, closes every session. If ctx carries no deadline a
+// DrainTimeout one is applied.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.DrainTimeout)
+		defer cancel()
+	}
+	return s.reg.Drain(ctx)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
+	if s.reg.draining.Load() {
+		writeStatus(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
+	var cr CreateRequest
+	if !decodeBody(w, req, s.opts.MaxBodyBytes, &cr) {
+		return
+	}
+	if cr.Name == "" || strings.ContainsAny(cr.Name, "/ \t\n") || len(cr.Name) > 128 {
+		writeStatus(w, http.StatusBadRequest, "session name must be non-empty, at most 128 bytes, and contain no slash or whitespace")
+		return
+	}
+	if strings.TrimSpace(cr.CFDs) == "" {
+		writeStatus(w, http.StatusBadRequest, "cfds must hold at least one constraint (text format, see ParseCFDs)")
+		return
+	}
+
+	// Assemble the base relation: full CSV, or schema + rows.
+	var rel *relation.Relation
+	switch {
+	case cr.BaseCSV != "":
+		name := "data"
+		if cr.Schema != nil && cr.Schema.Name != "" {
+			name = cr.Schema.Name
+		}
+		var err error
+		rel, err = relation.ReadCSV(name, strings.NewReader(cr.BaseCSV))
+		if err != nil {
+			writeStatus(w, http.StatusBadRequest, fmt.Sprintf("base_csv: %v", err))
+			return
+		}
+	case cr.Schema != nil:
+		sch, err := relation.NewSchema(cr.Schema.Name, cr.Schema.Attrs...)
+		if err != nil {
+			writeStatus(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		rel = relation.New(sch)
+		for i, wt := range cr.Base {
+			t, err := decodeTuple(wt, sch.Arity())
+			if err != nil {
+				writeStatus(w, http.StatusBadRequest, fmt.Sprintf("base[%d]: %v", i, err))
+				return
+			}
+			if err := rel.Insert(t); err != nil {
+				writeStatus(w, http.StatusBadRequest, fmt.Sprintf("base[%d]: %v", i, err))
+				return
+			}
+		}
+	default:
+		writeStatus(w, http.StatusBadRequest, "either base_csv or schema is required")
+		return
+	}
+
+	parsed, err := cfd.Parse(rel.Schema(), strings.NewReader(cr.CFDs))
+	if err != nil {
+		writeStatus(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sigma := cfd.NormalizeAll(parsed)
+	opts, err := decodeOptions(cr.Options)
+	if err != nil {
+		writeStatus(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	sess, err := increpair.NewSession(rel, sigma, opts)
+	if err != nil {
+		writeStatus(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	h, err := s.reg.Create(cr.Name, sess, rel.Schema())
+	if err != nil {
+		sess.Close()
+		writeError(w, err)
+		return
+	}
+	resp := CreateResponse{
+		Name:     h.name,
+		Attrs:    h.attrs,
+		Rules:    len(sigma),
+		Snapshot: encodeSnapshot(sess.Snapshot()),
+	}
+	if ini := sess.Initial(); ini != nil {
+		resp.Initial = &BatchSummary{Tuples: len(ini.Inserted), Cost: ini.Cost, Changes: ini.Changes}
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, req *http.Request) {
+	hs := s.reg.List()
+	resp := ListResponse{Sessions: make([]SessionInfo, 0, len(hs))}
+	for _, h := range hs {
+		resp.Sessions = append(resp.Sessions, h.info())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
+	h, err := s.reg.Get(req.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, h.info())
+}
+
+func (h *hosted) info() SessionInfo {
+	return SessionInfo{
+		Name:     h.name,
+		Attrs:    h.attrs,
+		Queue:    len(h.queue),
+		QueueCap: cap(h.queue),
+		Snapshot: encodeSnapshot(h.sess.Snapshot()),
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
+	if err := s.reg.Remove(req.Context(), req.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// decodeApply turns a wire batch into engine inputs against h's schema.
+func (h *hosted) decodeApply(ar ApplyRequest) (deletes []relation.TupleID, sets []increpair.SetOp, inserts []*relation.Tuple, err error) {
+	sch := h.schema
+	for _, id := range ar.Deletes {
+		deletes = append(deletes, relation.TupleID(id))
+	}
+	for i, ws := range ar.Sets {
+		a, err := sch.Index(ws.Attr)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("sets[%d]: %v", i, err)
+		}
+		sets = append(sets, increpair.SetOp{ID: relation.TupleID(ws.ID), Attr: a, Value: decodeValue(ws.Value)})
+	}
+	for i, wt := range ar.Inserts {
+		// The wire contract assigns insert ids server-side, in arrival
+		// order: a client-supplied id could collide mid-pass or jump the
+		// id watermark for every later tuple.
+		if wt.ID != 0 {
+			return nil, nil, nil, fmt.Errorf("inserts[%d]: inserts must not carry an id (the session assigns them)", i)
+		}
+		t, err := decodeTuple(wt, sch.Arity())
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("inserts[%d]: %v", i, err)
+		}
+		inserts = append(inserts, t)
+	}
+	return deletes, sets, inserts, nil
+}
+
+func (s *Server) handleApply(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	h, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var ar ApplyRequest
+	if !decodeBody(w, req, s.opts.MaxBodyBytes, &ar) {
+		return
+	}
+	deletes, sets, inserts, err := h.decodeApply(ar)
+	if err != nil {
+		writeStatus(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rep, err := s.reg.Apply(req.Context(), h, deletes, sets, inserts)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if rep.err != nil {
+		writeStatus(w, http.StatusUnprocessableEntity, rep.err.Error())
+		return
+	}
+	resp := ApplyResponse{
+		Session:  name,
+		Seq:      rep.seq,
+		Inserted: make([]WireTuple, 0, len(rep.res.Inserted)),
+		Changed:  changedCells(rep.res, h.attrs),
+		Deleted:  rep.deleted,
+		Cost:     rep.res.Cost,
+		Changes:  rep.res.Changes,
+		Snapshot: encodeSnapshot(rep.snap),
+	}
+	for _, t := range rep.res.Inserted {
+		resp.Inserted = append(resp.Inserted, EncodeTuple(t))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
+	name := req.PathValue("name")
+	h, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var ar ApplyRequest
+	if !decodeBody(w, req, s.opts.MaxBodyBytes, &ar) {
+		return
+	}
+	if len(ar.Deletes) > 0 || len(ar.Sets) > 0 {
+		writeStatus(w, http.StatusBadRequest, "ingest accepts inserts only; use apply for deletes and sets")
+		return
+	}
+	_, _, inserts, err := h.decodeApply(ar)
+	if err != nil {
+		writeStatus(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.reg.Ingest(h, inserts); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, IngestResponse{Session: name, Queued: len(inserts)})
+}
+
+func (s *Server) handleViolations(w http.ResponseWriter, req *http.Request) {
+	h, err := s.reg.Get(req.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	limit := 100
+	if q := req.URL.Query().Get("limit"); q != "" {
+		limit, err = strconv.Atoi(q)
+		if err != nil {
+			writeStatus(w, http.StatusBadRequest, "limit must be an integer")
+			return
+		}
+	}
+	vs, total := h.sess.Violations(limit)
+	writeJSON(w, http.StatusOK, ViolationsResponse{
+		Session:    h.name,
+		Total:      total,
+		Violations: encodeViolations(vs),
+	})
+}
+
+func (s *Server) handleDump(w http.ResponseWriter, req *http.Request) {
+	h, err := s.reg.Get(req.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Serialize to a buffer first: Dump can fail (session closed by a
+	// racing delete), and an error after WriteHeader would masquerade as
+	// a successful empty export to `curl -f` callers.
+	var buf bytes.Buffer
+	if err := h.sess.Dump(&buf); err != nil {
+		writeStatus(w, http.StatusServiceUnavailable, "session is closed")
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	hs := s.reg.List()
+	var all []time.Duration
+	for _, h := range hs {
+		all = append(all, h.lat.window()...)
+	}
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Sessions:      len(hs),
+		Passes:        s.reg.passes.Load(),
+		Batches:       s.reg.batches.Load(),
+		Coalesced:     s.reg.coalesced.Load(),
+		Rejected:      s.reg.rejected.Load(),
+		Tuples:        s.reg.tuples.Load(),
+		Latency:       LatencySummary(all),
+	})
+}
+
+func decodeBody(w http.ResponseWriter, req *http.Request, max int64, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, max))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeStatus(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeStatus(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// writeError maps registry errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeStatus(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrExists):
+		writeStatus(w, http.StatusConflict, err.Error())
+	case errors.Is(err, ErrDraining):
+		writeStatus(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrBacklog):
+		writeStatus(w, http.StatusTooManyRequests, err.Error())
+	default:
+		writeStatus(w, http.StatusBadRequest, err.Error())
+	}
+}

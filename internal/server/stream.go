@@ -1,0 +1,127 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// The notification stream: every engine pass broadcasts one Event to the
+// session's subscribers, and GET /v1/sessions/{name}/events serves them
+// as server-sent events (SSE). Delivery is best-effort by design — a
+// subscriber that cannot keep up has whole events dropped (never torn
+// ones), because the worker must not block on a slow reader; the
+// authoritative state is always the session snapshot, which every event
+// carries.
+
+// subscribers is a session's event fan-out. Events are marshaled once
+// and the bytes shared across subscriber channels.
+type subscribers struct {
+	mu     sync.Mutex
+	m      map[int]chan []byte
+	next   int
+	closed bool
+}
+
+const subscriberBuffer = 16
+
+// subscribe registers a new event consumer; the returned cancel is
+// idempotent and must be called when the consumer goes away. A nil
+// channel is returned after closeAll (session shut down).
+func (s *subscribers) subscribe() (ch chan []byte, cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, func() {}
+	}
+	if s.m == nil {
+		s.m = make(map[int]chan []byte)
+	}
+	id := s.next
+	s.next++
+	ch = make(chan []byte, subscriberBuffer)
+	s.m[id] = ch
+	return ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if c, ok := s.m[id]; ok {
+			delete(s.m, id)
+			close(c)
+		}
+	}
+}
+
+// broadcast fans ev out to every subscriber, dropping it for any whose
+// buffer is full.
+func (s *subscribers) broadcast(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.m) == 0 {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	for _, ch := range s.m {
+		select {
+		case ch <- b:
+		default:
+		}
+	}
+}
+
+// closeAll terminates every subscription; streams end cleanly when the
+// session's worker exits.
+func (s *subscribers) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for id, ch := range s.m {
+		delete(s.m, id)
+		close(ch)
+	}
+}
+
+// handleEvents serves the SSE stream for one session: one "batch" event
+// per engine pass, ending when the client disconnects or the session
+// shuts down.
+func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	h, err := s.reg.Get(req.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeStatus(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	ch, cancel := h.subs.subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	// An initial comment line lets clients know the stream is live
+	// before the first pass happens.
+	fmt.Fprintf(w, ": stream open session=%s\n\n", h.name)
+	fl.Flush()
+	if ch == nil {
+		return
+	}
+	for {
+		select {
+		case b, ok := <-ch:
+			if !ok {
+				return
+			}
+			fmt.Fprintf(w, "event: batch\ndata: %s\n\n", b)
+			fl.Flush()
+		case <-req.Context().Done():
+			return
+		case <-h.done:
+			return
+		}
+	}
+}

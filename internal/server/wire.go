@@ -1,0 +1,325 @@
+package server
+
+import (
+	"fmt"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/increpair"
+	"cfdclean/internal/relation"
+)
+
+// The wire layer: JSON shapes for every request and response the service
+// speaks, plus the conversions to and from the in-process types. SQL
+// null is represented as JSON null (a nil *string); everything else is a
+// plain string. Field order in the structs below is part of the wire
+// contract — responses serialize deterministically, which is what lets
+// the equivalence suite compare server output byte for byte against the
+// in-process API.
+
+// WireTuple is one tuple on the wire. ID must be omitted (zero) on
+// insert requests — the session assigns ids in arrival order, and a
+// client-supplied id is rejected with 400 — and is always present on
+// responses. W carries optional per-attribute confidence weights.
+type WireTuple struct {
+	ID   int64     `json:"id,omitempty"`
+	Vals []*string `json:"vals"`
+	W    []float64 `json:"w,omitempty"`
+}
+
+// WireSet is one cell update: set attribute Attr (by name) of tuple ID
+// to Value; a JSON-null Value sets SQL null. The updated tuple is
+// re-cleaned by the session's repair pass, so the stored value may
+// differ from the requested one if the update introduced violations.
+type WireSet struct {
+	ID    int64   `json:"id"`
+	Attr  string  `json:"attr"`
+	Value *string `json:"value"`
+}
+
+// WireChange reports one repaired cell of an applied batch: the engine
+// stored To where the arriving tuple carried From.
+type WireChange struct {
+	ID   int64   `json:"id"`
+	Attr string  `json:"attr"`
+	From *string `json:"from"`
+	To   *string `json:"to"`
+}
+
+// WireSnapshot is increpair.Snapshot on the wire.
+type WireSnapshot struct {
+	Watermark  int64   `json:"watermark"`
+	Version    uint64  `json:"version"`
+	Size       int     `json:"size"`
+	Batches    int     `json:"batches"`
+	Inserted   int     `json:"inserted"`
+	Deleted    int     `json:"deleted"`
+	Cost       float64 `json:"cost"`
+	Changes    int     `json:"changes"`
+	Violations int     `json:"violations"`
+	Satisfied  bool    `json:"satisfied"`
+	Closed     bool    `json:"closed"`
+}
+
+// CreateRequest opens a named session. The base database comes either
+// from BaseCSV (a full CSV document whose header names the attributes;
+// Schema may then be omitted) or from Schema plus Base rows; an empty
+// base is a schema-only session. CFDs is the constraint set in the
+// package's text format (see ParseCFDs).
+type CreateRequest struct {
+	Name    string       `json:"name"`
+	Schema  *WireSchema  `json:"schema,omitempty"`
+	CFDs    string       `json:"cfds"`
+	BaseCSV string       `json:"base_csv,omitempty"`
+	Base    []WireTuple  `json:"base,omitempty"`
+	Options *WireOptions `json:"options,omitempty"`
+}
+
+// WireSchema names a relation and its attributes.
+type WireSchema struct {
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+}
+
+// WireOptions tunes the session's INCREPAIR engine; zero values take
+// the engine defaults (k = 2, linear ordering, all cores).
+type WireOptions struct {
+	// Ordering is the ΔD processing order: "linear", "vio" or "weight".
+	Ordering string `json:"ordering,omitempty"`
+	// K is TUPLERESOLVE's attribute-subset size.
+	K int `json:"k,omitempty"`
+	// NearestK is the per-attribute fan-out of the cost-based index.
+	NearestK int `json:"nearest_k,omitempty"`
+	// Workers bounds candidate-evaluation parallelism inside one engine
+	// pass (sessions are single-writer; this is intra-batch parallelism).
+	Workers int `json:"workers,omitempty"`
+}
+
+// CreateResponse acknowledges a created session. Initial summarizes the
+// §5.3 cleaning performed when the base was dirty, or is absent.
+type CreateResponse struct {
+	Name     string        `json:"name"`
+	Attrs    []string      `json:"attrs"`
+	Rules    int           `json:"rules"`
+	Initial  *BatchSummary `json:"initial,omitempty"`
+	Snapshot WireSnapshot  `json:"snapshot"`
+}
+
+// BatchSummary condenses one engine pass.
+type BatchSummary struct {
+	Tuples  int     `json:"tuples"`
+	Cost    float64 `json:"cost"`
+	Changes int     `json:"changes"`
+}
+
+// ApplyRequest is one mutation batch: deletes, then cell updates, then
+// inserts, applied by a single engine pass (see Session.ApplyOps).
+type ApplyRequest struct {
+	Inserts []WireTuple `json:"inserts,omitempty"`
+	Deletes []int64     `json:"deletes,omitempty"`
+	Sets    []WireSet   `json:"sets,omitempty"`
+}
+
+// ApplyResponse reports one synchronously applied batch. Seq is the
+// session's engine-pass sequence number; Inserted holds the repaired
+// tuples under their assigned ids, and Changed lists the cells the
+// repair modified relative to the arriving values.
+type ApplyResponse struct {
+	Session  string       `json:"session"`
+	Seq      uint64       `json:"seq"`
+	Inserted []WireTuple  `json:"inserted"`
+	Changed  []WireChange `json:"changed,omitempty"`
+	Deleted  int          `json:"deleted"`
+	Cost     float64      `json:"cost"`
+	Changes  int          `json:"changes"`
+	Snapshot WireSnapshot `json:"snapshot"`
+}
+
+// IngestResponse acknowledges an asynchronously queued batch (202): the
+// batch will be applied — possibly coalesced with queued neighbours into
+// one engine pass — and its effect observed via the events stream or the
+// session snapshot.
+type IngestResponse struct {
+	Session string `json:"session"`
+	Queued  int    `json:"queued"`
+}
+
+// WireViolation is one CFD violation: tuple T violates rule Rule; With
+// is the partner tuple for variable-RHS violations, 0 for single-tuple
+// (constant) violations.
+type WireViolation struct {
+	T    int64  `json:"t"`
+	Rule string `json:"rule"`
+	With int64  `json:"with,omitempty"`
+}
+
+// ViolationsResponse lists current violations of one session.
+type ViolationsResponse struct {
+	Session    string          `json:"session"`
+	Total      int             `json:"total"`
+	Violations []WireViolation `json:"violations"`
+}
+
+// SessionInfo describes one hosted session in listings.
+type SessionInfo struct {
+	Name     string       `json:"name"`
+	Attrs    []string     `json:"attrs"`
+	Queue    int          `json:"queue"`
+	QueueCap int          `json:"queue_cap"`
+	Snapshot WireSnapshot `json:"snapshot"`
+}
+
+// ListResponse enumerates hosted sessions in name order.
+type ListResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// MetricsResponse is the service-wide counter and latency report.
+type MetricsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Sessions      int          `json:"sessions"`
+	Passes        uint64       `json:"passes"`
+	Batches       uint64       `json:"batches"`
+	Coalesced     uint64       `json:"coalesced"`
+	Rejected      uint64       `json:"rejected"`
+	Tuples        uint64       `json:"tuples"`
+	Latency       *WireLatency `json:"latency,omitempty"`
+}
+
+// WireLatency summarizes engine-pass latencies over a bounded window of
+// recent passes (milliseconds).
+type WireLatency struct {
+	Count int     `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P99ms float64 `json:"p99_ms"`
+	Maxms float64 `json:"max_ms"`
+}
+
+// Event is one server-sent notification, emitted after every engine
+// pass: which session advanced, how many client batches the pass
+// coalesced, the dirty tuples the repair had to touch, and the resulting
+// snapshot. Clients stream these from GET /v1/sessions/{name}/events.
+type Event struct {
+	Session   string       `json:"session"`
+	Seq       uint64       `json:"seq"`
+	Coalesced int          `json:"coalesced"`
+	Inserted  int          `json:"inserted"`
+	Deleted   int          `json:"deleted"`
+	Dirty     []WireChange `json:"dirty,omitempty"`
+	Snapshot  WireSnapshot `json:"snapshot"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func encodeValue(v relation.Value) *string {
+	if v.Null {
+		return nil
+	}
+	s := v.Str
+	return &s
+}
+
+func decodeValue(p *string) relation.Value {
+	if p == nil {
+		return relation.NullValue
+	}
+	return relation.S(*p)
+}
+
+// EncodeTuple converts a tuple to its wire form (used by the handlers,
+// the load driver and the equivalence tests; inverse of decodeTuple up
+// to id assignment).
+func EncodeTuple(t *relation.Tuple) WireTuple {
+	wt := WireTuple{ID: int64(t.ID), Vals: make([]*string, len(t.Vals))}
+	for i, v := range t.Vals {
+		wt.Vals[i] = encodeValue(v)
+	}
+	if t.W != nil {
+		wt.W = append([]float64(nil), t.W...)
+	}
+	return wt
+}
+
+func decodeTuple(wt WireTuple, arity int) (*relation.Tuple, error) {
+	if len(wt.Vals) != arity {
+		return nil, fmt.Errorf("tuple has %d values, want %d", len(wt.Vals), arity)
+	}
+	if wt.W != nil && len(wt.W) != arity {
+		return nil, fmt.Errorf("tuple has %d weights, want %d", len(wt.W), arity)
+	}
+	t := &relation.Tuple{ID: relation.TupleID(wt.ID), Vals: make([]relation.Value, arity)}
+	for i, p := range wt.Vals {
+		t.Vals[i] = decodeValue(p)
+	}
+	if wt.W != nil {
+		t.W = append([]float64(nil), wt.W...)
+	}
+	return t, nil
+}
+
+func encodeSnapshot(sn increpair.Snapshot) WireSnapshot {
+	return WireSnapshot{
+		Watermark:  int64(sn.Watermark),
+		Version:    sn.Version,
+		Size:       sn.Size,
+		Batches:    sn.Batches,
+		Inserted:   sn.Inserted,
+		Deleted:    sn.Deleted,
+		Cost:       sn.Cost,
+		Changes:    sn.Changes,
+		Violations: sn.Violations,
+		Satisfied:  sn.Satisfied,
+		Closed:     sn.Closed,
+	}
+}
+
+// changedCells diffs each repaired tuple against its arriving original.
+func changedCells(res *increpair.Result, attrs []string) []WireChange {
+	var out []WireChange
+	for i, rt := range res.Inserted {
+		orig := res.Originals[i]
+		for a := range rt.Vals {
+			if !relation.StrictEq(orig.Vals[a], rt.Vals[a]) {
+				out = append(out, WireChange{
+					ID:   int64(rt.ID),
+					Attr: attrs[a],
+					From: encodeValue(orig.Vals[a]),
+					To:   encodeValue(rt.Vals[a]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func encodeViolations(vs []cfd.Violation) []WireViolation {
+	out := make([]WireViolation, len(vs))
+	for i, v := range vs {
+		out[i] = WireViolation{T: int64(v.T), Rule: v.N.Name, With: int64(v.With)}
+	}
+	return out
+}
+
+// decodeOptions maps wire options onto engine options.
+func decodeOptions(wo *WireOptions) (*increpair.Options, error) {
+	o := &increpair.Options{}
+	if wo == nil {
+		return o, nil
+	}
+	switch wo.Ordering {
+	case "", "linear":
+		o.Ordering = increpair.Linear
+	case "vio":
+		o.Ordering = increpair.ByViolations
+	case "weight":
+		o.Ordering = increpair.ByWeight
+	default:
+		return nil, fmt.Errorf("unknown ordering %q (want linear, vio or weight)", wo.Ordering)
+	}
+	o.K = wo.K
+	o.NearestK = wo.NearestK
+	o.Workers = wo.Workers
+	return o, nil
+}

@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/gen"
+	"cfdclean/internal/relation"
+	"cfdclean/internal/server"
+)
+
+// The service load driver: measures what a cfdserved instance sustains
+// under N concurrent streaming sessions. Each session gets its own
+// generated order dataset (distinct seed), is created over the clean
+// base, and then receives its dirty tuples as synchronous /apply batches
+// from a dedicated client goroutine; the driver records per-request
+// latency client-side and reports sustained batches/sec and tuple
+// throughput with p50/p99/max latency over the whole run. With
+// LoadConfig.BaseURL empty the driver spins up an in-process server on a
+// loopback listener, so the numbers include the full HTTP round trip but
+// no network.
+
+// LoadConfig parameterizes one load measurement.
+type LoadConfig struct {
+	// Sessions is the number of concurrent sessions (and client
+	// goroutines). Default 1.
+	Sessions int
+	// Batches is the number of ΔD batches streamed per session; the
+	// session's dirty tuples are spread evenly across them. Default 8.
+	Batches int
+	// BaseSize is the clean base database size per session. Default 800.
+	BaseSize int
+	// NoiseRate is the generator's perturbation rate; together with
+	// BaseSize it determines total streamed tuples. Default 0.08.
+	NoiseRate float64
+	// Seed seeds the generator; session i uses Seed+i. Default 1.
+	Seed int64
+	// Workers bounds each session engine's intra-batch parallelism.
+	// Default 1 (sessions are already concurrent with each other).
+	Workers int
+	// QueueDepth configures the in-process server. Default 32.
+	QueueDepth int
+	// BaseURL targets a running service ("http://host:port"); empty
+	// starts an in-process server on a loopback listener.
+	BaseURL string
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Sessions <= 0 {
+		c.Sessions = 1
+	}
+	if c.Batches <= 0 {
+		c.Batches = 8
+	}
+	if c.BaseSize <= 0 {
+		c.BaseSize = 800
+	}
+	if c.NoiseRate <= 0 {
+		c.NoiseRate = 0.08
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	return c
+}
+
+// LoadResult reports one load measurement; all latencies are
+// milliseconds of client-observed /apply round trips.
+type LoadResult struct {
+	Sessions      int     `json:"sessions"`
+	Batches       int     `json:"batches_per_session"`
+	MeanBatch     float64 `json:"mean_batch_tuples"`
+	BaseSize      int     `json:"base_size"`
+	TotalBatches  int     `json:"total_batches"`
+	TotalTuples   int     `json:"total_tuples"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	BatchesPerSec float64 `json:"batches_per_sec"`
+	TuplesPerSec  float64 `json:"tuples_per_sec"`
+	P50ms         float64 `json:"p50_ms"`
+	P99ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+}
+
+// RunLoad performs one measurement: create cfg.Sessions sessions, stream
+// every session's batches concurrently, verify each response reports a
+// Σ-satisfying state, tear the sessions down, and summarize.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	cfg = cfg.withDefaults()
+
+	base := cfg.BaseURL
+	if base == "" {
+		srv := server.New(server.Options{QueueDepth: cfg.QueueDepth})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			hs.Shutdown(ctx)
+		}()
+		base = "http://" + ln.Addr().String()
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// Prepare every session's dataset and batches before the clock
+	// starts; creation (base scan + store build) stays outside the
+	// measured window, which times steady-state batch traffic only.
+	type sessionLoad struct {
+		name    string
+		batches [][]server.WireTuple
+	}
+	loads := make([]sessionLoad, cfg.Sessions)
+	totalTuples := 0
+	for i := range loads {
+		ds, err := gen.New(gen.Config{
+			Size:      cfg.BaseSize,
+			NoiseRate: cfg.NoiseRate,
+			Seed:      cfg.Seed + int64(i),
+			Weights:   true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		deltas, _ := ds.StreamBatches(cfg.Batches)
+		name := fmt.Sprintf("load-%d", i)
+		sl := sessionLoad{name: name}
+		for _, delta := range deltas {
+			wb := make([]server.WireTuple, len(delta))
+			for j, t := range delta {
+				wt := server.EncodeTuple(t)
+				wt.ID = 0 // let the session assign arrival-order ids
+				wb[j] = wt
+			}
+			totalTuples += len(delta)
+			sl.batches = append(sl.batches, wb)
+		}
+		loads[i] = sl
+
+		var csvBuf, cfdBuf bytes.Buffer
+		if err := relation.WriteCSV(ds.Opt, &csvBuf); err != nil {
+			return nil, err
+		}
+		if err := cfd.Format(&cfdBuf, ds.CFDs); err != nil {
+			return nil, err
+		}
+		cr := server.CreateRequest{
+			Name:    name,
+			CFDs:    cfdBuf.String(),
+			BaseCSV: csvBuf.String(),
+			Options: &server.WireOptions{Ordering: "linear", Workers: cfg.Workers},
+		}
+		if err := postJSON(client, base+"/v1/sessions", cr, http.StatusCreated, nil); err != nil {
+			return nil, fmt.Errorf("creating %s: %w", name, err)
+		}
+	}
+
+	// Stream all sessions concurrently; one goroutine per session keeps
+	// per-session ordering (the API contract) while sessions contend for
+	// the service like independent tenants.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+		firstErr error
+	)
+	start := time.Now()
+	for i := range loads {
+		wg.Add(1)
+		go func(sl sessionLoad) {
+			defer wg.Done()
+			var local []time.Duration
+			for _, wb := range sl.batches {
+				var resp server.ApplyResponse
+				t0 := time.Now()
+				err := postJSON(client, base+"/v1/sessions/"+sl.name+"/apply",
+					server.ApplyRequest{Inserts: wb}, http.StatusOK, &resp)
+				local = append(local, time.Since(t0))
+				if err == nil && !resp.Snapshot.Satisfied {
+					err = fmt.Errorf("session %s: batch left violations", sl.name)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(loads[i])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for _, sl := range loads {
+		req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+sl.name, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	total := len(lats)
+	res := &LoadResult{
+		Sessions:      cfg.Sessions,
+		Batches:       cfg.Batches,
+		BaseSize:      cfg.BaseSize,
+		TotalBatches:  total,
+		TotalTuples:   totalTuples,
+		WallSeconds:   wall.Seconds(),
+		BatchesPerSec: float64(total) / wall.Seconds(),
+		TuplesPerSec:  float64(totalTuples) / wall.Seconds(),
+	}
+	// Same nearest-rank definition as the service's /v1/metrics.
+	if sum := server.LatencySummary(lats); sum != nil {
+		res.MeanBatch = float64(totalTuples) / float64(total)
+		res.P50ms = sum.P50ms
+		res.P99ms = sum.P99ms
+		res.MaxMs = sum.Maxms
+	}
+	return res, nil
+}
+
+// postJSON posts v, requires wantStatus, and decodes the body into out
+// when non-nil.
+func postJSON(client *http.Client, url string, v any, wantStatus int, out any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if out != nil {
+		return json.Unmarshal(body, out)
+	}
+	return nil
+}

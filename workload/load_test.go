@@ -1,0 +1,31 @@
+package workload
+
+import "testing"
+
+// TestRunLoadSmoke exercises the full load-driver path — in-process
+// server, session creation over generated bases, concurrent streaming,
+// teardown — at a tiny scale, and sanity-checks the report's arithmetic.
+func TestRunLoadSmoke(t *testing.T) {
+	res, err := RunLoad(LoadConfig{
+		Sessions:  2,
+		Batches:   2,
+		BaseSize:  150,
+		NoiseRate: 0.08,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != 2 || res.TotalBatches != 4 {
+		t.Fatalf("report shape: %+v", res)
+	}
+	if res.TotalTuples <= 0 || res.MeanBatch <= 0 {
+		t.Fatalf("no tuples streamed: %+v", res)
+	}
+	if res.WallSeconds <= 0 || res.BatchesPerSec <= 0 {
+		t.Fatalf("throughput not measured: %+v", res)
+	}
+	if res.P50ms <= 0 || res.P99ms < res.P50ms || res.MaxMs < res.P99ms {
+		t.Fatalf("latency percentiles inconsistent: %+v", res)
+	}
+}
