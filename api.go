@@ -244,6 +244,20 @@ func NewSession(d *Relation, sigma []*NormalCFD, opts *IncOptions) (*Session, er
 	return increpair.NewSession(d, sigma, opts)
 }
 
+// RestoreSession rebuilds a Session from a full-state snapshot written
+// by Session.Persist: same schema, CFD set, tuples (ids and physical
+// order included), journal marks and cumulative counters, with the
+// violation store rebuilt by one deterministic detection pass. The
+// restored session's Dump, Violations and Stats are byte-identical to
+// the persisted session's at the snapshot point. workers > 0 overrides
+// the persisted engine worker count (output is identical at every
+// setting); 0 keeps it. Batches logged after the snapshot are reapplied
+// with Session.ReplayBatch — cmd/cfdserved does exactly this on boot
+// when run with -data-dir.
+func RestoreSession(r io.Reader, workers int) (*Session, error) {
+	return increpair.RestoreSession(r, workers)
+}
+
 // Framework (Fig. 3) and accuracy.
 type (
 	// Cleaner runs the repair→sample→feedback loop.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -12,8 +13,11 @@ import (
 	"cfdclean/workload"
 )
 
-// loadReport is the BENCH_PR4.json shape: environment header plus one
-// workload.LoadResult row per concurrent-session count.
+// loadReport is the BENCH_PR5.json shape: environment header plus
+// workload.LoadResult rows per concurrent-session count — one row for
+// the in-memory server and, when -data-dir is given, a second row with
+// per-batch WAL persistence on, so the durability overhead reads
+// directly off adjacent rows.
 type loadReport struct {
 	PR          int                    `json:"pr"`
 	Title       string                 `json:"title"`
@@ -38,9 +42,10 @@ type loadCfg struct {
 	Seed              int64   `json:"seed"`
 	Workers           int     `json:"workers"`
 	QueueDepth        int     `json:"queue_depth"`
+	DataDir           string  `json:"data_dir,omitempty"`
 }
 
-func runLoadtest(sessionsCSV string, batches, baseSize int, noise float64, seed int64, workers, queue int, outPath string) error {
+func runLoadtest(sessionsCSV string, batches, baseSize int, noise float64, seed int64, workers, queue int, dataDir, outPath string) error {
 	var counts []int
 	for _, f := range strings.Split(sessionsCSV, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -50,17 +55,21 @@ func runLoadtest(sessionsCSV string, batches, baseSize int, noise float64, seed 
 		counts = append(counts, n)
 	}
 
+	cmd := fmt.Sprintf("go run ./cmd/cfdserved -loadtest -sessions %s -batches %d -base %d -noise %g -seed %d -workers %d",
+		sessionsCSV, batches, baseSize, noise, seed, workers)
+	if dataDir != "" {
+		cmd += " -data-dir " + dataDir
+	}
 	rep := &loadReport{
-		PR:    4,
-		Title: "cfdserved: concurrent multi-tenant cleaning service over streaming sessions",
+		PR:    5,
+		Title: "cfdserved: durable sessions — WAL + snapshot persistence vs in-memory",
 		Environment: loadEnv{
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Go:         runtime.Version(),
-			Command: fmt.Sprintf("go run ./cmd/cfdserved -loadtest -sessions %s -batches %d -base %d -noise %g -seed %d -workers %d",
-				sessionsCSV, batches, baseSize, noise, seed, workers),
-			Note: "In-process server on a loopback listener: latencies include the full HTTP round trip (JSON codec, registry, queue hand-off, engine pass) but no network. Each session streams its own generated order workload; apply calls are synchronous, so per-session traffic is closed-loop and total offered load scales with the session count. On a GOMAXPROCS=1 container the per-session engine passes serialize onto one core, so aggregate batches/sec stays roughly flat as sessions are added while per-request latency grows linearly with the session count; on multicore hardware independent sessions run on distinct cores and aggregate throughput scales until cores saturate.",
+			Command:    cmd,
+			Note:       "In-process server on a loopback listener: latencies include the full HTTP round trip (JSON codec, registry, queue hand-off, engine pass) but no network. Durable rows add the per-batch WAL path — delta encode, CRC, append, fsync before the ack — under -fsync batch, the worst-case policy; each durable run writes to a fresh directory that is deleted afterwards. Apply calls are synchronous, so per-session traffic is closed-loop and total offered load scales with the session count.",
 		},
 		Config: loadCfg{
 			BatchesPerSession: batches,
@@ -69,11 +78,16 @@ func runLoadtest(sessionsCSV string, batches, baseSize int, noise float64, seed 
 			Seed:              seed,
 			Workers:           workers,
 			QueueDepth:        queue,
+			DataDir:           dataDir,
 		},
 	}
 
-	for _, n := range counts {
-		fmt.Fprintf(os.Stderr, "loadtest: %d session(s), %d batches each ... ", n, batches)
+	run := func(n int, dir string) error {
+		mode := "in-memory"
+		if dir != "" {
+			mode = "durable"
+		}
+		fmt.Fprintf(os.Stderr, "loadtest: %d session(s), %d batches each, %s ... ", n, batches, mode)
 		t0 := time.Now()
 		res, err := workload.RunLoad(workload.LoadConfig{
 			Sessions:   n,
@@ -83,13 +97,29 @@ func runLoadtest(sessionsCSV string, batches, baseSize int, noise float64, seed 
 			Seed:       seed,
 			Workers:    workers,
 			QueueDepth: queue,
+			DataDir:    dir,
 		})
 		if err != nil {
-			return fmt.Errorf("sessions=%d: %w", n, err)
+			return fmt.Errorf("sessions=%d (%s): %w", n, mode, err)
 		}
-		fmt.Fprintf(os.Stderr, "%.1f batches/s, p50 %.0fms, p99 %.0fms (%v)\n",
-			res.BatchesPerSec, res.P50ms, res.P99ms, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "%.1f batches/s, p50 %.0fms, p99 %.0fms, %d error(s) (%v)\n",
+			res.BatchesPerSec, res.P50ms, res.P99ms, res.ErrorBatches, time.Since(t0).Round(time.Millisecond))
 		rep.Results = append(rep.Results, res)
+		return nil
+	}
+
+	for _, n := range counts {
+		if err := run(n, ""); err != nil {
+			return err
+		}
+		if dataDir != "" {
+			dir := filepath.Join(dataDir, fmt.Sprintf("loadtest-%d", n))
+			err := run(n, dir)
+			os.RemoveAll(dir)
+			if err != nil {
+				return err
+			}
+		}
 	}
 
 	b, err := json.MarshalIndent(rep, "", "  ")

@@ -7,8 +7,21 @@
 // Usage:
 //
 //	cfdserved [-addr :8344] [-queue 32] [-drain 10s]
+//	          [-data-dir DIR] [-fsync batch|interval|off]
+//	          [-fsync-interval 100ms] [-snap-every 64]
 //	cfdserved -loadtest [-sessions 1,4,16] [-batches 8] [-base 800]
-//	          [-noise 0.08] [-seed 1] [-workers 1] [-out BENCH_PR4.json]
+//	          [-noise 0.08] [-seed 1] [-workers 1] [-data-dir DIR]
+//	          [-out BENCH_PR5.json]
+//
+// With -data-dir the service is durable: every session writes a
+// CRC-checked write-ahead log plus periodic full-state snapshots under
+// DIR/<session>/, and on boot the service recovers every persisted
+// session — newest valid snapshot, then WAL replay — before accepting
+// traffic, discarding any torn record tail a crash (kill -9 included)
+// left behind. -fsync picks the durability/latency trade: "batch"
+// syncs before every acknowledgement, "interval" syncs on a timer,
+// "off" leaves flushing to the OS. In -loadtest mode -data-dir makes
+// the driver measure durable and in-memory throughput side by side.
 //
 // Endpoints (all JSON unless noted):
 //
@@ -50,6 +63,10 @@ func main() {
 	addr := flag.String("addr", ":8344", "listen address")
 	queue := flag.Int("queue", 32, "per-session work queue depth (full queue: apply blocks, ingest gets 429)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget for queued work")
+	dataDir := flag.String("data-dir", "", "durability root: per-session WAL + snapshots, recovered on boot (empty: in-memory)")
+	fsyncMode := flag.String("fsync", "batch", "WAL fsync policy: batch (sync before every ack), interval, or off")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "sync timer for -fsync interval")
+	snapEvery := flag.Int("snap-every", 64, "rotate to a fresh snapshot after this many logged batches")
 
 	loadtest := flag.Bool("loadtest", false, "run the service load driver instead of serving")
 	sessions := flag.String("sessions", "1,4,16", "loadtest: comma-separated concurrent session counts")
@@ -61,8 +78,22 @@ func main() {
 	out := flag.String("out", "", "loadtest: JSON report path (default stdout)")
 	flag.Parse()
 
+	policy, err := server.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfdserved: -fsync: %v\n", err)
+		os.Exit(2)
+	}
+	popts := server.Options{
+		QueueDepth:    *queue,
+		DrainTimeout:  *drain,
+		DataDir:       *dataDir,
+		Fsync:         policy,
+		FsyncInterval: *fsyncEvery,
+		SnapshotEvery: *snapEvery,
+	}
+
 	if *loadtest {
-		if err := runLoadtest(*sessions, *batches, *baseSize, *noise, *seed, *workers, *queue, *out); err != nil {
+		if err := runLoadtest(*sessions, *batches, *baseSize, *noise, *seed, *workers, *queue, *dataDir, *out); err != nil {
 			fmt.Fprintf(os.Stderr, "cfdserved: %v\n", err)
 			os.Exit(1)
 		}
@@ -70,7 +101,7 @@ func main() {
 	}
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	if err := serve(*addr, *queue, *drain, sigc, nil); err != nil {
+	if err := serve(*addr, popts, sigc, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "cfdserved: %v\n", err)
 		os.Exit(1)
 	}
@@ -78,9 +109,26 @@ func main() {
 
 // serve runs the service until stop yields (a signal in production, a
 // test's synthetic value otherwise), then drains gracefully. ready, if
-// non-nil, receives the bound address once the listener is up.
-func serve(addr string, queue int, drain time.Duration, stop <-chan os.Signal, ready chan<- string) error {
-	svc := server.New(server.Options{QueueDepth: queue, DrainTimeout: drain})
+// non-nil, receives the bound address once the listener is up. With a
+// data dir configured, persisted sessions are recovered before the
+// listener opens, so no request ever races the replay.
+func serve(addr string, opts server.Options, stop <-chan os.Signal, ready chan<- string) error {
+	if opts.DataDir != "" {
+		if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+			return err
+		}
+	}
+	svc := server.New(opts)
+	if opts.DataDir != "" {
+		n, err := svc.Recover()
+		if err != nil {
+			// Unrecoverable tenants are skipped, not fatal: their data
+			// stays on disk for inspection while everyone else serves.
+			log.Printf("cfdserved: recovery incomplete: %v", err)
+		}
+		log.Printf("cfdserved: recovered %d session(s) from %s (fsync %v, snapshot every %d batches)",
+			n, opts.DataDir, opts.Fsync, opts.SnapshotEvery)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -89,7 +137,7 @@ func serve(addr string, queue int, drain time.Duration, stop <-chan os.Signal, r
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("cfdserved: listening on %s (queue depth %d)", ln.Addr(), queue)
+		log.Printf("cfdserved: listening on %s (queue depth %d)", ln.Addr(), opts.QueueDepth)
 		errc <- hs.Serve(ln)
 	}()
 	if ready != nil {
@@ -100,10 +148,10 @@ func serve(addr string, queue int, drain time.Duration, stop <-chan os.Signal, r
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		log.Printf("cfdserved: %v — draining (budget %v)", sig, drain)
+		log.Printf("cfdserved: %v — draining (budget %v)", sig, opts.DrainTimeout)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	ctx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
 	defer cancel()
 	if err := svc.Shutdown(ctx); err != nil {
 		log.Printf("cfdserved: drain incomplete: %v", err)

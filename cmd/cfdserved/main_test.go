@@ -10,6 +10,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"cfdclean/internal/server"
 )
 
 // TestServeLifecycle boots the real service loop on a loopback port,
@@ -19,7 +21,9 @@ func TestServeLifecycle(t *testing.T) {
 	stop := make(chan os.Signal, 1)
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
-	go func() { done <- serve("127.0.0.1:0", 8, 10*time.Second, stop, ready) }()
+	go func() {
+		done <- serve("127.0.0.1:0", server.Options{QueueDepth: 8, DrainTimeout: 10 * time.Second}, stop, ready)
+	}()
 
 	var addr string
 	select {
@@ -74,16 +78,18 @@ func TestServeLifecycle(t *testing.T) {
 }
 
 func TestServeBadAddr(t *testing.T) {
-	if err := serve("127.0.0.1:-1", 8, time.Second, nil, nil); err == nil {
+	if err := serve("127.0.0.1:-1", server.Options{QueueDepth: 8, DrainTimeout: time.Second}, nil, nil); err == nil {
 		t.Fatal("invalid listen address must fail")
 	}
 }
 
 // TestLoadtestWritesReport runs the self-loadtest at a tiny scale and
-// checks the BENCH_PR4.json shape it writes.
+// checks the BENCH_PR5.json shape it writes, including the durable rows
+// the -data-dir mode adds next to each in-memory row.
 func TestLoadtestWritesReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := runLoadtest("1,2", 2, 120, 0.08, 3, 1, 8, out); err != nil {
+	dataDir := t.TempDir()
+	if err := runLoadtest("1,2", 2, 120, 0.08, 3, 1, 8, dataDir, out); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -94,24 +100,39 @@ func TestLoadtestWritesReport(t *testing.T) {
 	if err := json.Unmarshal(b, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.PR != 4 || len(rep.Results) != 2 {
+	if rep.PR != 5 || len(rep.Results) != 4 {
 		t.Fatalf("report shape: %s", b)
 	}
-	if rep.Results[0].Sessions != 1 || rep.Results[1].Sessions != 2 {
+	if rep.Results[0].Sessions != 1 || rep.Results[2].Sessions != 2 {
 		t.Fatalf("session counts: %s", b)
 	}
-	for _, r := range rep.Results {
+	for i, r := range rep.Results {
 		if r.BatchesPerSec <= 0 || r.P99ms < r.P50ms {
 			t.Fatalf("bad result row: %+v", r)
 		}
+		wantDurable := i%2 == 1
+		if r.Durable != wantDurable {
+			t.Fatalf("row %d durable = %v, want %v: %s", i, r.Durable, wantDurable, b)
+		}
+		if r.ErrorBatches != 0 {
+			t.Fatalf("row %d reports %d error batches: %s", i, r.ErrorBatches, b)
+		}
+	}
+	// Durable runs clean their scratch directories up after themselves.
+	ents, err := os.ReadDir(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("loadtest left %d entries in the data dir", len(ents))
 	}
 }
 
 func TestLoadtestRejectsBadSessions(t *testing.T) {
-	if err := runLoadtest("1,zero", 1, 50, 0.05, 1, 1, 8, ""); err == nil {
+	if err := runLoadtest("1,zero", 1, 50, 0.05, 1, 1, 8, "", ""); err == nil {
 		t.Fatal("non-integer session count must fail")
 	}
-	if err := runLoadtest("0", 1, 50, 0.05, 1, 1, 8, ""); err == nil {
+	if err := runLoadtest("0", 1, 50, 0.05, 1, 1, 8, "", ""); err == nil {
 		t.Fatal("zero session count must fail")
 	}
 }

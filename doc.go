@@ -35,6 +35,9 @@
 //	—     service         internal/server + cmd/cfdserved (HTTP/JSON
 //	                      multi-tenant session host; the §5 online
 //	                      scenario as a long-running system)
+//	—     durability      internal/wal (CRC-checked write-ahead log +
+//	                      full-state snapshots; crash recovery replays
+//	                      the journal's Delta stream through ApplyOps)
 //
 // # Data flow
 //
@@ -62,14 +65,28 @@
 //	                ▼
 //	        internal/server: named sessions, per-session worker
 //	        queues, lock-free snapshots, SSE notifications
-//	                │
+//	                │                        │ per accepted batch,
+//	                │                        │ before the reply
+//	                │                        ▼
+//	                │            internal/wal: length-prefixed CRC'd
+//	                │            batch records + rotating full-state
+//	                │            snapshots under -data-dir/<session>/
+//	                │                        │ on boot
+//	                │                        ▼
+//	                │            RestoreSession + ReplayBatch: newest
+//	                │            valid snapshot, then WAL replay through
+//	                │            the same ApplyOps path (torn tails
+//	                │            discarded; byte-identical recovery)
 //	                ▼
-//	        cmd/cfdserved (HTTP/JSON service)
+//	        cmd/cfdserved (HTTP/JSON service, -data-dir durability)
 //
 // Detection state is computed once per engine run and then maintained:
 // every mutation costs O(affected buckets), never O(|D|), which is what
 // makes both the detect→fix→re-detect repair loops and the streaming
-// sessions scale.
+// sessions scale. The same journal that feeds the VioStore is what the
+// WAL serializes: a batch record is the batch's input ops as typed
+// Deltas bracketed by the journal's Version counter, so recovery is
+// replay of the exact deterministic passes the live session ran.
 //
 // # Concurrency contracts
 //

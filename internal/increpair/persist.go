@@ -1,0 +1,305 @@
+package increpair
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/relation"
+	"cfdclean/internal/wal"
+)
+
+// Durability: a Session serializes to a full-state snapshot
+// (wal.Snapshot) and replays logged mutation batches (wal.Batch) through
+// its ordinary ApplyOps path. Recovery is byte-identical by
+// construction: the snapshot pins the relation's physical row order,
+// tuple ids, journal marks and session counters; the violation store is
+// a pure function of the relation contents and is rebuilt by one
+// deterministic detection pass; and every replayed batch runs the same
+// deterministic engine pass the live session ran, so the restored
+// session's Dump, Violations and Stats equal the original's at the same
+// watermark — at any worker count (see internal/wal/recovery_test.go).
+
+// OpsToDeltas encodes one ApplyOps input batch as relation Deltas — the
+// WAL's op triple convention:
+//
+//   - a delete is a DeltaDelete whose tuple carries only the id;
+//   - a set is a DeltaUpdate whose tuple carries the id, with Attr the
+//     target attribute and Old the value to store (an input op has no
+//     "old" value, so the field transports the operand);
+//   - an insert is a DeltaInsert carrying the full arriving tuple —
+//     id (zero for session-assigned), values and weights.
+//
+// DeltasToOps inverts the mapping.
+func OpsToDeltas(deletes []relation.TupleID, sets []SetOp, inserts []*relation.Tuple) []relation.Delta {
+	out := make([]relation.Delta, 0, len(deletes)+len(sets)+len(inserts))
+	for _, id := range deletes {
+		out = append(out, relation.Delta{Kind: relation.DeltaDelete, T: &relation.Tuple{ID: id}})
+	}
+	for _, op := range sets {
+		out = append(out, relation.Delta{Kind: relation.DeltaUpdate, T: &relation.Tuple{ID: op.ID}, Attr: op.Attr, Old: op.Value})
+	}
+	for _, t := range inserts {
+		out = append(out, relation.Delta{Kind: relation.DeltaInsert, T: t})
+	}
+	return out
+}
+
+// DeltasToOps decodes a WAL op sequence back into ApplyOps inputs. Ops
+// are grouped by kind in first-appearance order; ApplyOps applies
+// deletes, then sets, then inserts regardless of interleaving, so the
+// grouping preserves the recorded batch's semantics exactly.
+func DeltasToOps(ops []relation.Delta) (deletes []relation.TupleID, sets []SetOp, inserts []*relation.Tuple, err error) {
+	for i, d := range ops {
+		if d.T == nil {
+			return nil, nil, nil, fmt.Errorf("increpair: wal op %d has no tuple", i)
+		}
+		switch d.Kind {
+		case relation.DeltaDelete:
+			deletes = append(deletes, d.T.ID)
+		case relation.DeltaUpdate:
+			sets = append(sets, SetOp{ID: d.T.ID, Attr: d.Attr, Value: d.Old})
+		case relation.DeltaInsert:
+			inserts = append(inserts, d.T)
+		default:
+			return nil, nil, nil, fmt.Errorf("increpair: wal op %d has unknown kind %d", i, d.Kind)
+		}
+	}
+	return deletes, sets, inserts, nil
+}
+
+// Persist writes the session's full state as a framed snapshot: schema,
+// CFD set, engine options, cumulative counters, journal marks and every
+// tuple in physical row order. name is recorded for the hosting service
+// ("" outside it). Persist takes the session lock, so the image is a
+// quiescent point — never a half-applied batch — and is safe to call
+// concurrently with readers and writers.
+func (s *Session) Persist(name string, w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	snap, err := s.walSnapshotLocked(name)
+	if err != nil {
+		return err
+	}
+	return wal.WriteSnapshot(w, snap)
+}
+
+// PersistSnapshot builds the session's full-state snapshot without
+// serializing it — the hosting service uses it with
+// wal.WriteSnapshotFile for atomic on-disk rotation, while Persist
+// serves stream targets. Like Persist it captures a quiescent point
+// under the session lock.
+func (s *Session) PersistSnapshot(name string) (*wal.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	return s.walSnapshotLocked(name)
+}
+
+func (s *Session) walSnapshotLocked(name string) (*wal.Snapshot, error) {
+	if s.sigmaText == "" {
+		text, err := formatSigma(s.e.det.Sigma())
+		if err != nil {
+			return nil, err
+		}
+		s.sigmaText = text
+	}
+	repr := s.e.repr
+	sch := repr.Schema()
+	snap := &wal.Snapshot{
+		Name:     name,
+		Relname:  sch.Name(),
+		Attrs:    sch.Attrs(),
+		CFDs:     s.sigmaText,
+		Ordering: uint8(s.e.opts.Ordering),
+		K:        s.e.opts.K,
+		NearestK: s.e.opts.NearestK,
+		Workers:  s.e.opts.Workers,
+		Batches:  s.batches,
+		Inserted: s.applied,
+		Deleted:  s.deleted,
+		Changes:  s.changes,
+		Cost:     s.cost,
+		NextID:   repr.NextID(),
+		Version:  repr.Version(),
+	}
+	for _, t := range repr.Tuples() {
+		st := wal.SnapTuple{ID: t.ID, Vals: append([]relation.Value(nil), t.Vals...)}
+		if t.W != nil {
+			st.W = append([]float64(nil), t.W...)
+		}
+		snap.Tuples = append(snap.Tuples, st)
+	}
+	return snap, nil
+}
+
+// formatSigma renders the session's constraint set in the cfd.Parse text
+// format, by way of the source CFDs the normal rules were derived from.
+// Byte-identical recovery needs the restored sigma to reproduce rule
+// names and ranks exactly, so persistence requires sigma to be the full,
+// in-order normalization of its sources — which every session built from
+// parsed or Normalize'd CFDs satisfies — and verifies the text
+// round-trips before committing to it.
+func formatSigma(sigma []*cfd.Normal) (string, error) {
+	var srcs []*cfd.CFD
+	seen := make(map[*cfd.CFD]bool)
+	for _, n := range sigma {
+		if n.Source == nil {
+			return "", fmt.Errorf("increpair: persist: rule %s has no source CFD; only sessions built from parsed or normalized CFDs can be persisted", n.Name)
+		}
+		if !seen[n.Source] {
+			seen[n.Source] = true
+			srcs = append(srcs, n.Source)
+		}
+	}
+	if !sigmaEqual(sigma, cfd.NormalizeAll(srcs)) {
+		return "", fmt.Errorf("increpair: persist: sigma is not the full normalization of its source CFDs; a reordered or partial rule set cannot be persisted faithfully")
+	}
+	var buf bytes.Buffer
+	if err := cfd.Format(&buf, srcs); err != nil {
+		return "", err
+	}
+	reparsed, err := cfd.Parse(srcs[0].Schema, strings.NewReader(buf.String()))
+	if err != nil {
+		return "", fmt.Errorf("increpair: persist: formatted CFD set does not re-parse: %w", err)
+	}
+	if !sigmaEqual(sigma, cfd.NormalizeAll(reparsed)) {
+		return "", fmt.Errorf("increpair: persist: CFD set does not round-trip through its text form")
+	}
+	return buf.String(), nil
+}
+
+// sigmaEqual compares two normalized rule lists structurally: names,
+// attribute positions and pattern cells, in order.
+func sigmaEqual(a, b []*cfd.Normal) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Name != y.Name || x.A != y.A || len(x.X) != len(y.X) {
+			return false
+		}
+		for j := range x.X {
+			if x.X[j] != y.X[j] || x.TpX[j] != y.TpX[j] {
+				return false
+			}
+		}
+		if x.TpA != y.TpA {
+			return false
+		}
+	}
+	return true
+}
+
+// RestoreSession rebuilds a session from a snapshot written by Persist.
+// The relation is reconstructed tuple by tuple in the recorded physical
+// order under the recorded ids, the journal marks are restored, and a
+// fresh violation store is built by one deterministic detection pass —
+// after which the restored session is indistinguishable from the
+// original at the snapshot point. Batches logged after the snapshot are
+// reapplied with ReplayBatch.
+//
+// workers > 0 overrides the persisted engine worker count (the engine's
+// output is identical at every setting); 0 keeps the persisted value.
+// The determinism-relevant options — ordering, K, NearestK — always come
+// from the snapshot, since replay must re-run the exact passes that were
+// logged.
+func RestoreSession(r io.Reader, workers int) (*Session, error) {
+	snap, err := wal.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return RestoreFromSnapshot(snap, workers)
+}
+
+// RestoreFromSnapshot is RestoreSession over an already-decoded
+// snapshot; the server's recovery path uses it after choosing the
+// newest valid snapshot generation itself.
+func RestoreFromSnapshot(snap *wal.Snapshot, workers int) (*Session, error) {
+	if snap.Ordering > uint8(ByWeight) {
+		return nil, fmt.Errorf("increpair: restore: unknown ordering %d", snap.Ordering)
+	}
+	sch, err := relation.NewSchema(snap.Relname, snap.Attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("increpair: restore: %w", err)
+	}
+	rel := relation.New(sch)
+	for i, st := range snap.Tuples {
+		if st.ID == 0 {
+			return nil, fmt.Errorf("increpair: restore: snapshot tuple %d has no id", i)
+		}
+		if err := rel.Insert(&relation.Tuple{ID: st.ID, Vals: st.Vals, W: st.W}); err != nil {
+			return nil, fmt.Errorf("increpair: restore: %w", err)
+		}
+	}
+	if snap.NextID < rel.NextID() {
+		return nil, fmt.Errorf("increpair: restore: snapshot watermark %d below the rebuilt relation's %d", snap.NextID, rel.NextID())
+	}
+	rel.RestoreJournalMarks(snap.NextID, snap.Version)
+
+	parsed, err := cfd.Parse(sch, strings.NewReader(snap.CFDs))
+	if err != nil {
+		return nil, fmt.Errorf("increpair: restore: %w", err)
+	}
+	o := Options{
+		Ordering: Ordering(snap.Ordering),
+		K:        snap.K,
+		NearestK: snap.NearestK,
+		Workers:  snap.Workers,
+	}
+	if workers > 0 {
+		o.Workers = workers
+	}
+	o = (&o).withDefaults()
+	e, err := newEngine(rel, cfd.NormalizeAll(parsed), o)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		e:       e,
+		batches: snap.Batches,
+		applied: snap.Inserted,
+		deleted: snap.Deleted,
+		cost:    snap.Cost,
+		changes: snap.Changes,
+	}
+	s.publish()
+	return s, nil
+}
+
+// ReplayBatch reapplies one logged batch. The batch's journal-version
+// bracket makes replay idempotent and gap-safe: a batch already
+// contained in the restored snapshot (Version at or below the session's
+// counter) is skipped, a batch whose PrevVersion does not meet the
+// session's counter reports a hole in the log, and a pass that does not
+// land exactly on the recorded post-version reports divergence — the
+// session can no longer be trusted to equal the pre-crash one. applied
+// reports whether the batch ran (false for the idempotent skip).
+func (s *Session) ReplayBatch(b *wal.Batch) (applied bool, err error) {
+	cur := s.snap.Load().Version
+	if b.Version <= cur {
+		return false, nil
+	}
+	if b.PrevVersion != cur {
+		return false, fmt.Errorf("increpair: replay: batch expects journal version %d, session is at %d", b.PrevVersion, cur)
+	}
+	deletes, sets, inserts, err := DeltasToOps(b.Ops)
+	if err != nil {
+		return false, err
+	}
+	if _, _, err := s.ApplyOps(deletes, sets, inserts); err != nil {
+		return false, fmt.Errorf("increpair: replay: %w", err)
+	}
+	if got := s.snap.Load().Version; got != b.Version {
+		return true, fmt.Errorf("increpair: replay: pass should end at journal version %d, session landed on %d", b.Version, got)
+	}
+	return true, nil
+}

@@ -62,6 +62,12 @@ type Session struct {
 	// snap is the last published state; rewritten (never mutated) under
 	// mu after each mutation, loaded lock-free by readers.
 	snap atomic.Pointer[Snapshot]
+
+	// sigmaText caches the persisted form of the constraint set (see
+	// formatSigma): sigma never changes over a session's life, and the
+	// verification behind it is too expensive to repeat on every
+	// snapshot rotation. Guarded by mu.
+	sigmaText string
 }
 
 // Snapshot is an immutable, atomically published view of a Session's

@@ -85,6 +85,24 @@ func (r *Relation) NextID() TupleID { return r.nextID }
 // snapshot versions knows whether anything at all happened in between.
 func (r *Relation) Version() uint64 { return r.version }
 
+// RestoreJournalMarks overwrites the journal's id watermark and mutation
+// counter with values recorded from another relation's journal. It is
+// the crash-recovery hook: a relation rebuilt from a persisted snapshot
+// (internal/wal) re-inserts the surviving tuples, which leaves nextID at
+// max(id)+1 and version at the tuple count — but the pre-crash journal
+// may have advanced further (deleted high ids, update and probe
+// mutations). Restoring both marks makes the rebuilt journal
+// indistinguishable from the original at the snapshot point, so replayed
+// WAL batches assign the same ids and land on the same Version cursor.
+// nextID only moves forward (an id below a live tuple's would corrupt
+// the relation); version is overwritten as given.
+func (r *Relation) RestoreJournalMarks(nextID TupleID, version uint64) {
+	if nextID > r.nextID {
+		r.nextID = nextID
+	}
+	r.version = version
+}
+
 // RestoreNextID rewinds the id counter to a value previously obtained
 // from NextID. The caller must have deleted every tuple inserted since
 // the mark; otherwise future ids would collide. Insert still bumps the

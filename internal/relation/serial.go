@@ -1,0 +1,171 @@
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Deterministic binary (de)serialization of journal Deltas — the codec
+// underneath the write-ahead log (internal/wal). The encoding is a pure
+// function of the Delta's visible fields (Kind, T.ID, T.Vals, T.W, Attr,
+// Old): no map iteration, no pointers, no interned ids, so the same
+// logical delta always serializes to the same bytes regardless of the
+// relation (and dictionary) it originated from. Interned ids are *not*
+// serialized — they are private to one Relation's dictionary and are
+// reassigned when a decoded tuple is inserted somewhere; a decoded Delta
+// therefore carries a free-standing tuple (Interned() == false) and
+// OldID == InvalidID.
+//
+// Layout (all integers little-endian or uvarint/varint as noted):
+//
+//	delta   = kind(u8) id(varint) nvals(uvarint) value* wflag(u8) weight*
+//	          attr(uvarint) old(value)
+//	value   = 0x00                   (null)
+//	        | 0x01 len(uvarint) byte*  (constant)
+//	weight  = float64 bits (u64 little-endian), present iff wflag == 1,
+//	          exactly nvals of them
+//
+// Weights round-trip bit-exactly (float64 bit patterns, not decimal
+// text), which the recovery path needs: a restored tuple must score
+// identically under the cost model.
+
+// AppendDelta appends the canonical binary encoding of d to dst and
+// returns the extended slice.
+func AppendDelta(dst []byte, d *Delta) []byte {
+	dst = append(dst, byte(d.Kind))
+	dst = binary.AppendVarint(dst, int64(d.T.ID))
+	dst = binary.AppendUvarint(dst, uint64(len(d.T.Vals)))
+	for _, v := range d.T.Vals {
+		dst = AppendValue(dst, v)
+	}
+	if d.T.W != nil {
+		dst = append(dst, 1)
+		for _, w := range d.T.W {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(w))
+		}
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(d.Attr))
+	dst = AppendValue(dst, d.Old)
+	return dst
+}
+
+// DecodeDelta decodes one Delta from the front of b, returning the delta
+// and the number of bytes consumed. The decoded tuple is free-standing:
+// it carries no interned ids (and OldID is InvalidID) until a Relation
+// adopts it through Insert.
+func DecodeDelta(b []byte) (Delta, int, error) {
+	var d Delta
+	pos := 0
+	if len(b) < 1 {
+		return d, 0, fmt.Errorf("relation: delta: missing kind byte")
+	}
+	kind := DeltaKind(b[0])
+	if kind > DeltaUpdate {
+		return d, 0, fmt.Errorf("relation: delta: unknown kind %d", b[0])
+	}
+	pos++
+	id, n := binary.Varint(b[pos:])
+	if n <= 0 {
+		return d, 0, fmt.Errorf("relation: delta: truncated tuple id")
+	}
+	pos += n
+	nvals, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return d, 0, fmt.Errorf("relation: delta: truncated value count")
+	}
+	pos += n
+	// The arity cap mirrors the engine's 64-attribute schema limit and
+	// stops a corrupted count from driving a huge allocation.
+	if nvals > 1<<16 {
+		return d, 0, fmt.Errorf("relation: delta: implausible value count %d", nvals)
+	}
+	t := &Tuple{ID: TupleID(id)}
+	if nvals > 0 {
+		t.Vals = make([]Value, nvals)
+		for i := range t.Vals {
+			v, n, err := DecodeValue(b[pos:])
+			if err != nil {
+				return d, 0, fmt.Errorf("relation: delta: value %d: %w", i, err)
+			}
+			t.Vals[i] = v
+			pos += n
+		}
+	}
+	if pos >= len(b) {
+		return d, 0, fmt.Errorf("relation: delta: missing weight flag")
+	}
+	wflag := b[pos]
+	pos++
+	switch wflag {
+	case 0:
+	case 1:
+		t.W = make([]float64, nvals)
+		for i := range t.W {
+			if pos+8 > len(b) {
+				return d, 0, fmt.Errorf("relation: delta: truncated weight %d", i)
+			}
+			t.W[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[pos:]))
+			pos += 8
+		}
+	default:
+		return d, 0, fmt.Errorf("relation: delta: bad weight flag %d", wflag)
+	}
+	attr, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return d, 0, fmt.Errorf("relation: delta: truncated attribute")
+	}
+	pos += n
+	old, n, err := DecodeValue(b[pos:])
+	if err != nil {
+		return d, 0, fmt.Errorf("relation: delta: old value: %w", err)
+	}
+	pos += n
+	d.Kind = kind
+	d.T = t
+	d.Attr = int(attr)
+	d.Old = old
+	d.OldID = InvalidID
+	return d, pos, nil
+}
+
+// AppendValue appends the canonical binary encoding of one Value:
+// 0x00 for null, or 0x01 + uvarint length + bytes for a constant. It
+// is the single value codec shared by the Delta encoding here and the
+// snapshot encoding in internal/wal — the two on-disk formats must
+// never fork at the value level.
+func AppendValue(dst []byte, v Value) []byte {
+	if v.Null {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.AppendUvarint(dst, uint64(len(v.Str)))
+	return append(dst, v.Str...)
+}
+
+// DecodeValue decodes one Value from the front of b, returning it and
+// the number of bytes consumed; inverse of AppendValue.
+func DecodeValue(b []byte) (Value, int, error) {
+	if len(b) < 1 {
+		return Value{}, 0, fmt.Errorf("missing value tag")
+	}
+	switch b[0] {
+	case 0:
+		return NullValue, 1, nil
+	case 1:
+		ln, n := binary.Uvarint(b[1:])
+		if n <= 0 {
+			return Value{}, 0, fmt.Errorf("truncated value length")
+		}
+		start := 1 + n
+		end := start + int(ln)
+		if ln > uint64(len(b)) || end > len(b) {
+			return Value{}, 0, fmt.Errorf("value of %d bytes exceeds buffer", ln)
+		}
+		return S(string(b[start:end])), end, nil
+	default:
+		return Value{}, 0, fmt.Errorf("bad value tag %d", b[0])
+	}
+}

@@ -1,0 +1,567 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cfdclean/internal/increpair"
+	"cfdclean/internal/wal"
+)
+
+// Durable sessions. When Options.DataDir is set, every hosted session
+// owns a directory <data-dir>/<name>/ holding generation-numbered
+// snapshot/WAL pairs:
+//
+//	snap-<gen>.snap   full-state session snapshot (atomic tmp+rename)
+//	wal-<gen>.log     batches accepted after that snapshot
+//
+// The session's single-writer worker appends one WAL record per
+// successful engine pass (a coalesced ingest run is one pass and one
+// record) *before* replying to the client, so under the per-batch fsync
+// policy an acknowledged apply is on disk. Every SnapshotEvery batches
+// the persister rotates: it writes snapshot gen+1, starts an empty WAL
+// gen+1, and deletes generations older than the previous one — the
+// previous pair is kept as a fallback in case the newest snapshot is
+// damaged. Recovery (Server.Recover) walks the session directories,
+// restores the newest readable snapshot, and replays the WAL records
+// after it through the ordinary ApplyOps path; the journal-version
+// cursor carried by every record (wal.Batch) makes the replay
+// idempotent across generations and detects gaps. A torn or corrupted
+// WAL tail — the expected artifact of kill -9 — is detected by CRC,
+// discarded, and the file truncated back to the last intact record;
+// committed batches before the damage are never lost.
+//
+// A pass that fails *partway* (validation rejects before any mutation,
+// so this is nearly impossible) leaves relation state that no WAL
+// record describes; the persister resynchronizes by rotating to a fresh
+// snapshot immediately, keeping the on-disk image authoritative.
+
+// FsyncPolicy selects when WAL appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncBatch syncs after every accepted batch, before the client
+	// sees the reply: an acknowledged batch survives power loss. The
+	// safest and slowest policy.
+	FsyncBatch FsyncPolicy = iota
+	// FsyncInterval syncs on a timer (Options.FsyncInterval): a crash
+	// loses at most the last interval's batches, all of which were
+	// acknowledged. The usual production trade.
+	FsyncInterval
+	// FsyncOff never syncs explicitly; the OS flushes on its own
+	// schedule. A process kill loses nothing (the page cache survives);
+	// power loss may lose recent batches.
+	FsyncOff
+)
+
+// ParseFsyncPolicy maps the -fsync flag values onto policies.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "batch":
+		return FsyncBatch, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want batch, interval or off)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncBatch:
+		return "batch"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// persistConfig is the registry-wide durability configuration; nil on
+// the Registry means persistence is off.
+type persistConfig struct {
+	dir       string
+	policy    FsyncPolicy
+	interval  time.Duration
+	snapEvery int
+}
+
+func snapPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%010d.snap", gen))
+}
+
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%010d.log", gen))
+}
+
+// persister is one session's durability sidecar, driven by the
+// session's worker goroutine. The mutex only fences the worker's
+// appends against the interval-fsync ticker; all state transitions
+// happen on the worker.
+type persister struct {
+	cfg  *persistConfig
+	dir  string
+	name string
+
+	mu        sync.Mutex
+	gen       uint64
+	log       *wal.Log
+	last      uint64 // journal version after the last logged batch
+	sinceSnap int
+	broken    error // first unrecoverable persistence failure; sticky
+
+	tick chan struct{} // closed to stop the interval-sync goroutine
+}
+
+// newPersister sets up durability for a freshly created session: its
+// directory is (re)created empty, snapshot generation 0 captures the
+// post-initial-cleaning state, and an empty WAL is opened. Any stale
+// directory content under the same name — left by a session that could
+// not be recovered — is replaced.
+func newPersister(cfg *persistConfig, name string, sess *increpair.Session) (*persister, error) {
+	dir := filepath.Join(cfg.dir, name)
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	snap, err := sess.PersistSnapshot(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := wal.WriteSnapshotFile(snapPath(dir, 0), snap); err != nil {
+		return nil, err
+	}
+	log, err := wal.Create(walPath(dir, 0))
+	if err != nil {
+		return nil, err
+	}
+	p := &persister{cfg: cfg, dir: dir, name: name, log: log, last: snap.Version}
+	p.startTicker()
+	return p, nil
+}
+
+func (p *persister) startTicker() {
+	if p.cfg.policy != FsyncInterval {
+		return
+	}
+	// The goroutine watches a local copy of the stop channel: stopTicker
+	// nils the field afterwards, and re-reading it here would race.
+	stop := make(chan struct{})
+	p.tick = stop
+	go func() {
+		t := time.NewTicker(p.cfg.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				p.mu.Lock()
+				if p.log != nil && p.broken == nil {
+					if err := p.log.Sync(); err != nil {
+						p.broken = err
+					}
+				}
+				p.mu.Unlock()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// commit logs one successful engine pass. Called by the worker after
+// ApplyOps returns and before the client reply is sent, so the batch is
+// durable (to the configured policy) before it is acknowledged.
+//
+// A purged session (Remove in progress) stops persisting immediately:
+// its directory is doomed — and may already belong to a re-created
+// session of the same name — so the batches the worker drains for
+// waiting clients apply in memory only. (A rotation already in flight
+// when Remove lands can still race a very fast delete+create on the
+// same name; closing that microsecond window would need the registry
+// to track removed workers until exit, which is not worth it here.)
+func (p *persister) commit(h *hosted, j job, version uint64) {
+	if h.purge.Load() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.broken != nil {
+		return
+	}
+	b := wal.Batch{
+		PrevVersion: p.last,
+		Version:     version,
+		Ops:         increpair.OpsToDeltas(j.deletes, j.sets, j.inserts),
+	}
+	if err := p.log.Append(b.Encode()); err != nil {
+		p.broken = err
+		return
+	}
+	if p.cfg.policy == FsyncBatch {
+		if err := p.log.Sync(); err != nil {
+			p.broken = err
+			return
+		}
+	}
+	p.last = version
+	p.sinceSnap++
+	if p.sinceSnap >= p.cfg.snapEvery {
+		p.rotateLocked(h)
+	}
+}
+
+// resync is the worker's answer to a failed (possibly partially
+// applied) pass: the WAL cannot describe it, so a fresh snapshot makes
+// the on-disk image authoritative again.
+func (p *persister) resync(h *hosted) {
+	if h.purge.Load() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.broken != nil {
+		return
+	}
+	p.rotateLocked(h)
+}
+
+// rotateLocked advances to a new snapshot/WAL generation and prunes
+// generations older than the previous one. On any failure the persister
+// marks itself broken: the session keeps serving, the recorded state
+// stops advancing, and the condition is surfaced through info().
+func (p *persister) rotateLocked(h *hosted) {
+	snap, err := h.sess.PersistSnapshot(p.name)
+	if err != nil {
+		p.broken = err
+		return
+	}
+	next := p.gen + 1
+	if err := wal.WriteSnapshotFile(snapPath(p.dir, next), snap); err != nil {
+		p.broken = err
+		return
+	}
+	log, err := wal.Create(walPath(p.dir, next))
+	if err != nil {
+		p.broken = err
+		return
+	}
+	old := p.log
+	p.log = log
+	p.gen = next
+	p.last = snap.Version
+	p.sinceSnap = 0
+	if err := old.Close(); err != nil && p.broken == nil {
+		p.broken = err
+	}
+	// Keep the previous generation as a fallback; drop everything older.
+	if next >= 2 {
+		pruneGenerations(p.dir, next-2)
+	}
+}
+
+// pruneGenerations removes snapshot and WAL files of generations <= max.
+func pruneGenerations(dir string, max uint64) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		gen, kind, ok := parseGenName(e.Name())
+		if ok && kind != "" && gen <= max {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// parseGenName splits "snap-0000000001.snap" / "wal-0000000001.log"
+// into (generation, kind); ok is false for anything else (including the
+// .tmp siblings of in-flight snapshot writes).
+func parseGenName(name string) (gen uint64, kind string, ok bool) {
+	switch {
+	case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+		kind = "snap"
+		name = strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap")
+	case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+		kind = "wal"
+		name = strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	default:
+		return 0, "", false
+	}
+	gen, err := strconv.ParseUint(name, 10, 64)
+	if err != nil {
+		return 0, "", false
+	}
+	return gen, kind, true
+}
+
+// close ends persistence gracefully (drain/shutdown): sync, close, keep
+// the data for the next boot.
+func (p *persister) close() {
+	p.stopTicker()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.log != nil {
+		if err := p.log.Close(); err != nil && p.broken == nil {
+			p.broken = err
+		}
+		p.log = nil
+	}
+}
+
+// destroy ends persistence and deletes the session's directory — the
+// durable counterpart of DELETE /v1/sessions/{name}: a removed session
+// must not resurrect on the next boot.
+func (p *persister) destroy() {
+	p.stopTicker()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.log != nil {
+		p.log.Close()
+		p.log = nil
+	}
+	os.RemoveAll(p.dir)
+}
+
+func (p *persister) stopTicker() {
+	if p.tick != nil {
+		close(p.tick)
+		p.tick = nil
+	}
+}
+
+// status renders the persistence state for session listings.
+func (p *persister) status() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.broken != nil {
+		return "error: " + p.broken.Error()
+	}
+	return "ok"
+}
+
+// recoverSession rebuilds one session from its directory: newest
+// readable snapshot generation first, then WAL replay across that and
+// any later generations. It returns the restored session plus a
+// persister positioned to continue appending. warn, when non-nil,
+// reports acknowledged records that could NOT be replayed — payload
+// corruption mid-log or a gap between generations — after which the
+// session still serves, re-anchored on the recovered prefix; the
+// operator must hear about the dropped suffix. (A torn *tail* in the
+// newest log is not warned: those bytes never completed their append,
+// so nothing acknowledged is behind them.) workers > 0 overrides the
+// persisted per-session engine worker count.
+func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Session, *persister, error, error) {
+	dir := filepath.Join(cfg.dir, name)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var snapGens, walGens []uint64
+	for _, e := range ents {
+		gen, kind, ok := parseGenName(e.Name())
+		if !ok {
+			continue
+		}
+		if kind == "snap" {
+			snapGens = append(snapGens, gen)
+		} else {
+			walGens = append(walGens, gen)
+		}
+	}
+	if len(snapGens) == 0 {
+		return nil, nil, nil, fmt.Errorf("server: recover %s: no snapshot found", name)
+	}
+	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] > snapGens[j] })
+	sort.Slice(walGens, func(i, j int) bool { return walGens[i] < walGens[j] })
+
+	var (
+		sess    *increpair.Session
+		baseGen uint64
+		lastErr error
+	)
+	for _, g := range snapGens {
+		snap, err := wal.ReadSnapshotFile(snapPath(dir, g))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if snap.Name != "" && snap.Name != name {
+			lastErr = fmt.Errorf("server: recover %s: snapshot names session %q", name, snap.Name)
+			continue
+		}
+		s, err := increpair.RestoreFromSnapshot(snap, workers)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		sess, baseGen = s, g
+		break
+	}
+	if sess == nil {
+		return nil, nil, nil, fmt.Errorf("server: recover %s: no usable snapshot: %w", name, lastErr)
+	}
+
+	// Replay the logs from the restored generation forward. The version
+	// cursor skips records already contained in the snapshot, so replay
+	// is correct even when the chosen snapshot is newer than a log's
+	// records (or older, after a fallback to the previous generation).
+	var (
+		tip      *wal.Log // open log of the newest generation, append-ready
+		damaged  bool
+		warn     error
+		replayed int // records applied into the tip generation's session
+	)
+	for i, g := range walGens {
+		if g < baseGen {
+			continue
+		}
+		last := i == len(walGens)-1
+		log, payloads, discarded, err := wal.Open(walPath(dir, g))
+		if err != nil {
+			damaged = true
+			warn = fmt.Errorf("server: recover %s: wal generation %d unreadable (%w); later records discarded", name, g, err)
+			break
+		}
+		if discarded > 0 {
+			damaged = true
+			if !last {
+				// Tail damage in a non-final generation is a hole:
+				// the next generation's records cannot chain onto it.
+				warn = fmt.Errorf("server: recover %s: wal generation %d has a damaged tail (%d bytes) with later generations present; those are discarded", name, g, discarded)
+			}
+		}
+		replayFailed := false
+		replayed = 0
+		for ri, payload := range payloads {
+			b, derr := wal.DecodeBatch(payload)
+			if derr == nil {
+				var applied bool
+				if applied, derr = sess.ReplayBatch(b); derr == nil {
+					if applied {
+						replayed++
+					}
+					continue
+				}
+			}
+			// Payload-level damage: everything from here on is
+			// untrusted, in this and any later generation — and unlike
+			// a torn tail these records WERE acknowledged, so say so.
+			replayFailed = true
+			warn = fmt.Errorf("server: recover %s: wal generation %d record %d does not replay (%w); this and later acknowledged records are discarded", name, g, ri, derr)
+			break
+		}
+		if replayFailed {
+			log.Close()
+			damaged = true
+			break
+		}
+		if last && !damaged {
+			tip = log // keep the handle: appends continue here
+		} else {
+			log.Close()
+		}
+	}
+
+	p := &persister{cfg: cfg, dir: dir, name: name, last: sess.Snapshot().Version}
+	if tip != nil {
+		p.gen = walGens[len(walGens)-1]
+		p.log = tip
+		// Count the replayed records against the rotation budget: a
+		// server that crash-loops just under SnapshotEvery fresh
+		// batches per life must still rotate, or the tip WAL (and
+		// every boot's replay) would grow without bound.
+		p.sinceSnap = replayed
+		p.startTicker()
+		return sess, p, warn, nil
+	}
+	// No appendable tip (damage, or the newest WAL is missing): start a
+	// fresh generation whose snapshot captures the recovered state.
+	next := uint64(0)
+	if len(walGens) > 0 && walGens[len(walGens)-1] >= snapGens[0] {
+		next = walGens[len(walGens)-1] + 1
+	} else {
+		next = snapGens[0] + 1
+	}
+	snap, err := sess.PersistSnapshot(name)
+	if err != nil {
+		sess.Close()
+		return nil, nil, nil, err
+	}
+	if err := wal.WriteSnapshotFile(snapPath(dir, next), snap); err != nil {
+		sess.Close()
+		return nil, nil, nil, err
+	}
+	log, err := wal.Create(walPath(dir, next))
+	if err != nil {
+		sess.Close()
+		return nil, nil, nil, err
+	}
+	p.gen = next
+	p.log = log
+	p.last = snap.Version
+	if next >= 2 {
+		pruneGenerations(p.dir, next-2)
+	}
+	p.startTicker()
+	return sess, p, warn, nil
+}
+
+// Recover scans Options.DataDir and re-hosts every persisted session.
+// It must run before the server accepts traffic. Sessions that cannot
+// be recovered at all are skipped, and sessions recovered with
+// acknowledged records discarded (mid-log corruption, generation gaps)
+// still come up but are reported — both land in the joined error, so
+// one corrupt tenant never keeps the rest offline and the operator
+// still hears about every dropped batch. Unrecoverable directories are
+// left untouched for inspection (creating a session under the same
+// name replaces them).
+func (s *Server) Recover() (restored int, err error) {
+	cfg := s.reg.persist
+	if cfg == nil {
+		return 0, nil
+	}
+	ents, readErr := os.ReadDir(cfg.dir)
+	if readErr != nil {
+		if errors.Is(readErr, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, readErr
+	}
+	var errs []error
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		sess, p, warn, rerr := recoverSession(cfg, name, 0)
+		if rerr != nil {
+			errs = append(errs, rerr)
+			continue
+		}
+		if warn != nil {
+			errs = append(errs, warn)
+		}
+		if _, cerr := s.reg.adopt(name, sess, sess.Current().Schema(), p); cerr != nil {
+			p.close()
+			sess.Close()
+			errs = append(errs, fmt.Errorf("server: recover %s: %w", name, cerr))
+			continue
+		}
+		restored++
+	}
+	return restored, errors.Join(errs...)
+}

@@ -40,6 +40,11 @@ const registryShards = 16
 type Registry struct {
 	queueDepth int
 
+	// persist, when non-nil, gives every session a durability sidecar
+	// (WAL + snapshots under persist.dir; see persist.go). nil hosts
+	// sessions purely in memory, as before PR 5.
+	persist *persistConfig
+
 	shards [registryShards]shard
 
 	// draining flips once, when Drain begins: creates and new work are
@@ -86,6 +91,13 @@ type hosted struct {
 	schema *relation.Schema
 	attrs  []string
 	sess   *increpair.Session
+
+	// pers is the session's durability sidecar (nil when the registry
+	// runs in memory); purge tells the exiting worker to delete the
+	// session's on-disk data instead of keeping it for the next boot —
+	// set by Remove, never by Drain.
+	pers  *persister
+	purge atomic.Bool
 
 	queue chan job
 	// quit is closed to ask the worker to drain and exit; done is closed
@@ -136,6 +148,17 @@ type jobReply struct {
 // supplies a ready increpair.Session (built from the decoded create
 // request) and the schema used for wire encoding and attribute lookup.
 func (r *Registry) Create(name string, sess *increpair.Session, schema *relation.Schema) (*hosted, error) {
+	return r.register(name, sess, schema, nil)
+}
+
+// adopt re-hosts a recovered session with its existing persister —
+// Create's boot-time sibling, which must not write a fresh generation 0
+// over the recovered files.
+func (r *Registry) adopt(name string, sess *increpair.Session, schema *relation.Schema, p *persister) (*hosted, error) {
+	return r.register(name, sess, schema, p)
+}
+
+func (r *Registry) register(name string, sess *increpair.Session, schema *relation.Schema, p *persister) (*hosted, error) {
 	sh := r.shard(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -149,11 +172,21 @@ func (r *Registry) Create(name string, sess *increpair.Session, schema *relation
 	if _, dup := sh.m[name]; dup {
 		return nil, ErrExists
 	}
+	if p == nil && r.persist != nil {
+		// Creating the durability sidecar under the shard lock keeps a
+		// racing create of the same name from touching the same
+		// directory. Creates are rare; the lock is per-shard.
+		var err error
+		if p, err = newPersister(r.persist, name, sess); err != nil {
+			return nil, fmt.Errorf("server: persist %s: %w", name, err)
+		}
+	}
 	h := &hosted{
 		name:   name,
 		schema: schema,
 		attrs:  schema.Attrs(),
 		sess:   sess,
+		pers:   p,
 		queue:  make(chan job, r.queueDepth),
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -258,6 +291,13 @@ func (r *Registry) Remove(ctx context.Context, name string) error {
 		sh.mu.Unlock()
 		return ErrNotFound
 	}
+	// A deleted session must not resurrect on the next boot: the
+	// exiting worker removes its on-disk data after the final drain.
+	// purge is set BEFORE the name is freed (still under the shard
+	// lock), so a create that wins the freed name happens-after the
+	// flag is visible — the draining worker's persister checks it and
+	// stops writing into a directory the new tenant now owns.
+	h.purge.Store(true)
 	delete(sh.m, name)
 	sh.mu.Unlock()
 	h.quitOnce.Do(func() { close(h.quit) })
@@ -306,6 +346,7 @@ func (h *hosted) run(r *Registry) {
 	defer close(h.done)
 	defer h.subs.closeAll()
 	defer h.sess.Close()
+	defer h.finishPersist(r) // runs first: after the final drained batch
 	for {
 		select {
 		case j := <-h.queue:
@@ -358,11 +399,23 @@ func (h *hosted) dispatch(r *Registry, j job) {
 }
 
 // apply runs one engine pass for job j (which may represent several
-// coalesced client batches), records latency, replies if the job was
-// synchronous, and broadcasts the pass event.
+// coalesced client batches), logs it to the WAL, records latency,
+// replies if the job was synchronous, and broadcasts the pass event.
+// The WAL commit happens before the reply is sent: under the per-batch
+// fsync policy an acknowledged batch is on disk.
 func (h *hosted) apply(r *Registry, j job, batches int) {
 	start := time.Now()
 	res, deleted, err := h.sess.ApplyOps(j.deletes, j.sets, j.inserts)
+	snap := h.sess.Snapshot()
+	if h.pers != nil {
+		if err == nil {
+			h.pers.commit(h, j, snap.Version)
+		} else {
+			// The failed pass may have mutated state no WAL record
+			// describes; re-anchor the on-disk image on a fresh snapshot.
+			h.pers.resync(h)
+		}
+	}
 	h.lat.record(time.Since(start))
 	var seq uint64
 	if err == nil {
@@ -371,7 +424,7 @@ func (h *hosted) apply(r *Registry, j job, batches int) {
 		r.tuples.Add(uint64(len(res.Inserted)))
 	}
 	if j.reply != nil {
-		j.reply <- jobReply{res: res, deleted: deleted, seq: seq, snap: h.sess.Snapshot(), err: err}
+		j.reply <- jobReply{res: res, deleted: deleted, seq: seq, snap: snap, err: err}
 	}
 	if err != nil {
 		return
@@ -383,8 +436,38 @@ func (h *hosted) apply(r *Registry, j job, batches int) {
 		Inserted:  len(res.Inserted),
 		Deleted:   deleted,
 		Dirty:     changedCells(res, h.attrs),
-		Snapshot:  encodeSnapshot(h.sess.Snapshot()),
+		Snapshot:  encodeSnapshot(snap),
 	})
+}
+
+// finishPersist ends the session's durability on worker exit: purge
+// (Remove) deletes the on-disk data, drain keeps it for the next boot.
+// The deletion happens under the name's shard lock and only if this
+// hosted session still owns the name: Remove frees the name before the
+// worker finishes draining (it may wait out a context and return
+// early), so a client can have re-created the session by now — and the
+// new tenant's freshly written directory must not be swept away by the
+// old worker.
+func (h *hosted) finishPersist(r *Registry) {
+	if h.pers == nil {
+		return
+	}
+	if !h.purge.Load() {
+		h.pers.close()
+		return
+	}
+	sh := r.shard(h.name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur := sh.m[h.name]; cur != nil && cur != h {
+		// Superseded: a new session took the name, and newPersister
+		// rebuilt the directory from scratch under this same lock.
+		// Close our handles; the files they point to were already
+		// unlinked by that rebuild.
+		h.pers.close()
+		return
+	}
+	h.pers.destroy()
 }
 
 // latWindow keeps a bounded ring of recent engine-pass latencies; big

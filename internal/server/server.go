@@ -55,6 +55,21 @@ type Options struct {
 	DrainTimeout time.Duration
 	// MaxBodyBytes bounds request bodies. Default 64 MiB.
 	MaxBodyBytes int64
+
+	// DataDir, when non-empty, makes every session durable: each gets
+	// <DataDir>/<name>/ with WAL + snapshot generations (see persist.go),
+	// and Server.Recover re-hosts persisted sessions on boot. Empty
+	// keeps the service purely in memory.
+	DataDir string
+	// Fsync selects when WAL appends reach stable storage (per batch,
+	// on an interval, or never explicitly). Default FsyncBatch.
+	Fsync FsyncPolicy
+	// FsyncInterval is the FsyncInterval policy's timer. Default 100ms.
+	FsyncInterval time.Duration
+	// SnapshotEvery rotates to a fresh snapshot generation after this
+	// many logged batches, bounding replay time and WAL growth.
+	// Default 64.
+	SnapshotEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +81,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 64 << 20
+	}
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 64
 	}
 	return o
 }
@@ -83,6 +104,14 @@ type Server struct {
 func New(opts Options) *Server {
 	s := &Server{opts: opts.withDefaults(), started: time.Now()}
 	s.reg = NewRegistry(s.opts.QueueDepth)
+	if s.opts.DataDir != "" {
+		s.reg.persist = &persistConfig{
+			dir:       s.opts.DataDir,
+			policy:    s.opts.Fsync,
+			interval:  s.opts.FsyncInterval,
+			snapEvery: s.opts.SnapshotEvery,
+		}
+	}
 	m := http.NewServeMux()
 	m.HandleFunc("GET /healthz", s.handleHealth)
 	m.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -131,8 +160,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 	if !decodeBody(w, req, s.opts.MaxBodyBytes, &cr) {
 		return
 	}
-	if cr.Name == "" || strings.ContainsAny(cr.Name, "/ \t\n") || len(cr.Name) > 128 {
-		writeStatus(w, http.StatusBadRequest, "session name must be non-empty, at most 128 bytes, and contain no slash or whitespace")
+	// The leading-dot ban keeps names usable as data-dir entries ("." and
+	// ".." foremost) and applies whether or not persistence is on — a
+	// name accepted by an in-memory service must stay valid when the
+	// operator turns -data-dir on. Backslash and colon are banned for
+	// the same reason: on Windows they are path syntax, and a name like
+	// `a\..\x` would escape the data dir through filepath.Join.
+	if cr.Name == "" || strings.ContainsAny(cr.Name, "/\\: \t\n") || len(cr.Name) > 128 || strings.HasPrefix(cr.Name, ".") {
+		writeStatus(w, http.StatusBadRequest, "session name must be non-empty, at most 128 bytes, contain no slash, backslash, colon or whitespace, and not start with a dot")
 		return
 	}
 	if strings.TrimSpace(cr.CFDs) == "" {
@@ -236,6 +271,7 @@ func (h *hosted) info() SessionInfo {
 		Attrs:    h.attrs,
 		Queue:    len(h.queue),
 		QueueCap: cap(h.queue),
+		Persist:  h.pers.status(),
 		Snapshot: encodeSnapshot(h.sess.Snapshot()),
 	}
 }

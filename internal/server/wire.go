@@ -159,12 +159,16 @@ type ViolationsResponse struct {
 	Violations []WireViolation `json:"violations"`
 }
 
-// SessionInfo describes one hosted session in listings.
+// SessionInfo describes one hosted session in listings. Persist is
+// absent on an in-memory service, "ok" while the session's WAL is
+// advancing, and "error: ..." once persistence broke (the session keeps
+// serving; its durable image stops advancing).
 type SessionInfo struct {
 	Name     string       `json:"name"`
 	Attrs    []string     `json:"attrs"`
 	Queue    int          `json:"queue"`
 	QueueCap int          `json:"queue_cap"`
+	Persist  string       `json:"persist,omitempty"`
 	Snapshot WireSnapshot `json:"snapshot"`
 }
 

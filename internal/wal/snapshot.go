@@ -1,0 +1,343 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"cfdclean/internal/relation"
+)
+
+// Batch is one WAL record: a mutation batch a session accepted, with the
+// journal Version cursor bracketing it. PrevVersion is the relation's
+// mutation counter before the batch's engine pass and Version the counter
+// after it — together they totally order records and make replay
+// idempotent: a record whose Version is at or below the restored
+// session's counter is already contained in the snapshot and is skipped,
+// and a record whose PrevVersion does not meet the session's counter
+// reveals a gap (a missing or out-of-order log) instead of silently
+// corrupting state.
+//
+// Ops encodes the batch *inputs* (not the engine's output mutations),
+// as relation Deltas under the conventions of increpair.OpsToDeltas:
+// replay pushes them through the same ApplyOps path the live session
+// ran, and the engine's determinism-by-construction guarantees the
+// replayed pass rebuilds relation, violation store and counters
+// bit-identically at any worker count.
+type Batch struct {
+	PrevVersion uint64
+	Version     uint64
+	Ops         []relation.Delta
+}
+
+// Encode renders the batch as a WAL record payload.
+func (b *Batch) Encode() []byte {
+	out := binary.LittleEndian.AppendUint64(nil, b.PrevVersion)
+	out = binary.LittleEndian.AppendUint64(out, b.Version)
+	out = binary.AppendUvarint(out, uint64(len(b.Ops)))
+	for i := range b.Ops {
+		out = relation.AppendDelta(out, &b.Ops[i])
+	}
+	return out
+}
+
+// DecodeBatch parses a WAL record payload.
+func DecodeBatch(p []byte) (*Batch, error) {
+	if len(p) < 16 {
+		return nil, fmt.Errorf("%w: batch record of %d bytes", ErrCorrupt, len(p))
+	}
+	b := &Batch{
+		PrevVersion: binary.LittleEndian.Uint64(p),
+		Version:     binary.LittleEndian.Uint64(p[8:]),
+	}
+	pos := 16
+	nops, n := binary.Uvarint(p[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: batch record truncated at op count", ErrCorrupt)
+	}
+	pos += n
+	for i := uint64(0); i < nops; i++ {
+		d, n, err := relation.DecodeDelta(p[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: batch op %d: %v", ErrCorrupt, i, err)
+		}
+		b.Ops = append(b.Ops, d)
+		pos += n
+	}
+	if pos != len(p) {
+		return nil, fmt.Errorf("%w: batch record carries %d trailing bytes", ErrCorrupt, len(p)-pos)
+	}
+	return b, nil
+}
+
+// SnapTuple is one relation row inside a snapshot, in the relation's
+// physical order. Ids are explicit — the physical slot order and the id
+// assignment both matter for byte-identical recovery (Delete compacts by
+// swapping, so physical order diverges from id order as soon as anything
+// is deleted).
+type SnapTuple struct {
+	ID   relation.TupleID
+	Vals []relation.Value
+	W    []float64
+}
+
+// Snapshot is a full-state image of one streaming session at a quiescent
+// point (no engine pass in flight): everything RestoreSession needs to
+// rebuild the session so that its Dump, Violations and Stats are
+// byte-identical to the original's at the same journal watermark. The
+// violation store itself is deliberately absent — it is a pure function
+// of the relation contents and is rebuilt by one deterministic detection
+// pass on restore, which keeps the format small and immune to store
+// layout changes.
+type Snapshot struct {
+	// Name is the hosting service's session name ("" outside the server).
+	Name string
+	// Relname and Attrs reproduce the schema.
+	Relname string
+	Attrs   []string
+	// CFDs is the constraint set in the cfd.Parse text format.
+	CFDs string
+
+	// Engine options (cost model excluded: sessions always run the
+	// default model; see increpair.Options).
+	Ordering uint8
+	K        int
+	NearestK int
+	Workers  int
+
+	// Cumulative session counters (see increpair.Snapshot).
+	Batches  int
+	Inserted int
+	Deleted  int
+	Changes  int
+	Cost     float64
+
+	// Journal marks at snapshot time.
+	NextID  relation.TupleID
+	Version uint64
+
+	// Tuples is the relation content in physical row order.
+	Tuples []SnapTuple
+}
+
+// Encode renders the snapshot payload.
+func (s *Snapshot) Encode() []byte {
+	out := appendString(nil, s.Name)
+	out = appendString(out, s.Relname)
+	out = binary.AppendUvarint(out, uint64(len(s.Attrs)))
+	for _, a := range s.Attrs {
+		out = appendString(out, a)
+	}
+	out = appendString(out, s.CFDs)
+	out = append(out, s.Ordering)
+	out = binary.AppendUvarint(out, uint64(s.K))
+	out = binary.AppendUvarint(out, uint64(s.NearestK))
+	out = binary.AppendUvarint(out, uint64(s.Workers))
+	out = binary.AppendUvarint(out, uint64(s.Batches))
+	out = binary.AppendUvarint(out, uint64(s.Inserted))
+	out = binary.AppendUvarint(out, uint64(s.Deleted))
+	out = binary.AppendUvarint(out, uint64(s.Changes))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.Cost))
+	out = binary.AppendVarint(out, int64(s.NextID))
+	out = binary.AppendUvarint(out, s.Version)
+	out = binary.AppendUvarint(out, uint64(len(s.Tuples)))
+	arity := len(s.Attrs)
+	for _, t := range s.Tuples {
+		out = binary.AppendVarint(out, int64(t.ID))
+		for a := 0; a < arity; a++ {
+			out = relation.AppendValue(out, t.Vals[a])
+		}
+		if t.W != nil {
+			out = append(out, 1)
+			for _, w := range t.W {
+				out = binary.LittleEndian.AppendUint64(out, math.Float64bits(w))
+			}
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// DecodeSnapshot parses a snapshot payload.
+func DecodeSnapshot(p []byte) (*Snapshot, error) {
+	d := &decoder{b: p}
+	s := &Snapshot{}
+	s.Name = d.str("name")
+	s.Relname = d.str("relation name")
+	nattrs := d.uvarint("attribute count")
+	if d.err == nil && nattrs > 1<<16 {
+		return nil, fmt.Errorf("%w: snapshot: implausible attribute count %d", ErrCorrupt, nattrs)
+	}
+	for i := uint64(0); i < nattrs && d.err == nil; i++ {
+		s.Attrs = append(s.Attrs, d.str("attribute"))
+	}
+	s.CFDs = d.str("cfds")
+	s.Ordering = d.byte("ordering")
+	s.K = int(d.uvarint("k"))
+	s.NearestK = int(d.uvarint("nearest_k"))
+	s.Workers = int(d.uvarint("workers"))
+	s.Batches = int(d.uvarint("batches"))
+	s.Inserted = int(d.uvarint("inserted"))
+	s.Deleted = int(d.uvarint("deleted"))
+	s.Changes = int(d.uvarint("changes"))
+	s.Cost = math.Float64frombits(d.u64("cost"))
+	s.NextID = relation.TupleID(d.varint("next id"))
+	s.Version = d.uvarint("version")
+	ntuples := d.uvarint("tuple count")
+	arity := len(s.Attrs)
+	for i := uint64(0); i < ntuples && d.err == nil; i++ {
+		t := SnapTuple{ID: relation.TupleID(d.varint("tuple id"))}
+		for a := 0; a < arity; a++ {
+			t.Vals = append(t.Vals, d.value("tuple value"))
+		}
+		switch d.byte("weight flag") {
+		case 0:
+		case 1:
+			for a := 0; a < arity; a++ {
+				t.W = append(t.W, math.Float64frombits(d.u64("weight")))
+			}
+		default:
+			// Strict like the Delta codec: silently dropping weights
+			// would let a restored session score repairs differently.
+			if d.err == nil {
+				d.err = fmt.Errorf("%w: snapshot: bad weight flag on tuple %d", ErrCorrupt, i)
+			}
+		}
+		s.Tuples = append(s.Tuples, t)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(p) {
+		return nil, fmt.Errorf("%w: snapshot carries %d trailing bytes", ErrCorrupt, len(p)-d.pos)
+	}
+	return s, nil
+}
+
+// WriteSnapshot writes the framed snapshot (magic, version, one
+// CRC-checked record) to w.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	payload := s.Encode()
+	buf := append([]byte(snapMagic), Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadSnapshot reads and verifies a framed snapshot from r.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	payloads, good, err := scanFrames(b, snapMagic)
+	if err != nil {
+		return nil, err
+	}
+	if len(payloads) != 1 || good != int64(len(b)) {
+		return nil, fmt.Errorf("%w: snapshot stream is torn or trailed by garbage", ErrCorrupt)
+	}
+	return DecodeSnapshot(payloads[0])
+}
+
+// decoder is a cursor over a snapshot payload that latches the first
+// error, so field-by-field parsing reads linearly without per-field
+// error plumbing.
+type decoder struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: snapshot truncated at %s", ErrCorrupt, what)
+	}
+}
+
+func (d *decoder) byte(what string) byte {
+	if d.err != nil || d.pos >= len(d.b) {
+		d.fail(what)
+		return 0
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) varint(what string) int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) u64(what string) uint64 {
+	if d.err != nil || d.pos+8 > len(d.b) {
+		d.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *decoder) str(what string) string {
+	ln := d.uvarint(what)
+	if d.err != nil {
+		return ""
+	}
+	end := d.pos + int(ln)
+	if ln > uint64(len(d.b)) || end > len(d.b) {
+		d.fail(what)
+		return ""
+	}
+	v := string(d.b[d.pos:end])
+	d.pos = end
+	return v
+}
+
+// value reads one Value through the shared relation codec, so the
+// snapshot format can never fork from the WAL delta format at the
+// value level.
+func (d *decoder) value(what string) relation.Value {
+	if d.err != nil {
+		return relation.Value{}
+	}
+	v, n, err := relation.DecodeValue(d.b[d.pos:])
+	if err != nil {
+		d.err = fmt.Errorf("%w: snapshot: %s: %v", ErrCorrupt, what, err)
+		return relation.Value{}
+	}
+	d.pos += n
+	return v
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}

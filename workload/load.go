@@ -51,9 +51,19 @@ type LoadConfig struct {
 	// BaseURL targets a running service ("http://host:port"); empty
 	// starts an in-process server on a loopback listener.
 	BaseURL string
+	// DataDir, when non-empty, makes the in-process server durable
+	// (WAL + snapshots under this directory), so the measurement
+	// includes the full persistence path. Ignored with BaseURL set.
+	DataDir string
+	// Fsync is the durable server's WAL sync policy: "batch" (default),
+	// "interval" or "off". Only meaningful with DataDir.
+	Fsync string
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Fsync == "" {
+		c.Fsync = "batch"
+	}
 	if c.Sessions <= 0 {
 		c.Sessions = 1
 	}
@@ -79,14 +89,22 @@ func (c LoadConfig) withDefaults() LoadConfig {
 }
 
 // LoadResult reports one load measurement; all latencies are
-// milliseconds of client-observed /apply round trips.
+// milliseconds of client-observed /apply round trips. ErrorBatches
+// counts apply calls that failed (transport error, non-200 status, or a
+// response that left violations) — they are excluded from the latency
+// sample and the throughput numerator but no longer abort the run
+// silently. Durable reports whether the measured server persisted every
+// batch (DataDir set).
 type LoadResult struct {
 	Sessions      int     `json:"sessions"`
 	Batches       int     `json:"batches_per_session"`
 	MeanBatch     float64 `json:"mean_batch_tuples"`
 	BaseSize      int     `json:"base_size"`
+	Durable       bool    `json:"durable"`
+	Fsync         string  `json:"fsync,omitempty"`
 	TotalBatches  int     `json:"total_batches"`
 	TotalTuples   int     `json:"total_tuples"`
+	ErrorBatches  int     `json:"error_batches"`
 	WallSeconds   float64 `json:"wall_seconds"`
 	BatchesPerSec float64 `json:"batches_per_sec"`
 	TuplesPerSec  float64 `json:"tuples_per_sec"`
@@ -97,13 +115,26 @@ type LoadResult struct {
 
 // RunLoad performs one measurement: create cfg.Sessions sessions, stream
 // every session's batches concurrently, verify each response reports a
-// Σ-satisfying state, tear the sessions down, and summarize.
+// Σ-satisfying state, tear the sessions down, and summarize. A batch
+// whose apply fails (or leaves violations) is counted in
+// LoadResult.ErrorBatches and excluded from the latency/throughput
+// sample; RunLoad itself errors only when setup fails or no batch at
+// all succeeds.
 func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	cfg = cfg.withDefaults()
 
 	base := cfg.BaseURL
 	if base == "" {
-		srv := server.New(server.Options{QueueDepth: cfg.QueueDepth})
+		sopts := server.Options{QueueDepth: cfg.QueueDepth}
+		if cfg.DataDir != "" {
+			policy, err := server.ParseFsyncPolicy(cfg.Fsync)
+			if err != nil {
+				return nil, err
+			}
+			sopts.DataDir = cfg.DataDir
+			sopts.Fsync = policy
+		}
+		srv := server.New(sopts)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, err
@@ -128,7 +159,6 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		batches [][]server.WireTuple
 	}
 	loads := make([]sessionLoad, cfg.Sessions)
-	totalTuples := 0
 	for i := range loads {
 		ds, err := gen.New(gen.Config{
 			Size:      cfg.BaseSize,
@@ -149,7 +179,6 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				wt.ID = 0 // let the session assign arrival-order ids
 				wb[j] = wt
 			}
-			totalTuples += len(delta)
 			sl.batches = append(sl.batches, wb)
 		}
 		loads[i] = sl
@@ -174,12 +203,17 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 
 	// Stream all sessions concurrently; one goroutine per session keeps
 	// per-session ordering (the API contract) while sessions contend for
-	// the service like independent tenants.
+	// the service like independent tenants. A failed apply is counted
+	// and the session moves on to its next batch — per-batch errors are
+	// part of the report, not a silent abort.
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		lats     []time.Duration
-		firstErr error
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		lats      []time.Duration
+		okTuples  int
+		errCount  int
+		firstErr  error
+		okBatches int
 	)
 	start := time.Now()
 	for i := range loads {
@@ -187,32 +221,41 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		go func(sl sessionLoad) {
 			defer wg.Done()
 			var local []time.Duration
+			localTuples, localErrs := 0, 0
 			for _, wb := range sl.batches {
 				var resp server.ApplyResponse
 				t0 := time.Now()
 				err := postJSON(client, base+"/v1/sessions/"+sl.name+"/apply",
 					server.ApplyRequest{Inserts: wb}, http.StatusOK, &resp)
-				local = append(local, time.Since(t0))
+				d := time.Since(t0)
 				if err == nil && !resp.Snapshot.Satisfied {
 					err = fmt.Errorf("session %s: batch left violations", sl.name)
 				}
 				if err != nil {
+					localErrs++
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
 					}
 					mu.Unlock()
-					return
+					continue
 				}
+				local = append(local, d)
+				localTuples += len(wb)
 			}
 			mu.Lock()
 			lats = append(lats, local...)
+			okTuples += localTuples
+			okBatches += len(local)
+			errCount += localErrs
 			mu.Unlock()
 		}(loads[i])
 	}
 	wg.Wait()
 	wall := time.Since(start)
-	if firstErr != nil {
+	if okBatches == 0 && firstErr != nil {
+		// Nothing succeeded: the summary would be all zeros, so surface
+		// the underlying failure instead.
 		return nil, firstErr
 	}
 
@@ -234,15 +277,20 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		Sessions:      cfg.Sessions,
 		Batches:       cfg.Batches,
 		BaseSize:      cfg.BaseSize,
+		Durable:       cfg.BaseURL == "" && cfg.DataDir != "",
 		TotalBatches:  total,
-		TotalTuples:   totalTuples,
+		TotalTuples:   okTuples,
+		ErrorBatches:  errCount,
 		WallSeconds:   wall.Seconds(),
 		BatchesPerSec: float64(total) / wall.Seconds(),
-		TuplesPerSec:  float64(totalTuples) / wall.Seconds(),
+		TuplesPerSec:  float64(okTuples) / wall.Seconds(),
+	}
+	if res.Durable {
+		res.Fsync = cfg.Fsync
 	}
 	// Same nearest-rank definition as the service's /v1/metrics.
 	if sum := server.LatencySummary(lats); sum != nil {
-		res.MeanBatch = float64(totalTuples) / float64(total)
+		res.MeanBatch = float64(okTuples) / float64(total)
 		res.P50ms = sum.P50ms
 		res.P99ms = sum.P99ms
 		res.MaxMs = sum.Maxms

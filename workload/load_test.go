@@ -2,6 +2,33 @@ package workload
 
 import "testing"
 
+// TestRunLoadDurable runs the driver against a persistent in-process
+// server: the report must be tagged durable and error-free, and the
+// run must leave its session data cleaned up (sessions are deleted at
+// teardown, which removes their durable state).
+func TestRunLoadDurable(t *testing.T) {
+	res, err := RunLoad(LoadConfig{
+		Sessions:  1,
+		Batches:   2,
+		BaseSize:  120,
+		NoiseRate: 0.08,
+		Seed:      11,
+		DataDir:   t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Durable || res.Fsync != "batch" {
+		t.Fatalf("durable run not tagged: %+v", res)
+	}
+	if res.ErrorBatches != 0 || res.TotalBatches != 2 {
+		t.Fatalf("durable run shape: %+v", res)
+	}
+	if _, err := RunLoad(LoadConfig{Sessions: 1, Batches: 1, BaseSize: 60, DataDir: t.TempDir(), Fsync: "sometimes"}); err == nil {
+		t.Fatal("bad fsync policy accepted")
+	}
+}
+
 // TestRunLoadSmoke exercises the full load-driver path — in-process
 // server, session creation over generated bases, concurrent streaming,
 // teardown — at a tiny scale, and sanity-checks the report's arithmetic.
@@ -27,5 +54,8 @@ func TestRunLoadSmoke(t *testing.T) {
 	}
 	if res.P50ms <= 0 || res.P99ms < res.P50ms || res.MaxMs < res.P99ms {
 		t.Fatalf("latency percentiles inconsistent: %+v", res)
+	}
+	if res.ErrorBatches != 0 || res.Durable {
+		t.Fatalf("in-memory clean run mis-tagged: %+v", res)
 	}
 }
