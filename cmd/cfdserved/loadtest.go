@@ -13,11 +13,12 @@ import (
 	"cfdclean/workload"
 )
 
-// loadReport is the BENCH_PR5.json shape: environment header plus
-// workload.LoadResult rows per concurrent-session count — one row for
-// the in-memory server and, when -data-dir is given, a second row with
-// per-batch WAL persistence on, so the durability overhead reads
-// directly off adjacent rows.
+// loadReport is the BENCH_PR6.json shape: environment header plus
+// workload.LoadResult rows per (GOMAXPROCS, concurrent-session) pair —
+// one row for the in-memory server and, when -data-dir is given, a
+// second row with per-batch WAL persistence on, so the durability
+// overhead reads directly off adjacent rows and the parallelism scaling
+// off adjacent GOMAXPROCS groups.
 type loadReport struct {
 	PR          int                    `json:"pr"`
 	Title       string                 `json:"title"`
@@ -45,7 +46,7 @@ type loadCfg struct {
 	DataDir           string  `json:"data_dir,omitempty"`
 }
 
-func runLoadtest(sessionsCSV string, batches, baseSize int, noise float64, seed int64, workers, queue int, dataDir, outPath string) error {
+func runLoadtest(sessionsCSV, gomaxprocsCSV string, batches, baseSize int, noise float64, seed int64, workers, queue int, dataDir, outPath string) error {
 	var counts []int
 	for _, f := range strings.Split(sessionsCSV, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -54,22 +55,37 @@ func runLoadtest(sessionsCSV string, batches, baseSize int, noise float64, seed 
 		}
 		counts = append(counts, n)
 	}
+	var procs []int
+	if gomaxprocsCSV != "" {
+		for _, f := range strings.Split(gomaxprocsCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return fmt.Errorf("-gomaxprocs: %q is not a positive integer", f)
+			}
+			procs = append(procs, n)
+		}
+	} else {
+		procs = []int{runtime.GOMAXPROCS(0)}
+	}
 
 	cmd := fmt.Sprintf("go run ./cmd/cfdserved -loadtest -sessions %s -batches %d -base %d -noise %g -seed %d -workers %d",
 		sessionsCSV, batches, baseSize, noise, seed, workers)
+	if gomaxprocsCSV != "" {
+		cmd += " -gomaxprocs " + gomaxprocsCSV
+	}
 	if dataDir != "" {
 		cmd += " -data-dir " + dataDir
 	}
 	rep := &loadReport{
-		PR:    5,
-		Title: "cfdserved: durable sessions — WAL + snapshot persistence vs in-memory",
+		PR:    6,
+		Title: "cfdserved: pipelined pass execution — codec, WAL and fan-out off the single-writer hot path",
 		Environment: loadEnv{
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Go:         runtime.Version(),
 			Command:    cmd,
-			Note:       "In-process server on a loopback listener: latencies include the full HTTP round trip (JSON codec, registry, queue hand-off, engine pass) but no network. Durable rows add the per-batch WAL path — delta encode, CRC, append, fsync before the ack — under -fsync batch, the worst-case policy; each durable run writes to a fresh directory that is deleted afterwards. Apply calls are synchronous, so per-session traffic is closed-loop and total offered load scales with the session count.",
+			Note:       "In-process server on a loopback listener: latencies include the full HTTP round trip (JSON codec, registry, queue hand-off, engine pass) but no network. Durable rows add the per-batch WAL path — delta encode, CRC, append, fsync before the ack, now run on a per-session committer stage that overlaps the next engine pass, with one group fsync amortized across sessions per sync window — under -fsync batch, the worst-case policy; each durable run writes to a fresh directory that is deleted afterwards. Apply calls are synchronous, so per-session traffic is closed-loop and total offered load scales with the session count. The -gomaxprocs sweep re-runs each session count under runtime.GOMAXPROCS(n); on hosts with fewer physical cores than n the higher rows are structural (they exercise scheduling, not added parallelism). Per-row stages report server-side queue/engine/persist time from the X-Stage-* headers.",
 		},
 		Config: loadCfg{
 			BatchesPerSession: batches,
@@ -87,7 +103,7 @@ func runLoadtest(sessionsCSV string, batches, baseSize int, noise float64, seed 
 		if dir != "" {
 			mode = "durable"
 		}
-		fmt.Fprintf(os.Stderr, "loadtest: %d session(s), %d batches each, %s ... ", n, batches, mode)
+		fmt.Fprintf(os.Stderr, "loadtest: gomaxprocs=%d, %d session(s), %d batches each, %s ... ", runtime.GOMAXPROCS(0), n, batches, mode)
 		t0 := time.Now()
 		res, err := workload.RunLoad(workload.LoadConfig{
 			Sessions:   n,
@@ -108,16 +124,21 @@ func runLoadtest(sessionsCSV string, batches, baseSize int, noise float64, seed 
 		return nil
 	}
 
-	for _, n := range counts {
-		if err := run(n, ""); err != nil {
-			return err
-		}
-		if dataDir != "" {
-			dir := filepath.Join(dataDir, fmt.Sprintf("loadtest-%d", n))
-			err := run(n, dir)
-			os.RemoveAll(dir)
-			if err != nil {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, gp := range procs {
+		runtime.GOMAXPROCS(gp)
+		for _, n := range counts {
+			if err := run(n, ""); err != nil {
 				return err
+			}
+			if dataDir != "" {
+				dir := filepath.Join(dataDir, fmt.Sprintf("loadtest-%d-%d", gp, n))
+				err := run(n, dir)
+				os.RemoveAll(dir)
+				if err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -6,12 +6,13 @@
 //
 // Usage:
 //
-//	cfdserved [-addr :8344] [-queue 32] [-drain 10s]
+//	cfdserved [-addr :8344] [-queue 32] [-drain 10s] [-pprof ADDR]
 //	          [-data-dir DIR] [-fsync batch|interval|off]
 //	          [-fsync-interval 100ms] [-snap-every 64]
-//	cfdserved -loadtest [-sessions 1,4,16] [-batches 8] [-base 800]
-//	          [-noise 0.08] [-seed 1] [-workers 1] [-data-dir DIR]
-//	          [-out BENCH_PR5.json]
+//	          [-coalesce-tuples 0] [-coalesce-delay 0]
+//	cfdserved -loadtest [-sessions 1,4,16] [-gomaxprocs 1,2,4]
+//	          [-batches 8] [-base 800] [-noise 0.08] [-seed 1]
+//	          [-workers 1] [-data-dir DIR] [-out BENCH_PR6.json]
 //
 // With -data-dir the service is durable: every session writes a
 // CRC-checked write-ahead log plus periodic full-state snapshots under
@@ -40,7 +41,14 @@
 // On SIGINT/SIGTERM the service drains gracefully: in-flight and queued
 // batches finish, sessions close, then the listener stops. With
 // -loadtest the binary instead measures its own sustained throughput
-// (see workload.RunLoad) and writes a JSON report.
+// (see workload.RunLoad) and writes a JSON report; -gomaxprocs sweeps
+// the runtime's parallelism across the given values, one result group
+// per value.
+//
+// -pprof ADDR opens a second listener serving net/http/pprof on its
+// default mux (/debug/pprof/...), kept off the service mux so profiling
+// is never exposed on the public port. See EXPERIMENTS.md for the
+// capture workflow.
 package main
 
 import (
@@ -51,6 +59,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only by -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -67,9 +76,13 @@ func main() {
 	fsyncMode := flag.String("fsync", "batch", "WAL fsync policy: batch (sync before every ack), interval, or off")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "sync timer for -fsync interval")
 	snapEvery := flag.Int("snap-every", 64, "rotate to a fresh snapshot after this many logged batches")
+	coalesceTuples := flag.Int("coalesce-tuples", 0, "cap on tuples folded into one ingest pass (0: unbounded)")
+	coalesceDelay := flag.Duration("coalesce-delay", 0, "linger window for folding more ingest batches into a pass (0: fold queued work only)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra address (empty: off)")
 
 	loadtest := flag.Bool("loadtest", false, "run the service load driver instead of serving")
 	sessions := flag.String("sessions", "1,4,16", "loadtest: comma-separated concurrent session counts")
+	gomaxprocs := flag.String("gomaxprocs", "", "loadtest: comma-separated GOMAXPROCS values to sweep (empty: current)")
 	batches := flag.Int("batches", 8, "loadtest: batches streamed per session")
 	baseSize := flag.Int("base", 800, "loadtest: clean base size per session")
 	noise := flag.Float64("noise", 0.08, "loadtest: generator noise rate")
@@ -84,16 +97,18 @@ func main() {
 		os.Exit(2)
 	}
 	popts := server.Options{
-		QueueDepth:    *queue,
-		DrainTimeout:  *drain,
-		DataDir:       *dataDir,
-		Fsync:         policy,
-		FsyncInterval: *fsyncEvery,
-		SnapshotEvery: *snapEvery,
+		QueueDepth:        *queue,
+		DrainTimeout:      *drain,
+		DataDir:           *dataDir,
+		Fsync:             policy,
+		FsyncInterval:     *fsyncEvery,
+		SnapshotEvery:     *snapEvery,
+		CoalesceMaxTuples: *coalesceTuples,
+		CoalesceDelay:     *coalesceDelay,
 	}
 
 	if *loadtest {
-		if err := runLoadtest(*sessions, *batches, *baseSize, *noise, *seed, *workers, *queue, *dataDir, *out); err != nil {
+		if err := runLoadtest(*sessions, *gomaxprocs, *batches, *baseSize, *noise, *seed, *workers, *queue, *dataDir, *out); err != nil {
 			fmt.Fprintf(os.Stderr, "cfdserved: %v\n", err)
 			os.Exit(1)
 		}
@@ -101,7 +116,7 @@ func main() {
 	}
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	if err := serve(*addr, popts, sigc, nil); err != nil {
+	if err := serve(*addr, *pprofAddr, popts, sigc, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "cfdserved: %v\n", err)
 		os.Exit(1)
 	}
@@ -111,12 +126,25 @@ func main() {
 // test's synthetic value otherwise), then drains gracefully. ready, if
 // non-nil, receives the bound address once the listener is up. With a
 // data dir configured, persisted sessions are recovered before the
-// listener opens, so no request ever races the replay.
-func serve(addr string, opts server.Options, stop <-chan os.Signal, ready chan<- string) error {
+// listener opens, so no request ever races the replay. A non-empty
+// pprofAddr opens a second listener serving the DefaultServeMux, where
+// the net/http/pprof import registered /debug/pprof.
+func serve(addr, pprofAddr string, opts server.Options, stop <-chan os.Signal, ready chan<- string) error {
 	if opts.DataDir != "" {
 		if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
 			return err
 		}
+	}
+	if pprofAddr != "" {
+		pln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		defer pln.Close()
+		go func() {
+			log.Printf("cfdserved: pprof on http://%s/debug/pprof/", pln.Addr())
+			http.Serve(pln, nil)
+		}()
 	}
 	svc := server.New(opts)
 	if opts.DataDir != "" {

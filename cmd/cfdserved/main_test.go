@@ -22,7 +22,7 @@ func TestServeLifecycle(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- serve("127.0.0.1:0", server.Options{QueueDepth: 8, DrainTimeout: 10 * time.Second}, stop, ready)
+		done <- serve("127.0.0.1:0", "", server.Options{QueueDepth: 8, DrainTimeout: 10 * time.Second}, stop, ready)
 	}()
 
 	var addr string
@@ -78,18 +78,22 @@ func TestServeLifecycle(t *testing.T) {
 }
 
 func TestServeBadAddr(t *testing.T) {
-	if err := serve("127.0.0.1:-1", server.Options{QueueDepth: 8, DrainTimeout: time.Second}, nil, nil); err == nil {
+	if err := serve("127.0.0.1:-1", "", server.Options{QueueDepth: 8, DrainTimeout: time.Second}, nil, nil); err == nil {
 		t.Fatal("invalid listen address must fail")
+	}
+	if err := serve("127.0.0.1:0", "127.0.0.1:-1", server.Options{QueueDepth: 8, DrainTimeout: time.Second}, nil, nil); err == nil {
+		t.Fatal("invalid pprof address must fail")
 	}
 }
 
 // TestLoadtestWritesReport runs the self-loadtest at a tiny scale and
-// checks the BENCH_PR5.json shape it writes, including the durable rows
-// the -data-dir mode adds next to each in-memory row.
+// checks the BENCH_PR6.json shape it writes, including the durable rows
+// the -data-dir mode adds next to each in-memory row and the per-stage
+// server-side timings each row carries.
 func TestLoadtestWritesReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	dataDir := t.TempDir()
-	if err := runLoadtest("1,2", 2, 120, 0.08, 3, 1, 8, dataDir, out); err != nil {
+	if err := runLoadtest("1,2", "", 2, 120, 0.08, 3, 1, 8, dataDir, out); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -100,7 +104,7 @@ func TestLoadtestWritesReport(t *testing.T) {
 	if err := json.Unmarshal(b, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.PR != 5 || len(rep.Results) != 4 {
+	if rep.PR != 6 || len(rep.Results) != 4 {
 		t.Fatalf("report shape: %s", b)
 	}
 	if rep.Results[0].Sessions != 1 || rep.Results[2].Sessions != 2 {
@@ -117,6 +121,12 @@ func TestLoadtestWritesReport(t *testing.T) {
 		if r.ErrorBatches != 0 {
 			t.Fatalf("row %d reports %d error batches: %s", i, r.ErrorBatches, b)
 		}
+		if r.Gomaxprocs < 1 {
+			t.Fatalf("row %d gomaxprocs = %d: %s", i, r.Gomaxprocs, b)
+		}
+		if r.Stages == nil || r.Stages.Engine == nil || r.Stages.Persist == nil {
+			t.Fatalf("row %d missing stage timings: %s", i, b)
+		}
 	}
 	// Durable runs clean their scratch directories up after themselves.
 	ents, err := os.ReadDir(dataDir)
@@ -129,10 +139,13 @@ func TestLoadtestWritesReport(t *testing.T) {
 }
 
 func TestLoadtestRejectsBadSessions(t *testing.T) {
-	if err := runLoadtest("1,zero", 1, 50, 0.05, 1, 1, 8, "", ""); err == nil {
+	if err := runLoadtest("1,zero", "", 1, 50, 0.05, 1, 1, 8, "", ""); err == nil {
 		t.Fatal("non-integer session count must fail")
 	}
-	if err := runLoadtest("0", 1, 50, 0.05, 1, 1, 8, "", ""); err == nil {
+	if err := runLoadtest("0", "", 1, 50, 0.05, 1, 1, 8, "", ""); err == nil {
 		t.Fatal("zero session count must fail")
+	}
+	if err := runLoadtest("1", "2,x", 1, 50, 0.05, 1, 1, 8, "", ""); err == nil {
+		t.Fatal("non-integer gomaxprocs must fail")
 	}
 }

@@ -63,20 +63,30 @@
 //	        └── Session: the same engine kept alive across ΔD batches
 //	                │
 //	                ▼
-//	        internal/server: named sessions, per-session worker
-//	        queues, lock-free snapshots, SSE notifications
-//	                │                        │ per accepted batch,
-//	                │                        │ before the reply
-//	                │                        ▼
-//	                │            internal/wal: length-prefixed CRC'd
-//	                │            batch records + rotating full-state
-//	                │            snapshots under -data-dir/<session>/
-//	                │                        │ on boot
-//	                │                        ▼
-//	                │            RestoreSession + ReplayBatch: newest
-//	                │            valid snapshot, then WAL replay through
-//	                │            the same ApplyOps path (torn tails
-//	                │            discarded; byte-identical recovery)
+//	        internal/server: named sessions, each a pipeline whose
+//	        only serialized stage is the engine pass itself
+//
+//	          handler: decode + validate   (per-request goroutine)
+//	                │ enqueue (bounded queue, 429 backpressure)
+//	                ▼
+//	          worker: fold coalescable batches → engine pass
+//	                │ finished pass (FIFO)   [single writer]
+//	                ▼
+//	          committer: encode ∥ WAL append ∥ group fsync
+//	                │              │ reply after durable    │ async
+//	                ▼              ▼                        ▼
+//	          response codec   internal/wal            SSE fan-out
+//	                           length-prefixed CRC'd   (per-subscriber
+//	                           batch records +         bounded buffers,
+//	                           rotating snapshots      slow consumers
+//	                           under -data-dir/        drop + resync)
+//	                           <session>/
+//	                                │ on boot
+//	                                ▼
+//	                           RestoreSession + ReplayBatch: newest
+//	                           valid snapshot, then WAL replay through
+//	                           the same ApplyOps path (torn tails
+//	                           discarded; byte-identical recovery)
 //	                ▼
 //	        cmd/cfdserved (HTTP/JSON service, -data-dir durability)
 //
@@ -103,10 +113,16 @@
 //   - A Session is single-writer, many-reader: mutations serialize on
 //     an internal lock while snapshot reads are lock-free against
 //     atomically published state stamped with the journal's NextID
-//     watermark and mutation Version. The server builds on this with
-//     one worker goroutine per session (single-writer by construction),
-//     a sharded session registry, bounded queues with backpressure, and
-//     graceful drain.
+//     watermark and mutation Version. The server builds on this with a
+//     per-session pipeline — request decode in the handler goroutine,
+//     one worker goroutine running engine passes (single-writer by
+//     construction), one committer goroutine doing WAL encode/append,
+//     group fsync (one sync amortized over the sessions of a window),
+//     post-durability acknowledgement and asynchronous SSE fan-out —
+//     plus a sharded session registry, bounded queues with
+//     backpressure, and graceful drain. Reply content is fixed at the
+//     pass boundary, so overlapping pass N+1 with pass N's commit
+//     changes no bytes on the wire.
 //
 // # Determinism
 //

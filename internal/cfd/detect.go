@@ -301,7 +301,13 @@ func (d *Detector) vioInGroup(g *fdGroup, t *relation.Tuple) int {
 	}
 	total := 0
 	av := t.Vals[g.a]
-	var bucket []relation.TupleID
+	// partners is the number of bucket tuples disagreeing with t on A.
+	// It is the same for every variable-RHS row of the group, so the
+	// bucket is scanned once per call, on interned ids: a probe value
+	// absent from the dictionary (avID == InvalidID) can equal no stored
+	// id, so every non-null partner disagrees — exactly what the string
+	// comparison would conclude.
+	partners := -1
 	for _, r := range rows {
 		if r.cons {
 			if RHSViolates(av, r.tpa) {
@@ -313,18 +319,23 @@ func (d *Detector) vioInGroup(g *fdGroup, t *relation.Tuple) int {
 		if av.Null {
 			continue // null A is Eq to everything: already resolved (§4.1 case 2.3)
 		}
-		if bucket == nil {
-			bucket = d.index(g).LookupIDs(xids)
-		}
-		for _, id := range bucket {
-			if id == t.ID {
-				continue
+		if partners < 0 {
+			partners = 0
+			avID := t.IDAt(g.a)
+			if !t.Interned() {
+				avID = d.rel.Dict().LookupValue(av)
 			}
-			o := d.rel.Tuple(id).Vals[g.a]
-			if !o.Null && o.Str != av.Str {
-				total++
+			for _, id := range d.index(g).LookupIDs(xids) {
+				if id == t.ID {
+					continue
+				}
+				vid := d.rel.Tuple(id).IDAt(g.a)
+				if vid != relation.NullID && vid != avID {
+					partners++
+				}
 			}
 		}
+		total += partners
 	}
 	return total
 }
@@ -753,4 +764,13 @@ func (g Group) MatchingRules(t *relation.Tuple) []*Normal {
 // (via the live index); includes t itself.
 func (g Group) Bucket(t *relation.Tuple) []relation.TupleID {
 	return g.d.index(g.g).LookupTuple(t)
+}
+
+// VioCount returns vio(t) restricted to this group — the group's
+// contribution to the paper's vio(t) (§3.1). It is the allocation-free
+// fast path behind TUPLERESOLVE's candidate probing: one pattern match,
+// one index probe, and one interned-id bucket scan shared by every
+// variable-RHS rule of the group, with no rule slice materialized.
+func (g Group) VioCount(t *relation.Tuple) int {
+	return g.d.vioInGroup(g.g, t)
 }

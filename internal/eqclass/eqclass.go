@@ -75,10 +75,22 @@ type Classes struct {
 // New creates an empty class manager interning constant targets in dict.
 // A nil dict gets a private dictionary.
 func New(dict *relation.Dict) *Classes {
+	return NewSized(dict, 0)
+}
+
+// NewSized is New with a capacity hint: the node table and key index are
+// pre-sized for about n keys, so a repair whose working-set cardinality
+// is known up front (e.g. from the violation store's maintained counts)
+// skips the incremental map growth entirely. The hint is advisory and
+// has no effect on behaviour.
+func NewSized(dict *relation.Dict, n int) *Classes {
 	if dict == nil {
 		dict = relation.NewDict()
 	}
-	return &Classes{dict: dict, index: make(map[Key]int)}
+	if n < 0 {
+		n = 0
+	}
+	return &Classes{dict: dict, nodes: make([]class, 0, n), index: make(map[Key]int, n)}
 }
 
 // Reset empties the manager for reuse, keeping its dictionary and the

@@ -207,6 +207,16 @@ func (e *engine) invalidateDomainCaches() {
 	clear(e.nearCache)
 }
 
+// invalidateDomainCachesFor drops the domain-derived caches of a single
+// attribute: the per-attribute refinement of invalidateDomainCaches used
+// by the session's mixed-batch path, which checks which attribute
+// domains a batch actually shrank and keeps every other attribute's
+// index warm across batches.
+func (e *engine) invalidateDomainCachesFor(a int) {
+	delete(e.clusterIdx, a)
+	delete(e.nearCache, a)
+}
+
 // insertBatch repairs the tuples of delta one at a time (in the
 // configured ordering) and inserts them into Repr; the violation store
 // maintains itself under each insert. This is the INCREPAIR main loop

@@ -108,40 +108,12 @@ func (e *engine) closure(violated []uint64) uint64 {
 }
 
 // groupViolations counts the violations of rt against Repr within one
-// embedded-FD group (the vio(t) contribution of the group, §3.1).
+// embedded-FD group (the vio(t) contribution of the group, §3.1). The
+// counting lives in the detector (Group.VioCount), which compares
+// interned ids and scans the LHS bucket once per call — this is the
+// innermost loop of TUPLERESOLVE's candidate enumeration.
 func (e *engine) groupViolations(g cfd.Group, rt *relation.Tuple) int {
-	rules := g.MatchingRules(rt)
-	if len(rules) == 0 {
-		return 0
-	}
-	a := g.A()
-	av := rt.Vals[a]
-	total := 0
-	var bucket []relation.TupleID
-	for _, n := range rules {
-		if n.ConstantRHS() {
-			if cfd.RHSViolates(av, n.TpA) {
-				total++
-			}
-			continue
-		}
-		if av.Null {
-			continue
-		}
-		if bucket == nil {
-			bucket = g.Bucket(rt)
-		}
-		for _, id := range bucket {
-			if id == rt.ID {
-				continue
-			}
-			o := e.repr.Tuple(id).Vals[a]
-			if !o.Null && o.Str != av.Str {
-				total++
-			}
-		}
-	}
-	return total
+	return g.VioCount(rt)
 }
 
 // vio returns vio(rt) against Repr over all of Σ.
@@ -319,6 +291,34 @@ func (e *engine) bestValsFor(rt *relation.Tuple, fixed uint64, c []int, violated
 			contested++
 		}
 	}
+	// The odometer below only mutates rt's values at the attributes in c,
+	// and a group's violation count depends only on rt's values at X ∪
+	// {A}. Groups disjoint from c are therefore loop invariants: count
+	// them once here instead of once per candidate combination. Of those,
+	// a group lying entirely inside checkMask that is violated now stays
+	// violated for every candidate — no combination can be consistent, so
+	// the whole enumeration is skipped (exactly what the unhoisted loop
+	// would conclude, one rejected candidate at a time).
+	var (
+		variant      []int // e.groups indices whose mask intersects c
+		variantCheck []int // the variant groups within checkMask
+		baseVio      int   // Σ violations of the invariant groups
+	)
+	for i := range e.groups {
+		gi := &e.groups[i]
+		if gi.mask&cmask != 0 {
+			variant = append(variant, i)
+			if gi.mask&checkMask == gi.mask {
+				variantCheck = append(variantCheck, i)
+			}
+			continue
+		}
+		n := e.groupViolations(gi.g, rt)
+		baseVio += n
+		if n > 0 && gi.mask&checkMask == gi.mask {
+			return fix{}
+		}
+	}
 	cvals := make([][]relation.Value, len(c))
 	for i, a := range c {
 		cvals[i] = cands[a]
@@ -333,22 +333,32 @@ func (e *engine) bestValsFor(rt *relation.Tuple, fixed uint64, c []int, violated
 		}
 	}()
 	var best fix
+	bestIdx := make([]int, len(c)) // odometer position of best; vals materialize after the loop
 	idx := make([]int, len(c))
 	for {
 		for i, a := range c {
 			rt.Vals[a] = cvals[i][idx[i]]
 		}
-		if e.consistentOn(rt, checkMask) {
+		consistent := true
+		for _, gi := range variantCheck {
+			if e.groupViolations(e.groups[gi].g, rt) > 0 {
+				consistent = false
+				break
+			}
+		}
+		if consistent {
 			var chg float64
 			for i, a := range c {
 				if !relation.StrictEq(saved[i], rt.Vals[a]) {
 					chg += sc.ChangeFromInterned(e.repr.Dict(), rt, a, saved[i], rt.Vals[a])
 				}
 			}
-			v := e.vio(rt)
+			v := baseVio
+			for _, gi := range variant {
+				v += e.groupViolations(e.groups[gi].g, rt)
+			}
 			f := fix{
 				attrs:     c,
-				vals:      rt.Project(c),
 				primary:   chg * float64(v),
 				cost:      chg,
 				vio:       v,
@@ -357,6 +367,7 @@ func (e *engine) bestValsFor(rt *relation.Tuple, fixed uint64, c []int, violated
 			}
 			if f.better(best) {
 				best = f
+				copy(bestIdx, idx)
 			}
 		}
 		// Advance the odometer.
@@ -370,6 +381,12 @@ func (e *engine) bestValsFor(rt *relation.Tuple, fixed uint64, c []int, violated
 		}
 		if i == len(idx) {
 			break
+		}
+	}
+	if best.valid {
+		best.vals = make([]relation.Value, len(c))
+		for i := range c {
+			best.vals[i] = cvals[i][bestIdx[i]]
 		}
 	}
 	return best

@@ -236,7 +236,9 @@ func (s *Session) ApplyOps(deletes []relation.TupleID, sets []SetOp, inserts []*
 		return nil, 0, fmt.Errorf("increpair: batch mixes id-less inserts with explicit ids at or beyond the watermark %d", s.e.repr.NextID())
 	}
 
+	removed := make([]*relation.Tuple, 0, len(deletes)+len(sets))
 	for _, id := range deletes {
+		removed = append(removed, s.e.repr.Tuple(id))
 		s.e.repr.Delete(id)
 	}
 
@@ -248,7 +250,9 @@ func (s *Session) ApplyOps(deletes []relation.TupleID, sets []SetOp, inserts []*
 	for _, op := range sets {
 		c := mods[op.ID]
 		if c == nil {
-			c = s.e.repr.Tuple(op.ID).Clone()
+			orig := s.e.repr.Tuple(op.ID)
+			removed = append(removed, orig)
+			c = orig.Clone()
 			mods[op.ID] = c
 			updated = append(updated, c)
 		}
@@ -257,12 +261,24 @@ func (s *Session) ApplyOps(deletes []relation.TupleID, sets []SetOp, inserts []*
 	for _, c := range updated {
 		s.e.repr.Delete(c.ID)
 	}
-	if len(deletes) > 0 || len(updated) > 0 {
-		// Values may just have left the active domain; drop the engine's
-		// domain-derived candidate caches so TUPLERESOLVE cannot offer a
-		// vanished value as a donor (§3.1: repairs draw from adom ∪
-		// null). They rebuild lazily from the current domain.
-		s.e.invalidateDomainCaches()
+	if len(removed) > 0 {
+		// Values may just have left the active domain; where that actually
+		// happened, drop the engine's domain-derived candidate caches so
+		// TUPLERESOLVE cannot offer a vanished value as a donor (§3.1:
+		// repairs draw from adom ∪ null). The check is per attribute:
+		// an attribute whose domain still holds every removed value keeps
+		// its cluster index and nearest-neighbour memo, so steady mixed
+		// traffic does not rebuild the cost-based indices each pass.
+		// (Values a batch *introduces* are handled by the insert loop,
+		// which grows the index and evicts stale memo entries.)
+		for a := 0; a < arity; a++ {
+			for _, t := range removed {
+				if v := t.Vals[a]; !v.Null && s.e.repr.DomainCount(a, v.Str) == 0 {
+					s.e.invalidateDomainCachesFor(a)
+					break
+				}
+			}
+		}
 	}
 
 	delta := make([]*relation.Tuple, 0, len(updated)+len(inserts))

@@ -1,0 +1,81 @@
+// Operational metrics. Besides the paper's repair-quality measures,
+// the long-running service (internal/server, cmd/cfdserved) needs
+// cheap, concurrency-safe instruments for its hot paths: pass latency,
+// WAL append→fsync lag, coalesce fold sizes. A fixed-bucket histogram
+// covers all of them — bounded memory, lock per observation, and a
+// JSON-ready snapshot for the /v1/metrics endpoint.
+
+package metrics
+
+import "sync"
+
+// Histogram is a fixed-bucket histogram safe for concurrent use. Bounds
+// are upper bucket edges in increasing order; an observation lands in
+// the first bucket whose bound is >= the value, or in the overflow
+// bucket past the last bound. Observations are a mutex and two adds —
+// cheap enough for per-request paths.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1: the last slot is the overflow bucket
+	n      uint64
+	sum    float64
+}
+
+// NewHistogram builds a histogram over the given upper bucket bounds
+// (must be increasing; the overflow bucket is implicit).
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.n++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Bucket is one histogram bucket in a snapshot: Count observations with
+// value <= LE (per-bucket counts, not cumulative).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a histogram, shaped for JSON.
+// Overflow counts observations past the last bucket bound (kept out of
+// Buckets because +Inf does not serialize).
+type Snapshot struct {
+	Count    uint64   `json:"count"`
+	Sum      float64  `json:"sum"`
+	Mean     float64  `json:"mean"`
+	Buckets  []Bucket `json:"buckets,omitempty"`
+	Overflow uint64   `json:"overflow,omitempty"`
+}
+
+// Snapshot copies the current state; nil when nothing was observed, so
+// idle instruments vanish from JSON via omitempty.
+func (h *Histogram) Snapshot() *Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return nil
+	}
+	s := &Snapshot{Count: h.n, Sum: h.sum, Mean: h.sum / float64(h.n)}
+	for i, b := range h.bounds {
+		if h.counts[i] > 0 {
+			s.Buckets = append(s.Buckets, Bucket{LE: b, Count: h.counts[i]})
+		}
+	}
+	s.Overflow = h.counts[len(h.bounds)]
+	return s
+}

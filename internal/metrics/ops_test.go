@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	if h.Snapshot() != nil {
+		t.Fatal("empty histogram must snapshot to nil")
+	}
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 3} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	want := map[float64]uint64{0.01: 2, 0.1: 1, 1: 1}
+	for _, b := range s.Buckets {
+		if b.Count != want[b.LE] {
+			t.Fatalf("bucket le=%g count=%d, want %d", b.LE, b.Count, want[b.LE])
+		}
+		delete(want, b.LE)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing buckets: %v", want)
+	}
+	if s.Overflow != 2 {
+		t.Fatalf("overflow = %d, want 2", s.Overflow)
+	}
+	if s.Mean <= 0 || s.Sum <= 0 {
+		t.Fatalf("sum/mean: %+v", s)
+	}
+	// The snapshot must be JSON-safe (no +Inf bound anywhere).
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot does not serialize: %v", err)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(1, 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}

@@ -160,6 +160,14 @@ func newEngine(d *relation.Relation, sigma []*cfd.Normal, opts Options) (*engine
 	// relation's mutation journal — no per-round detector rebuilds.
 	store := cfd.NewVioStoreWorkers(work, sigma, opts.Workers)
 	det := store.Detector()
+	// Pre-size the equivalence-class universe from the store's maintained
+	// violation count: each violating tuple contributes at most arity keys,
+	// and the count is known before the first resolution runs. Capped so a
+	// pathological input cannot drive a huge empty allocation.
+	classHint := store.TotalViolations() * d.Schema().Arity()
+	if classHint > 1<<16 {
+		classHint = 1 << 16
+	}
 	e := &engine{
 		rel:      work,
 		orig:     d,
@@ -168,7 +176,7 @@ func newEngine(d *relation.Relation, sigma []*cfd.Normal, opts Options) (*engine
 		det:      det,
 		groups:   det.Groups(),
 		scorer:   opts.CostModel.Scratch(),
-		classes:  eqclass.New(work.Dict()),
+		classes:  eqclass.NewSized(work.Dict(), classHint),
 		opts:     opts,
 		sIdx:     make(map[relation.Key]*relation.HashIndex),
 		touching: make(map[int][]int),

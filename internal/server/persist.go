@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cfdclean/internal/increpair"
+	"cfdclean/internal/relation"
 	"cfdclean/internal/wal"
 )
 
@@ -22,14 +23,16 @@ import (
 //	snap-<gen>.snap   full-state session snapshot (atomic tmp+rename)
 //	wal-<gen>.log     batches accepted after that snapshot
 //
-// The session's single-writer worker appends one WAL record per
+// The session's committer goroutine — the pipeline stage downstream of
+// the single-writer engine worker — appends one WAL record per
 // successful engine pass (a coalesced ingest run is one pass and one
 // record) *before* replying to the client, so under the per-batch fsync
-// policy an acknowledged apply is on disk. Every SnapshotEvery batches
-// the persister rotates: it writes snapshot gen+1, starts an empty WAL
-// gen+1, and deletes generations older than the previous one — the
-// previous pair is kept as a fallback in case the newest snapshot is
-// damaged. Recovery (Server.Recover) walks the session directories,
+// policy an acknowledged apply is on disk; the fsync itself is amortized
+// across sessions by the registry's group-fsync goroutine. Every
+// SnapshotEvery batches the persister rotates: it writes snapshot gen+1,
+// starts an empty WAL gen+1, and deletes generations older than the
+// previous one — the previous pair is kept as a fallback in case the
+// newest snapshot is damaged. Recovery (Server.Recover) walks the session directories,
 // restores the newest readable snapshot, and replays the WAL records
 // after it through the ordinary ApplyOps path; the journal-version
 // cursor carried by every record (wal.Batch) makes the replay
@@ -104,18 +107,25 @@ func walPath(dir string, gen uint64) string {
 }
 
 // persister is one session's durability sidecar, driven by the
-// session's worker goroutine. The mutex only fences the worker's
-// appends against the interval-fsync ticker; all state transitions
-// happen on the worker.
+// session's committer goroutine (the pipeline stage downstream of the
+// engine worker — see hosted.committer). The mutex fences the
+// committer's appends against the interval-fsync ticker and the
+// registry's group-fsync goroutine; all state transitions happen on the
+// committer.
 type persister struct {
 	cfg  *persistConfig
 	dir  string
 	name string
 
-	mu        sync.Mutex
-	gen       uint64
-	log       *wal.Log
-	last      uint64 // journal version after the last logged batch
+	mu       sync.Mutex
+	gen      uint64
+	log      *wal.Log
+	last     uint64 // journal version after the last logged batch
+	appended uint64 // last version appended to the open log
+	synced   uint64 // last version known to be on stable storage
+	// sinceSnap is the rotation budget carried out of recovery (replayed
+	// records already in the tip WAL); the session worker seeds its own
+	// rotation counter from it and owns the count from then on.
 	sinceSnap int
 	broken    error // first unrecoverable persistence failure; sticky
 
@@ -146,7 +156,10 @@ func newPersister(cfg *persistConfig, name string, sess *increpair.Session) (*pe
 	if err != nil {
 		return nil, err
 	}
-	p := &persister{cfg: cfg, dir: dir, name: name, log: log, last: snap.Version}
+	p := &persister{
+		cfg: cfg, dir: dir, name: name, log: log,
+		last: snap.Version, appended: snap.Version, synced: snap.Version,
+	}
 	p.startTicker()
 	return p, nil
 }
@@ -166,11 +179,7 @@ func (p *persister) startTicker() {
 			select {
 			case <-t.C:
 				p.mu.Lock()
-				if p.log != nil && p.broken == nil {
-					if err := p.log.Sync(); err != nil {
-						p.broken = err
-					}
-				}
+				p.syncLocked()
 				p.mu.Unlock()
 			case <-stop:
 				return
@@ -179,71 +188,90 @@ func (p *persister) startTicker() {
 	}()
 }
 
-// commit logs one successful engine pass. Called by the worker after
-// ApplyOps returns and before the client reply is sent, so the batch is
-// durable (to the configured policy) before it is acknowledged.
-//
-// A purged session (Remove in progress) stops persisting immediately:
-// its directory is doomed — and may already belong to a re-created
-// session of the same name — so the batches the worker drains for
-// waiting clients apply in memory only. (A rotation already in flight
-// when Remove lands can still race a very fast delete+create on the
-// same name; closing that microsecond window would need the registry
-// to track removed workers until exit, which is not worth it here.)
-func (p *persister) commit(h *hosted, j job, version uint64) {
-	if h.purge.Load() {
-		return
-	}
+// appendBatch logs one successful engine pass: delta-encode, CRC-frame
+// and append, without syncing. Called by the session's committer, which
+// is how the encode and the append run concurrently with the worker's
+// NEXT engine pass — the WAL is off the single-writer hot path while
+// record order still equals pass order (the commit channel is FIFO).
+// The ops slices are the batch's original decoded inputs, which the
+// engine never mutates (TUPLERESOLVE clones arriving tuples), so
+// reading them here races nothing.
+func (p *persister) appendBatch(ops []relation.Delta, version uint64) error {
+	b := wal.Batch{PrevVersion: p.last, Version: version, Ops: ops}
+	payload := b.Encode() // off-lock: overlaps the ticker and group syncer
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.broken != nil {
-		return
+		return p.broken
 	}
-	b := wal.Batch{
-		PrevVersion: p.last,
-		Version:     version,
-		Ops:         increpair.OpsToDeltas(j.deletes, j.sets, j.inserts),
-	}
-	if err := p.log.Append(b.Encode()); err != nil {
+	if err := p.log.Append(payload); err != nil {
 		p.broken = err
-		return
-	}
-	if p.cfg.policy == FsyncBatch {
-		if err := p.log.Sync(); err != nil {
-			p.broken = err
-			return
-		}
+		return err
 	}
 	p.last = version
-	p.sinceSnap++
-	if p.sinceSnap >= p.cfg.snapEvery {
-		p.rotateLocked(h)
-	}
+	p.appended = version
+	return nil
 }
 
-// resync is the worker's answer to a failed (possibly partially
-// applied) pass: the WAL cannot describe it, so a fresh snapshot makes
-// the on-disk image authoritative again.
-func (p *persister) resync(h *hosted) {
-	if h.purge.Load() {
-		return
+// syncNow flushes the log to stable storage; the group-fsync goroutine
+// calls it once per log per sync window.
+func (p *persister) syncNow() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.syncLocked()
+}
+
+// syncLocked is the shared sync step (committer-driven group sync and
+// the interval ticker): on success everything appended so far is known
+// durable.
+func (p *persister) syncLocked() error {
+	if p.broken != nil {
+		return p.broken
 	}
+	if p.log == nil {
+		return nil
+	}
+	if err := p.log.Sync(); err != nil {
+		p.broken = err
+		return err
+	}
+	p.synced = p.appended
+	return nil
+}
+
+// syncedVersion reports the newest journal version known to be on
+// stable storage — what the group-fsync ordering test asserts against:
+// under the per-batch policy no acknowledged version may exceed it.
+func (p *persister) syncedVersion() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.synced
+}
+
+// markBroken records a persistence failure discovered outside the
+// persister (e.g. the worker failing to capture a rotation snapshot).
+func (p *persister) markBroken(err error) {
+	p.mu.Lock()
+	if p.broken == nil {
+		p.broken = err
+	}
+	p.mu.Unlock()
+}
+
+// rotateTo advances to a new snapshot/WAL generation anchored on snap
+// and prunes generations older than the previous one. The snapshot is
+// captured by the session WORKER at the exact batch boundary that
+// triggered the rotation (not here on the committer): the worker may
+// already be several passes ahead by the time this runs, and a snapshot
+// taken now would be newer than the WAL cursor — the new generation's
+// base must equal the last logged record's state. On any failure the
+// persister marks itself broken: the session keeps serving, the
+// recorded state stops advancing, and the condition surfaces through
+// info().
+func (p *persister) rotateTo(snap *wal.Snapshot) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.broken != nil {
-		return
-	}
-	p.rotateLocked(h)
-}
-
-// rotateLocked advances to a new snapshot/WAL generation and prunes
-// generations older than the previous one. On any failure the persister
-// marks itself broken: the session keeps serving, the recorded state
-// stops advancing, and the condition is surfaced through info().
-func (p *persister) rotateLocked(h *hosted) {
-	snap, err := h.sess.PersistSnapshot(p.name)
-	if err != nil {
-		p.broken = err
 		return
 	}
 	next := p.gen + 1
@@ -260,7 +288,8 @@ func (p *persister) rotateLocked(h *hosted) {
 	p.log = log
 	p.gen = next
 	p.last = snap.Version
-	p.sinceSnap = 0
+	p.appended = snap.Version
+	p.synced = snap.Version // WriteSnapshotFile fsyncs file and directory
 	if err := old.Close(); err != nil && p.broken == nil {
 		p.broken = err
 	}
@@ -476,7 +505,8 @@ func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Se
 		}
 	}
 
-	p := &persister{cfg: cfg, dir: dir, name: name, last: sess.Snapshot().Version}
+	v := sess.Snapshot().Version
+	p := &persister{cfg: cfg, dir: dir, name: name, last: v, appended: v, synced: v}
 	if tip != nil {
 		p.gen = walGens[len(walGens)-1]
 		p.log = tip
@@ -513,6 +543,8 @@ func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Se
 	p.gen = next
 	p.log = log
 	p.last = snap.Version
+	p.appended = snap.Version
+	p.synced = snap.Version
 	if next >= 2 {
 		pruneGenerations(p.dir, next-2)
 	}

@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"cfdclean/internal/increpair"
+	"cfdclean/internal/metrics"
 	"cfdclean/internal/relation"
+	"cfdclean/internal/wal"
 )
 
 // Registry errors surfaced to HTTP status codes by the handler layer.
@@ -32,18 +34,39 @@ const registryShards = 16
 
 // Registry is the sharded session table: name → hosted session, spread
 // over fixed shards by name hash so concurrent create/lookup/remove on
-// different sessions rarely contend on one lock. Each hosted session
-// owns a bounded work queue drained by a dedicated worker goroutine —
-// the session's single writer by construction — so HTTP handlers never
-// run an engine pass themselves; they enqueue and either wait for the
-// reply (apply) or return immediately (ingest).
+// different sessions rarely contend on one lock. Each hosted session is
+// a two-stage pipeline: a bounded work queue drained by a dedicated
+// worker goroutine — the session's single writer by construction, and
+// the ONLY stage serialized per session — feeding a committer goroutine
+// that delta-encodes, appends to the WAL, waits out the (group) fsync,
+// acknowledges the client, and publishes the pass event. HTTP handlers
+// never run an engine pass themselves; they decode and enqueue, then
+// either wait for the committer's reply (apply) or return immediately
+// (ingest). While the committer of pass N is encoding and syncing, the
+// worker is already folding and repairing pass N+1.
 type Registry struct {
 	queueDepth int
+
+	// coalesceMax, when > 0, caps the tuples folded into one ingest
+	// pass; coalesceDelay, when > 0, lets the worker linger that long
+	// for more coalescable work before starting a pass on an otherwise
+	// empty queue. Zero values reproduce pure adjacency coalescing.
+	coalesceMax   int
+	coalesceDelay time.Duration
 
 	// persist, when non-nil, gives every session a durability sidecar
 	// (WAL + snapshots under persist.dir; see persist.go). nil hosts
 	// sessions purely in memory, as before PR 5.
 	persist *persistConfig
+
+	// Group fsync: committers under the per-batch policy funnel sync
+	// requests through one lazily started goroutine that drains a
+	// window of pending requests and issues one Fsync per distinct WAL
+	// (see groupSync). The goroutine lives for the process — the
+	// registry has no Close — which is one small bounded goroutine per
+	// durable registry.
+	syncOnce sync.Once
+	syncCh   chan syncReq
 
 	shards [registryShards]shard
 
@@ -57,6 +80,12 @@ type Registry struct {
 	coalesced atomic.Uint64 // client batches merged into a shared pass
 	rejected  atomic.Uint64 // ingests refused with ErrBacklog
 	tuples    atomic.Uint64 // tuples inserted
+
+	// Operational instruments (see OpsMetrics).
+	passLat  *metrics.Histogram // engine pass duration, seconds
+	walLag   *metrics.Histogram // WAL append→fsync-acknowledged lag, seconds
+	foldSize *metrics.Histogram // client batches folded per engine pass
+	sseDrops atomic.Uint64      // events dropped at slow SSE subscribers
 }
 
 type shard struct {
@@ -70,7 +99,12 @@ func NewRegistry(queueDepth int) *Registry {
 	if queueDepth < 1 {
 		queueDepth = 1
 	}
-	r := &Registry{queueDepth: queueDepth}
+	r := &Registry{
+		queueDepth: queueDepth,
+		passLat:    metrics.NewHistogram(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5),
+		walLag:     metrics.NewHistogram(0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5),
+		foldSize:   metrics.NewHistogram(1, 2, 4, 8, 16, 32, 64),
+	}
 	for i := range r.shards {
 		r.shards[i].m = make(map[string]*hosted)
 	}
@@ -84,8 +118,8 @@ func (r *Registry) shard(name string) *shard {
 }
 
 // hosted is one session plus its service furniture: the work queue, the
-// worker goroutine's lifecycle channels, the event fan-out and a bounded
-// latency window.
+// worker and committer goroutines' lifecycle channels, the event
+// fan-out and a bounded latency window.
 type hosted struct {
 	name   string
 	schema *relation.Schema
@@ -98,8 +132,19 @@ type hosted struct {
 	// set by Remove, never by Drain.
 	pers  *persister
 	purge atomic.Bool
+	// sinceSnap is the worker's rotation budget: successful passes since
+	// the last snapshot, seeded from recovery's replay count. Worker-only
+	// state — the worker must capture the rotation snapshot at the exact
+	// batch boundary (the committer may lag several passes behind).
+	sinceSnap int
 
 	queue chan job
+	// commits carries finished passes, in pass order, from the worker to
+	// the committer: the downstream pipeline stage that encodes, logs,
+	// syncs, replies and publishes. Closed by the exiting worker after
+	// the final drain; committerDone is closed by the exiting committer.
+	commits       chan commitItem
+	committerDone chan struct{}
 	// quit is closed to ask the worker to drain and exit; done is closed
 	// by the worker after the queue is drained and the session closed.
 	quit     chan struct{}
@@ -128,6 +173,9 @@ type job struct {
 	sets        []increpair.SetOp
 	inserts     []*relation.Tuple
 	coalescable bool
+	// enqueued is when the job entered the queue (zero for tests that
+	// drive dispatch directly); the reply reports the queue wait.
+	enqueued time.Time
 	// extra counts client batches folded into this job beyond the first
 	// (set by the worker while coalescing).
 	extra int
@@ -142,6 +190,30 @@ type jobReply struct {
 	// pass's own state, not whatever is current when the handler runs.
 	snap increpair.Snapshot
 	err  error
+	// Per-stage timings, surfaced as X-Stage-* response headers (headers
+	// only — the body stays byte-identical to an in-process call).
+	wait    time.Duration // queue entry → pass start
+	engine  time.Duration // the pass itself
+	persist time.Duration // pass end → durable and acknowledged
+}
+
+// commitItem is one finished engine pass travelling from the worker to
+// the committer. The job's op slices are safe to read downstream while
+// the worker runs the next pass: the engine never mutates them
+// (TUPLERESOLVE clones arriving tuples before insertion), and res/snap
+// are immutable after the pass.
+type commitItem struct {
+	j        job
+	batches  int // client batches folded into the pass
+	rep      jobReply
+	version  uint64    // journal version after the pass
+	passDone time.Time // when the engine finished; start of persist stage
+	// rotate / resync are snapshots the WORKER captured at this exact
+	// batch boundary: rotate triggers a routine generation rotation,
+	// resync re-anchors the on-disk image after a failed pass whose
+	// partial effects no WAL record can describe.
+	rotate *wal.Snapshot
+	resync *wal.Snapshot
 }
 
 // Create opens a session under name and starts its worker. The caller
@@ -182,17 +254,26 @@ func (r *Registry) register(name string, sess *increpair.Session, schema *relati
 		}
 	}
 	h := &hosted{
-		name:   name,
-		schema: schema,
-		attrs:  schema.Attrs(),
-		sess:   sess,
-		pers:   p,
-		queue:  make(chan job, r.queueDepth),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
+		name:          name,
+		schema:        schema,
+		attrs:         schema.Attrs(),
+		sess:          sess,
+		pers:          p,
+		queue:         make(chan job, r.queueDepth),
+		commits:       make(chan commitItem, r.queueDepth),
+		committerDone: make(chan struct{}),
+		quit:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	h.subs.drops = &r.sseDrops
+	if p != nil {
+		// Carry recovery's replay count into the rotation budget so a
+		// crash-looping server still rotates (see recoverSession).
+		h.sinceSnap = p.sinceSnap
 	}
 	sh.m[name] = h
 	go h.run(r)
+	go h.committer(r)
 	return h, nil
 }
 
@@ -230,7 +311,7 @@ func (r *Registry) List() []*hosted {
 // could resolve a different session if the name was deleted and
 // re-created mid-request.
 func (r *Registry) Apply(ctx context.Context, h *hosted, deletes []relation.TupleID, sets []increpair.SetOp, inserts []*relation.Tuple) (jobReply, error) {
-	j := job{deletes: deletes, sets: sets, inserts: inserts, reply: make(chan jobReply, 1)}
+	j := job{deletes: deletes, sets: sets, inserts: inserts, enqueued: time.Now(), reply: make(chan jobReply, 1)}
 	select {
 	case h.queue <- j:
 	case <-h.quit:
@@ -261,7 +342,7 @@ func (r *Registry) Apply(ctx context.Context, h *hosted, deletes []relation.Tupl
 // it to 429), which is the service's backpressure signal. Like Apply it
 // takes the resolved session so the batch lands where it was decoded.
 func (r *Registry) Ingest(h *hosted, inserts []*relation.Tuple) error {
-	j := job{inserts: inserts, coalescable: true}
+	j := job{inserts: inserts, coalescable: true, enqueued: time.Now()}
 	// Both the quit check and the send happen under the fence, so the
 	// worker's final drain cannot slip between them (see hosted.sendMu).
 	h.sendMu.RLock()
@@ -338,15 +419,24 @@ func (r *Registry) Drain(ctx context.Context) error {
 	return nil
 }
 
-// run is the session worker: the hosted session's single writer. It
-// applies queued jobs in arrival order, coalescing runs of consecutive
-// async insert-only batches into one engine pass, and on quit drains
-// the queue before closing the session — no accepted batch is dropped.
+// run is the session worker: the hosted session's single writer and the
+// only per-session serialization point. It applies queued jobs in
+// arrival order, coalescing runs of async insert-only batches into one
+// engine pass, hands each finished pass to the committer, and on quit
+// drains the queue before closing the session — no accepted batch is
+// dropped. Deferred teardown runs innermost-first: the committer drains
+// every pending commit (replies, WAL records, events) before
+// persistence is finalized, the session closes, subscribers are
+// released, and done is closed.
 func (h *hosted) run(r *Registry) {
 	defer close(h.done)
 	defer h.subs.closeAll()
 	defer h.sess.Close()
-	defer h.finishPersist(r) // runs first: after the final drained batch
+	defer h.finishPersist(r)
+	defer func() {
+		close(h.commits)
+		<-h.committerDone
+	}()
 	for {
 		select {
 		case j := <-h.queue:
@@ -373,18 +463,48 @@ func (h *hosted) run(r *Registry) {
 
 // dispatch runs one queued job, first folding any directly following
 // coalescable jobs into it: their inserts concatenate in arrival order
-// and the whole run is repaired by a single engine pass. A synchronous
-// job is never folded — its reply must match a dedicated in-process
-// call — so a sync job encountered while folding just flushes the
-// accumulated pass and runs next.
+// and the whole run is repaired by a single engine pass. Folding stops
+// at the registry's tuple cap (coalesceMax), and an empty queue waits
+// out the remainder of the coalesce window (coalesceDelay, one deadline
+// per fold) before starting the pass — with both at zero only queue
+// adjacency folds, the original behavior. A synchronous job is never
+// folded — its reply must match a dedicated in-process call — so a sync
+// job encountered while folding just flushes the accumulated pass and
+// runs next.
 func (h *hosted) dispatch(r *Registry, j job) {
+	var deadline *time.Timer
+	defer func() {
+		if deadline != nil {
+			deadline.Stop()
+		}
+	}()
 	for j.coalescable {
+		if r.coalesceMax > 0 && len(j.inserts) >= r.coalesceMax {
+			h.apply(r, j, 1+j.extra)
+			return
+		}
 		var next job
 		select {
 		case next = <-h.queue:
 		default:
-			h.apply(r, j, 1+j.extra)
-			return
+			if r.coalesceDelay <= 0 {
+				h.apply(r, j, 1+j.extra)
+				return
+			}
+			if deadline == nil {
+				deadline = time.NewTimer(r.coalesceDelay)
+			}
+			select {
+			case next = <-h.queue:
+			case <-deadline.C:
+				h.apply(r, j, 1+j.extra)
+				return
+			case <-h.quit:
+				// Shutdown: flush immediately; run()'s final sweep
+				// handles whatever is still queued.
+				h.apply(r, j, 1+j.extra)
+				return
+			}
 		}
 		if next.coalescable {
 			j.inserts = append(j.inserts, next.inserts...)
@@ -399,45 +519,163 @@ func (h *hosted) dispatch(r *Registry, j job) {
 }
 
 // apply runs one engine pass for job j (which may represent several
-// coalesced client batches), logs it to the WAL, records latency,
-// replies if the job was synchronous, and broadcasts the pass event.
-// The WAL commit happens before the reply is sent: under the per-batch
-// fsync policy an acknowledged batch is on disk.
+// coalesced client batches) and hands the result to the committer.
+// Everything after the pass — delta encode, WAL append, fsync, client
+// reply, event fan-out — happens downstream, overlapped with this
+// worker's next pass; only the pass itself is serialized per session.
+// Pass order fixes seq and the journal-version order, and the commits
+// channel is FIFO, so the committer observes them in the same order.
 func (h *hosted) apply(r *Registry, j job, batches int) {
+	var wait time.Duration
+	if !j.enqueued.IsZero() {
+		wait = time.Since(j.enqueued)
+	}
 	start := time.Now()
 	res, deleted, err := h.sess.ApplyOps(j.deletes, j.sets, j.inserts)
 	snap := h.sess.Snapshot()
-	if h.pers != nil {
-		if err == nil {
-			h.pers.commit(h, j, snap.Version)
-		} else {
-			// The failed pass may have mutated state no WAL record
-			// describes; re-anchor the on-disk image on a fresh snapshot.
-			h.pers.resync(h)
-		}
-	}
-	h.lat.record(time.Since(start))
+	engine := time.Since(start)
+	h.lat.record(engine)
+	r.passLat.Observe(engine.Seconds())
+	r.foldSize.Observe(float64(batches))
 	var seq uint64
 	if err == nil {
 		seq = h.seq.Add(1)
 		r.passes.Add(1)
 		r.tuples.Add(uint64(len(res.Inserted)))
 	}
-	if j.reply != nil {
-		j.reply <- jobReply{res: res, deleted: deleted, seq: seq, snap: snap, err: err}
+	item := commitItem{
+		j: j, batches: batches, version: snap.Version, passDone: time.Now(),
+		rep: jobReply{res: res, deleted: deleted, seq: seq, snap: snap, err: err, wait: wait, engine: engine},
 	}
-	if err != nil {
-		return
+	// Rotation and resync snapshots must capture THIS batch boundary; by
+	// the time the committer handles the item the worker may be passes
+	// ahead, so the capture cannot be deferred downstream.
+	if h.pers != nil && !h.purge.Load() {
+		if err != nil {
+			// The failed pass may have mutated state no WAL record
+			// describes; re-anchor the on-disk image on a fresh snapshot.
+			if rs, serr := h.sess.PersistSnapshot(h.name); serr != nil {
+				h.pers.markBroken(serr)
+			} else {
+				item.resync = rs
+				h.sinceSnap = 0
+			}
+		} else {
+			h.sinceSnap++
+			if h.sinceSnap >= h.pers.cfg.snapEvery {
+				if rs, serr := h.sess.PersistSnapshot(h.name); serr != nil {
+					h.pers.markBroken(serr)
+				} else {
+					item.rotate = rs
+					h.sinceSnap = 0
+				}
+			}
+		}
 	}
-	h.subs.broadcast(Event{
-		Session:   h.name,
-		Seq:       seq,
-		Coalesced: batches,
-		Inserted:  len(res.Inserted),
-		Deleted:   deleted,
-		Dirty:     changedCells(res, h.attrs),
-		Snapshot:  encodeSnapshot(snap),
+	h.commits <- item
+}
+
+// committer is the pipeline stage downstream of the session worker: it
+// receives finished passes in pass order and, for each, appends the WAL
+// record, waits out the fsync (grouped across sessions under the
+// per-batch policy), sends the client reply, and publishes the pass
+// event. The reply still happens strictly after the record is durable —
+// fsync-before-ack is preserved per batch — but the fsync of pass N now
+// overlaps the worker's pass N+1 instead of blocking it.
+//
+// A purged session (Remove in progress) stops persisting immediately:
+// its directory is doomed — and may already belong to a re-created
+// session of the same name — so drained batches apply in memory only
+// and their waiting clients are still answered.
+func (h *hosted) committer(r *Registry) {
+	defer close(h.committerDone)
+	for item := range h.commits {
+		if h.pers != nil && !h.purge.Load() {
+			if item.resync != nil {
+				h.pers.rotateTo(item.resync)
+			} else if item.rep.err == nil {
+				ops := increpair.OpsToDeltas(item.j.deletes, item.j.sets, item.j.inserts)
+				if aerr := h.pers.appendBatch(ops, item.version); aerr == nil {
+					if h.pers.cfg.policy == FsyncBatch {
+						appended := time.Now()
+						if r.groupSync(h.pers) == nil {
+							r.walLag.Observe(time.Since(appended).Seconds())
+						}
+					}
+					if item.rotate != nil {
+						h.pers.rotateTo(item.rotate)
+					}
+				}
+			}
+		}
+		item.rep.persist = time.Since(item.passDone)
+		if item.j.reply != nil {
+			item.j.reply <- item.rep
+		}
+		if item.rep.err != nil {
+			continue
+		}
+		rep := item.rep
+		h.subs.publish(Event{
+			Session:   h.name,
+			Seq:       rep.seq,
+			Coalesced: item.batches,
+			Inserted:  len(rep.res.Inserted),
+			Deleted:   rep.deleted,
+			Dirty:     changedCells(rep.res, h.attrs),
+			Snapshot:  encodeSnapshot(rep.snap),
+		})
+	}
+}
+
+// syncReq asks the group-fsync goroutine to make one persister's log
+// durable; done receives the sync result.
+type syncReq struct {
+	p    *persister
+	done chan error
+}
+
+// groupSync makes p's appended records durable, batching with whatever
+// other sessions are syncing in the same window: while one fsync is in
+// flight, later requests pile up in syncCh, and the loop then satisfies
+// the whole window with a single Fsync per distinct WAL. Under N
+// concurrent durable sessions this amortizes the dominant per-batch
+// cost N ways without weakening fsync-before-ack — every caller blocks
+// until a sync that covers its append has completed.
+func (r *Registry) groupSync(p *persister) error {
+	r.syncOnce.Do(func() {
+		r.syncCh = make(chan syncReq, 4*registryShards)
+		go r.syncLoop()
 	})
+	req := syncReq{p: p, done: make(chan error, 1)}
+	r.syncCh <- req
+	return <-req.done
+}
+
+func (r *Registry) syncLoop() {
+	for req := range r.syncCh {
+		window := []syncReq{req}
+	drain:
+		for {
+			select {
+			case more := <-r.syncCh:
+				window = append(window, more)
+			default:
+				break drain
+			}
+		}
+		// One Fsync per distinct persister covers every append that
+		// happened before its request entered the window.
+		results := make(map[*persister]error, 1)
+		for _, q := range window {
+			if _, done := results[q.p]; !done {
+				results[q.p] = q.p.syncNow()
+			}
+		}
+		for _, q := range window {
+			q.done <- results[q.p]
+		}
+	}
 }
 
 // finishPersist ends the session's durability on worker exit: purge

@@ -9,21 +9,35 @@
 //
 // Sessions live in a sharded registry (name-hash → shard, one RWMutex
 // per shard), so tenants contend only on registry metadata, never on
-// each other's data. Every session owns a bounded work queue drained by
-// a dedicated worker goroutine — the session's single writer by
-// construction, which is what keeps service results byte-identical to
-// driving the in-process API: the worker issues the same ApplyOps calls
-// a single-threaded caller would.
+// each other's data. Every session is a pipeline in which the engine
+// pass is the only per-session serialization point:
+//
+//	handler: decode + validate            (per-request goroutine)
+//	worker:  fold coalescable batches,    (the session's single writer)
+//	         run the engine pass
+//	committer: delta-encode, WAL append,  (overlaps the next pass)
+//	         group fsync, reply, event
+//
+// The worker is the session's single writer by construction, which is
+// what keeps service results byte-identical to driving the in-process
+// API: it issues the same ApplyOps calls a single-threaded caller
+// would, and the reply content is fixed at the pass boundary before the
+// committer ships it. Everything downstream of the pass — WAL encoding,
+// fsync (amortized across sessions by a registry-wide group-commit
+// goroutine), response encoding, SSE fan-out — runs concurrently with
+// the worker's next pass.
 //
 // Two write paths feed the queue. POST .../apply is synchronous: the
 // handler enqueues and waits for the pass's reply (a full queue makes it
 // wait — natural backpressure bounded by the client's context). POST
 // .../ingest is asynchronous: it enqueues and returns 202 immediately,
 // or 429 when the queue is full; the worker coalesces runs of adjacent
-// ingested batches into one engine pass to amortize per-pass overhead
-// under burst load. Reads are lock-free (session snapshots are published
-// atomically after every pass) except violation listings and CSV dumps,
-// which briefly serialize with the worker.
+// ingested batches into one engine pass — optionally up to a tuple cap
+// and a linger window (Options.CoalesceMaxTuples, CoalesceDelay) — to
+// amortize per-pass overhead under burst load. Reads are lock-free
+// (session snapshots are published atomically after every pass) except
+// violation listings and CSV dumps, which briefly serialize with the
+// worker.
 //
 // Shutdown is graceful: Drain refuses new work, lets every worker finish
 // its queued batches, and closes the sessions — no accepted batch is
@@ -55,6 +69,15 @@ type Options struct {
 	DrainTimeout time.Duration
 	// MaxBodyBytes bounds request bodies. Default 64 MiB.
 	MaxBodyBytes int64
+
+	// CoalesceMaxTuples caps the tuples folded into one ingest pass; 0
+	// (the default) leaves the fold bounded only by queue content.
+	CoalesceMaxTuples int
+	// CoalesceDelay lets a session worker linger this long for more
+	// coalescable work before starting a pass on an otherwise empty
+	// queue — trading a bounded latency for larger folds under steady
+	// ingest. 0 (the default) folds only already-queued batches.
+	CoalesceDelay time.Duration
 
 	// DataDir, when non-empty, makes every session durable: each gets
 	// <DataDir>/<name>/ with WAL + snapshot generations (see persist.go),
@@ -104,6 +127,8 @@ type Server struct {
 func New(opts Options) *Server {
 	s := &Server{opts: opts.withDefaults(), started: time.Now()}
 	s.reg = NewRegistry(s.opts.QueueDepth)
+	s.reg.coalesceMax = s.opts.CoalesceMaxTuples
+	s.reg.coalesceDelay = s.opts.CoalesceDelay
 	if s.opts.DataDir != "" {
 		s.reg.persist = &persistConfig{
 			dir:       s.opts.DataDir,
@@ -338,6 +363,12 @@ func (s *Server) handleApply(w http.ResponseWriter, req *http.Request) {
 		writeStatus(w, http.StatusUnprocessableEntity, rep.err.Error())
 		return
 	}
+	// Per-stage timings ride as headers, never in the body: the body must
+	// stay byte-identical to the equivalent in-process call.
+	hdr := w.Header()
+	hdr.Set("X-Stage-Queue-Us", strconv.FormatInt(rep.wait.Microseconds(), 10))
+	hdr.Set("X-Stage-Engine-Us", strconv.FormatInt(rep.engine.Microseconds(), 10))
+	hdr.Set("X-Stage-Persist-Us", strconv.FormatInt(rep.persist.Microseconds(), 10))
 	resp := ApplyResponse{
 		Session:  name,
 		Seq:      rep.seq,
@@ -425,8 +456,15 @@ func (s *Server) handleDump(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	hs := s.reg.List()
 	var all []time.Duration
+	ops := &OpsMetrics{
+		PassSeconds: s.reg.passLat.Snapshot(),
+		FsyncLag:    s.reg.walLag.Snapshot(),
+		FoldBatches: s.reg.foldSize.Snapshot(),
+		SSEDropped:  s.reg.sseDrops.Load(),
+	}
 	for _, h := range hs {
 		all = append(all, h.lat.window()...)
+		ops.Queues = append(ops.Queues, QueueGauge{Session: h.name, Depth: len(h.queue), Cap: cap(h.queue)})
 	}
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
@@ -437,6 +475,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		Rejected:      s.reg.rejected.Load(),
 		Tuples:        s.reg.tuples.Load(),
 		Latency:       LatencySummary(all),
+		Ops:           ops,
 	})
 }
 

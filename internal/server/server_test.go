@@ -273,7 +273,7 @@ func TestServiceCreateValidation(t *testing.T) {
 // applied, while a synchronous job is never folded.
 func TestCoalescing(t *testing.T) {
 	r := NewRegistry(8)
-	h := newTinyHosted(t, 8)
+	h := newTinyHosted(t, r, 8)
 
 	mk := func(ct string) []*relation.Tuple {
 		return []*relation.Tuple{relation.NewTuple(0, "212", ct)}
@@ -308,8 +308,10 @@ func TestCoalescing(t *testing.T) {
 }
 
 // newTinyHosted builds a hosted session over the AC/CT fixture without
-// starting a worker, so tests can drive dispatch deterministically.
-func newTinyHosted(t *testing.T, queueDepth int) *hosted {
+// starting a worker, so tests can drive dispatch deterministically. The
+// committer stage IS started (dispatch hands every finished pass to it);
+// cleanup drains it before the session closes, mirroring run()'s order.
+func newTinyHosted(t *testing.T, r *Registry, queueDepth int) *hosted {
 	t.Helper()
 	sch := relation.MustSchema("orders", "AC", "CT")
 	rel := relation.New(sch)
@@ -323,22 +325,30 @@ func newTinyHosted(t *testing.T, queueDepth int) *hosted {
 		t.Fatal(err)
 	}
 	t.Cleanup(sess.Close)
-	return &hosted{
-		name:   "tiny",
-		schema: sch,
-		attrs:  sch.Attrs(),
-		sess:   sess,
-		queue:  make(chan job, queueDepth),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
+	h := &hosted{
+		name:          "tiny",
+		schema:        sch,
+		attrs:         sch.Attrs(),
+		sess:          sess,
+		queue:         make(chan job, queueDepth),
+		commits:       make(chan commitItem, queueDepth),
+		committerDone: make(chan struct{}),
+		quit:          make(chan struct{}),
+		done:          make(chan struct{}),
 	}
+	go h.committer(r)
+	t.Cleanup(func() {
+		close(h.commits)
+		<-h.committerDone
+	})
+	return h
 }
 
 // TestBackpressure: with no worker draining a depth-1 queue, the second
 // ingest must be refused with ErrBacklog (the handlers map it to 429).
 func TestBackpressure(t *testing.T) {
 	r := NewRegistry(1)
-	h := newTinyHosted(t, 1)
+	h := newTinyHosted(t, r, 1)
 	sh := r.shard("tiny")
 	sh.m["tiny"] = h
 

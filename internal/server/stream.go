@@ -5,26 +5,49 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 )
 
-// The notification stream: every engine pass broadcasts one Event to the
+// The notification stream: every engine pass publishes one Event to the
 // session's subscribers, and GET /v1/sessions/{name}/events serves them
-// as server-sent events (SSE). Delivery is best-effort by design — a
+// as server-sent events (SSE). The fan-out is fully asynchronous — the
+// committer hands the event to a per-session fanout goroutine and moves
+// on, so neither the engine worker nor the commit path ever waits on
+// marshaling or on a slow reader. Delivery is best-effort by design: a
 // subscriber that cannot keep up has whole events dropped (never torn
-// ones), because the worker must not block on a slow reader; the
-// authoritative state is always the session snapshot, which every event
-// carries.
+// ones), and the next event it does receive carries "resync": true to
+// say the sequence has a gap — the authoritative state is always the
+// session snapshot, which every event carries.
 
-// subscribers is a session's event fan-out. Events are marshaled once
-// and the bytes shared across subscriber channels.
-type subscribers struct {
-	mu     sync.Mutex
-	m      map[int]chan []byte
-	next   int
-	closed bool
+// subscriber is one SSE consumer: a bounded event buffer plus the
+// gap flag that turns its next delivered event into a resync marker.
+type subscriber struct {
+	ch      chan []byte
+	dropped bool
 }
 
-const subscriberBuffer = 16
+// subscribers is a session's event fan-out: subscriptions guarded by mu,
+// and a lazily started fanout goroutine fed through queue. Lifecycle
+// rule: publish is only called by the session's committer, and closeAll
+// only after the committer has exited (see hosted.run's defer order), so
+// publish never races the queue being closed.
+type subscribers struct {
+	mu     sync.Mutex
+	m      map[int]*subscriber
+	next   int
+	closed bool
+
+	queue   chan Event
+	fanDone chan struct{}
+	// drops counts events dropped at slow consumers, registry-wide
+	// (nil on bare test fixtures).
+	drops *atomic.Uint64
+}
+
+const (
+	subscriberBuffer = 16
+	fanoutBuffer     = 64
+)
 
 // subscribe registers a new event consumer; the returned cancel is
 // idempotent and must be called when the consumer goes away. A nil
@@ -36,57 +59,125 @@ func (s *subscribers) subscribe() (ch chan []byte, cancel func()) {
 		return nil, func() {}
 	}
 	if s.m == nil {
-		s.m = make(map[int]chan []byte)
+		s.m = make(map[int]*subscriber)
 	}
 	id := s.next
 	s.next++
-	ch = make(chan []byte, subscriberBuffer)
-	s.m[id] = ch
-	return ch, func() {
+	sub := &subscriber{ch: make(chan []byte, subscriberBuffer)}
+	s.m[id] = sub
+	return sub.ch, func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if c, ok := s.m[id]; ok {
 			delete(s.m, id)
-			close(c)
+			close(c.ch)
 		}
 	}
 }
 
-// broadcast fans ev out to every subscriber, dropping it for any whose
-// buffer is full.
-func (s *subscribers) broadcast(ev Event) {
+// publish hands ev to the fanout goroutine without blocking. If even
+// the fanout queue is saturated the event is dropped for every current
+// subscriber — they all get resync-flagged — because the committer must
+// keep acknowledging batches no matter how slow the stream side is.
+func (s *subscribers) publish(ev Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.queue == nil {
+		s.queue = make(chan Event, fanoutBuffer)
+		s.fanDone = make(chan struct{})
+		go s.fanout(s.queue)
+	}
+	q := s.queue
+	s.mu.Unlock()
+	select {
+	case q <- ev:
+	default:
+		s.mu.Lock()
+		n := len(s.m)
+		for _, sub := range s.m {
+			sub.dropped = true
+		}
+		s.mu.Unlock()
+		if s.drops != nil && n > 0 {
+			s.drops.Add(uint64(n))
+		}
+	}
+}
+
+func (s *subscribers) fanout(queue chan Event) {
+	defer close(s.fanDone)
+	for ev := range queue {
+		s.deliver(ev)
+	}
+}
+
+// deliver marshals ev (lazily: plain and resync variants only when a
+// subscriber of that kind exists) and offers the bytes to every
+// subscriber buffer. Running under mu makes delivery safe against
+// concurrent cancel/closeAll closing a subscriber channel — the close
+// happens under the same lock.
+func (s *subscribers) deliver(ev Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || len(s.m) == 0 {
 		return
 	}
-	b, err := json.Marshal(ev)
-	if err != nil {
-		return
-	}
-	for _, ch := range s.m {
+	var plain, resync []byte
+	for _, sub := range s.m {
+		var b []byte
+		if sub.dropped {
+			if resync == nil {
+				rev := ev
+				rev.Resync = true
+				resync, _ = json.Marshal(rev)
+			}
+			b = resync
+		} else {
+			if plain == nil {
+				plain, _ = json.Marshal(ev)
+			}
+			b = plain
+		}
+		if b == nil {
+			continue
+		}
 		select {
-		case ch <- b:
+		case sub.ch <- b:
+			sub.dropped = false
 		default:
+			sub.dropped = true
+			if s.drops != nil {
+				s.drops.Add(1)
+			}
 		}
 	}
 }
 
-// closeAll terminates every subscription; streams end cleanly when the
-// session's worker exits.
+// closeAll terminates every subscription and stops the fanout
+// goroutine; streams end cleanly when the session's worker exits.
 func (s *subscribers) closeAll() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
-	for id, ch := range s.m {
+	for id, sub := range s.m {
 		delete(s.m, id)
-		close(ch)
+		close(sub.ch)
+	}
+	q := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+	if q != nil {
+		close(q)
+		<-s.fanDone
 	}
 }
 
 // handleEvents serves the SSE stream for one session: one "batch" event
 // per engine pass, ending when the client disconnects or the session
-// shuts down.
+// shuts down. An event with "resync": true means earlier events were
+// dropped for this subscriber; its embedded snapshot is still current.
 func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	h, err := s.reg.Get(req.PathValue("name"))
 	if err != nil {

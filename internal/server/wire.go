@@ -5,6 +5,7 @@ import (
 
 	"cfdclean/internal/cfd"
 	"cfdclean/internal/increpair"
+	"cfdclean/internal/metrics"
 	"cfdclean/internal/relation"
 )
 
@@ -187,6 +188,25 @@ type MetricsResponse struct {
 	Rejected      uint64       `json:"rejected"`
 	Tuples        uint64       `json:"tuples"`
 	Latency       *WireLatency `json:"latency,omitempty"`
+	Ops           *OpsMetrics  `json:"ops,omitempty"`
+}
+
+// OpsMetrics is the pipeline's operational instrumentation: per-session
+// queue depths plus histograms over the hot-path stages (engine pass,
+// WAL append→fsync lag, ingest fold size) and the slow-SSE drop count.
+type OpsMetrics struct {
+	Queues      []QueueGauge       `json:"queues,omitempty"`
+	PassSeconds *metrics.Snapshot  `json:"pass_seconds,omitempty"`
+	FsyncLag    *metrics.Snapshot  `json:"fsync_lag_seconds,omitempty"`
+	FoldBatches *metrics.Snapshot  `json:"fold_batches,omitempty"`
+	SSEDropped  uint64             `json:"sse_dropped,omitempty"`
+}
+
+// QueueGauge is one session's work-queue occupancy at scrape time.
+type QueueGauge struct {
+	Session string `json:"session"`
+	Depth   int    `json:"depth"`
+	Cap     int    `json:"cap"`
 }
 
 // WireLatency summarizes engine-pass latencies over a bounded window of
@@ -202,9 +222,13 @@ type WireLatency struct {
 // pass: which session advanced, how many client batches the pass
 // coalesced, the dirty tuples the repair had to touch, and the resulting
 // snapshot. Clients stream these from GET /v1/sessions/{name}/events.
+// Resync is set on the first event a slow subscriber receives after
+// events were dropped for it: the sequence has a gap, but the embedded
+// snapshot is still the session's current authoritative state.
 type Event struct {
 	Session   string       `json:"session"`
 	Seq       uint64       `json:"seq"`
+	Resync    bool         `json:"resync,omitempty"`
 	Coalesced int          `json:"coalesced"`
 	Inserted  int          `json:"inserted"`
 	Deleted   int          `json:"deleted"`

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -100,6 +102,7 @@ type LoadResult struct {
 	Batches       int     `json:"batches_per_session"`
 	MeanBatch     float64 `json:"mean_batch_tuples"`
 	BaseSize      int     `json:"base_size"`
+	Gomaxprocs    int     `json:"gomaxprocs"`
 	Durable       bool    `json:"durable"`
 	Fsync         string  `json:"fsync,omitempty"`
 	TotalBatches  int     `json:"total_batches"`
@@ -111,6 +114,20 @@ type LoadResult struct {
 	P50ms         float64 `json:"p50_ms"`
 	P99ms         float64 `json:"p99_ms"`
 	MaxMs         float64 `json:"max_ms"`
+	// Stages breaks the server-side life of a batch into pipeline stages
+	// (from the X-Stage-* response headers): queue wait, engine pass, and
+	// persist (WAL append + fsync + ack). Client round-trip minus the
+	// stage sum is HTTP/codec overhead.
+	Stages *StageLatencies `json:"stages,omitempty"`
+}
+
+// StageLatencies summarizes per-stage server-side timings across every
+// successful batch of a run (same nearest-rank definition as the
+// overall latency numbers).
+type StageLatencies struct {
+	Queue   *server.WireLatency `json:"queue,omitempty"`
+	Engine  *server.WireLatency `json:"engine,omitempty"`
+	Persist *server.WireLatency `json:"persist,omitempty"`
 }
 
 // RunLoad performs one measurement: create cfg.Sessions sessions, stream
@@ -196,7 +213,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			BaseCSV: csvBuf.String(),
 			Options: &server.WireOptions{Ordering: "linear", Workers: cfg.Workers},
 		}
-		if err := postJSON(client, base+"/v1/sessions", cr, http.StatusCreated, nil); err != nil {
+		if _, err := postJSON(client, base+"/v1/sessions", cr, http.StatusCreated, nil); err != nil {
 			return nil, fmt.Errorf("creating %s: %w", name, err)
 		}
 	}
@@ -210,22 +227,25 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		wg        sync.WaitGroup
 		mu        sync.Mutex
 		lats      []time.Duration
+		stageLats [3][]time.Duration // queue, engine, persist
 		okTuples  int
 		errCount  int
 		firstErr  error
 		okBatches int
 	)
+	stageHeaders := [3]string{"X-Stage-Queue-Us", "X-Stage-Engine-Us", "X-Stage-Persist-Us"}
 	start := time.Now()
 	for i := range loads {
 		wg.Add(1)
 		go func(sl sessionLoad) {
 			defer wg.Done()
 			var local []time.Duration
+			var localStages [3][]time.Duration
 			localTuples, localErrs := 0, 0
 			for _, wb := range sl.batches {
 				var resp server.ApplyResponse
 				t0 := time.Now()
-				err := postJSON(client, base+"/v1/sessions/"+sl.name+"/apply",
+				hdr, err := postJSON(client, base+"/v1/sessions/"+sl.name+"/apply",
 					server.ApplyRequest{Inserts: wb}, http.StatusOK, &resp)
 				d := time.Since(t0)
 				if err == nil && !resp.Snapshot.Satisfied {
@@ -242,9 +262,17 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				}
 				local = append(local, d)
 				localTuples += len(wb)
+				for si, name := range stageHeaders {
+					if us, perr := strconv.ParseInt(hdr.Get(name), 10, 64); perr == nil {
+						localStages[si] = append(localStages[si], time.Duration(us)*time.Microsecond)
+					}
+				}
 			}
 			mu.Lock()
 			lats = append(lats, local...)
+			for si := range localStages {
+				stageLats[si] = append(stageLats[si], localStages[si]...)
+			}
 			okTuples += localTuples
 			okBatches += len(local)
 			errCount += localErrs
@@ -277,6 +305,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		Sessions:      cfg.Sessions,
 		Batches:       cfg.Batches,
 		BaseSize:      cfg.BaseSize,
+		Gomaxprocs:    runtime.GOMAXPROCS(0),
 		Durable:       cfg.BaseURL == "" && cfg.DataDir != "",
 		TotalBatches:  total,
 		TotalTuples:   okTuples,
@@ -295,30 +324,34 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		res.P99ms = sum.P99ms
 		res.MaxMs = sum.Maxms
 	}
+	if q, e, p := server.LatencySummary(stageLats[0]), server.LatencySummary(stageLats[1]), server.LatencySummary(stageLats[2]); q != nil || e != nil || p != nil {
+		res.Stages = &StageLatencies{Queue: q, Engine: e, Persist: p}
+	}
 	return res, nil
 }
 
 // postJSON posts v, requires wantStatus, and decodes the body into out
-// when non-nil.
-func postJSON(client *http.Client, url string, v any, wantStatus int, out any) error {
+// when non-nil; the response headers come back for callers that read
+// the per-stage timing headers.
+func postJSON(client *http.Client, url string, v any, wantStatus int, out any) (http.Header, error) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return resp.Header, err
 	}
 	if resp.StatusCode != wantStatus {
-		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+		return resp.Header, fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
 	}
 	if out != nil {
-		return json.Unmarshal(body, out)
+		return resp.Header, json.Unmarshal(body, out)
 	}
-	return nil
+	return resp.Header, nil
 }
