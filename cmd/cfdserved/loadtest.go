@@ -13,12 +13,15 @@ import (
 	"cfdclean/workload"
 )
 
-// loadReport is the BENCH_PR6.json shape: environment header plus
+// loadReport is the BENCH_PR7.json shape: environment header plus
 // workload.LoadResult rows per (GOMAXPROCS, concurrent-session) pair —
 // one row for the in-memory server and, when -data-dir is given, a
 // second row with per-batch WAL persistence on, so the durability
 // overhead reads directly off adjacent rows and the parallelism scaling
-// off adjacent GOMAXPROCS groups.
+// off adjacent GOMAXPROCS groups. With -read-frac > 0 each row also
+// carries a read-side summary (rows streamed per second, pages
+// fetched, pinned-view lifetime) alongside the writer percentiles it
+// was measured against.
 type loadReport struct {
 	PR          int                    `json:"pr"`
 	Title       string                 `json:"title"`
@@ -43,10 +46,11 @@ type loadCfg struct {
 	Seed              int64   `json:"seed"`
 	Workers           int     `json:"workers"`
 	QueueDepth        int     `json:"queue_depth"`
+	ReadFrac          float64 `json:"read_frac,omitempty"`
 	DataDir           string  `json:"data_dir,omitempty"`
 }
 
-func runLoadtest(sessionsCSV, gomaxprocsCSV string, batches, baseSize int, noise float64, seed int64, workers, queue int, dataDir, outPath string) error {
+func runLoadtest(sessionsCSV, gomaxprocsCSV string, batches, baseSize int, noise float64, seed int64, workers, queue int, readFrac float64, dataDir, outPath string) error {
 	var counts []int
 	for _, f := range strings.Split(sessionsCSV, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -73,19 +77,22 @@ func runLoadtest(sessionsCSV, gomaxprocsCSV string, batches, baseSize int, noise
 	if gomaxprocsCSV != "" {
 		cmd += " -gomaxprocs " + gomaxprocsCSV
 	}
+	if readFrac > 0 {
+		cmd += fmt.Sprintf(" -read-frac %g", readFrac)
+	}
 	if dataDir != "" {
 		cmd += " -data-dir " + dataDir
 	}
 	rep := &loadReport{
-		PR:    6,
-		Title: "cfdserved: pipelined pass execution — codec, WAL and fan-out off the single-writer hot path",
+		PR:    7,
+		Title: "cfdserved: lazy streaming reads — snapshot-isolated cursors take dumps and violation listings off the writer's lock",
 		Environment: loadEnv{
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Go:         runtime.Version(),
 			Command:    cmd,
-			Note:       "In-process server on a loopback listener: latencies include the full HTTP round trip (JSON codec, registry, queue hand-off, engine pass) but no network. Durable rows add the per-batch WAL path — delta encode, CRC, append, fsync before the ack, now run on a per-session committer stage that overlaps the next engine pass, with one group fsync amortized across sessions per sync window — under -fsync batch, the worst-case policy; each durable run writes to a fresh directory that is deleted afterwards. Apply calls are synchronous, so per-session traffic is closed-loop and total offered load scales with the session count. The -gomaxprocs sweep re-runs each session count under runtime.GOMAXPROCS(n); on hosts with fewer physical cores than n the higher rows are structural (they exercise scheduling, not added parallelism). Per-row stages report server-side queue/engine/persist time from the X-Stage-* headers.",
+			Note:       "In-process server on a loopback listener: latencies include the full HTTP round trip (JSON codec, registry, queue hand-off, engine pass) but no network. Durable rows add the per-batch WAL path — delta encode, CRC, append, fsync before the ack, now run on a per-session committer stage that overlaps the next engine pass, with one group fsync amortized across sessions per sync window — under -fsync batch, the worst-case policy; each durable run writes to a fresh directory that is deleted afterwards. Apply calls are synchronous, so per-session traffic is closed-loop and total offered load scales with the session count. The -gomaxprocs sweep re-runs each session count under runtime.GOMAXPROCS(n); on hosts with fewer physical cores than n the higher rows are structural (they exercise scheduling, not added parallelism). Per-row stages report server-side queue/engine/persist time from the X-Stage-* headers. With -read-frac f each session interleaves snapshot-isolated reads between its writes at f of total operations, alternating full streamed CSV dumps with cursor-paginated violation walks; reads pin copy-on-write views and never take the writer's lock, so comparing writer percentiles between a read-frac 0 row and a read-frac > 0 row at the same session count measures read/write isolation directly. Dump latency in the read summary is the client-observed pinned-view lifetime (first byte to trailer).",
 		},
 		Config: loadCfg{
 			BatchesPerSession: batches,
@@ -94,6 +101,7 @@ func runLoadtest(sessionsCSV, gomaxprocsCSV string, batches, baseSize int, noise
 			Seed:              seed,
 			Workers:           workers,
 			QueueDepth:        queue,
+			ReadFrac:          readFrac,
 			DataDir:           dataDir,
 		},
 	}
@@ -113,6 +121,7 @@ func runLoadtest(sessionsCSV, gomaxprocsCSV string, batches, baseSize int, noise
 			Seed:       seed,
 			Workers:    workers,
 			QueueDepth: queue,
+			ReadFrac:   readFrac,
 			DataDir:    dir,
 		})
 		if err != nil {
@@ -120,6 +129,10 @@ func runLoadtest(sessionsCSV, gomaxprocsCSV string, batches, baseSize int, noise
 		}
 		fmt.Fprintf(os.Stderr, "%.1f batches/s, p50 %.0fms, p99 %.0fms, %d error(s) (%v)\n",
 			res.BatchesPerSec, res.P50ms, res.P99ms, res.ErrorBatches, time.Since(t0).Round(time.Millisecond))
+		if res.Reads != nil {
+			fmt.Fprintf(os.Stderr, "loadtest:   reads: %d dump(s), %d page(s), %.0f rows/s streamed, %d read error(s)\n",
+				res.Reads.Dumps, res.Reads.Pages, res.Reads.RowsPerSec, res.Reads.ErrorReads)
+		}
 		rep.Results = append(rep.Results, res)
 		return nil
 	}

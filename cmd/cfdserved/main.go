@@ -10,9 +10,11 @@
 //	          [-data-dir DIR] [-fsync batch|interval|off]
 //	          [-fsync-interval 100ms] [-snap-every 64]
 //	          [-coalesce-tuples 0] [-coalesce-delay 0]
+//	          [-max-read-limit 1000]
 //	cfdserved -loadtest [-sessions 1,4,16] [-gomaxprocs 1,2,4]
 //	          [-batches 8] [-base 800] [-noise 0.08] [-seed 1]
-//	          [-workers 1] [-data-dir DIR] [-out BENCH_PR6.json]
+//	          [-workers 1] [-read-frac 0] [-data-dir DIR]
+//	          [-out BENCH_PR7.json]
 //
 // With -data-dir the service is durable: every session writes a
 // CRC-checked write-ahead log plus periodic full-state snapshots under
@@ -34,16 +36,31 @@
 //	DELETE /v1/sessions/{name}             drain and close one session
 //	POST   /v1/sessions/{name}/apply       synchronous mutation batch
 //	POST   /v1/sessions/{name}/ingest      async insert batch (202/429)
-//	GET    /v1/sessions/{name}/violations  current violations (?limit=N)
-//	GET    /v1/sessions/{name}/dump        current relation as CSV
+//	GET    /v1/sessions/{name}/violations  paginated violations
+//	GET    /v1/sessions/{name}/dump        relation as streamed CSV
 //	GET    /v1/sessions/{name}/events      SSE stream of applied batches
+//
+// Reads are snapshot-isolated: each request pins a consistent view of
+// the session and never blocks (or is blocked by) the writer. Every
+// read response carries the pinned journal version in
+// X-Session-Version. /violations pages with ?limit=N (positive,
+// capped by -max-read-limit) plus optional ?rule=, ?attr=, ?min_id=,
+// ?max_id= pushdown filters; follow next_cursor via ?cursor= to walk
+// the rest of the listing at the same pinned version, and restart from
+// scratch on 410 Gone once that version ages out. /dump streams CSV in
+// chunks — a successful response ends with an X-Dump-Complete: true
+// trailer, a mid-stream failure aborts the connection so truncation is
+// detectable. /events resumes: reconnect with Last-Event-ID set to the
+// last seen version and the missed journal tail is replayed (a resync
+// marker flags replays that outran the retained tail).
 //
 // On SIGINT/SIGTERM the service drains gracefully: in-flight and queued
 // batches finish, sessions close, then the listener stops. With
 // -loadtest the binary instead measures its own sustained throughput
 // (see workload.RunLoad) and writes a JSON report; -gomaxprocs sweeps
 // the runtime's parallelism across the given values, one result group
-// per value.
+// per value, and -read-frac mixes streaming reads (dumps and cursor
+// walks) into the write workload at the given operation fraction.
 //
 // -pprof ADDR opens a second listener serving net/http/pprof on its
 // default mux (/debug/pprof/...), kept off the service mux so profiling
@@ -78,6 +95,7 @@ func main() {
 	snapEvery := flag.Int("snap-every", 64, "rotate to a fresh snapshot after this many logged batches")
 	coalesceTuples := flag.Int("coalesce-tuples", 0, "cap on tuples folded into one ingest pass (0: unbounded)")
 	coalesceDelay := flag.Duration("coalesce-delay", 0, "linger window for folding more ingest batches into a pass (0: fold queued work only)")
+	maxReadLimit := flag.Int("max-read-limit", 1000, "cap on ?limit= for paginated violation reads")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra address (empty: off)")
 
 	loadtest := flag.Bool("loadtest", false, "run the service load driver instead of serving")
@@ -88,6 +106,7 @@ func main() {
 	noise := flag.Float64("noise", 0.08, "loadtest: generator noise rate")
 	seed := flag.Int64("seed", 1, "loadtest: generator seed (session i uses seed+i)")
 	workers := flag.Int("workers", 1, "loadtest: per-session engine workers")
+	readFrac := flag.Float64("read-frac", 0, "loadtest: fraction of operations that are streaming reads (0 <= f < 1)")
 	out := flag.String("out", "", "loadtest: JSON report path (default stdout)")
 	flag.Parse()
 
@@ -105,10 +124,11 @@ func main() {
 		SnapshotEvery:     *snapEvery,
 		CoalesceMaxTuples: *coalesceTuples,
 		CoalesceDelay:     *coalesceDelay,
+		MaxReadLimit:      *maxReadLimit,
 	}
 
 	if *loadtest {
-		if err := runLoadtest(*sessions, *gomaxprocs, *batches, *baseSize, *noise, *seed, *workers, *queue, *dataDir, *out); err != nil {
+		if err := runLoadtest(*sessions, *gomaxprocs, *batches, *baseSize, *noise, *seed, *workers, *queue, *readFrac, *dataDir, *out); err != nil {
 			fmt.Fprintf(os.Stderr, "cfdserved: %v\n", err)
 			os.Exit(1)
 		}

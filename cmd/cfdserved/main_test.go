@@ -87,13 +87,14 @@ func TestServeBadAddr(t *testing.T) {
 }
 
 // TestLoadtestWritesReport runs the self-loadtest at a tiny scale and
-// checks the BENCH_PR6.json shape it writes, including the durable rows
-// the -data-dir mode adds next to each in-memory row and the per-stage
-// server-side timings each row carries.
+// checks the BENCH_PR7.json shape it writes, including the durable rows
+// the -data-dir mode adds next to each in-memory row, the per-stage
+// server-side timings each row carries, and the read-side summary a
+// non-zero -read-frac attaches.
 func TestLoadtestWritesReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	dataDir := t.TempDir()
-	if err := runLoadtest("1,2", "", 2, 120, 0.08, 3, 1, 8, dataDir, out); err != nil {
+	if err := runLoadtest("1,2", "", 2, 120, 0.08, 3, 1, 8, 0.5, dataDir, out); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -104,8 +105,11 @@ func TestLoadtestWritesReport(t *testing.T) {
 	if err := json.Unmarshal(b, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.PR != 6 || len(rep.Results) != 4 {
+	if rep.PR != 7 || len(rep.Results) != 4 {
 		t.Fatalf("report shape: %s", b)
+	}
+	if rep.Config.ReadFrac != 0.5 {
+		t.Fatalf("read_frac not recorded: %s", b)
 	}
 	if rep.Results[0].Sessions != 1 || rep.Results[2].Sessions != 2 {
 		t.Fatalf("session counts: %s", b)
@@ -127,6 +131,9 @@ func TestLoadtestWritesReport(t *testing.T) {
 		if r.Stages == nil || r.Stages.Engine == nil || r.Stages.Persist == nil {
 			t.Fatalf("row %d missing stage timings: %s", i, b)
 		}
+		if r.Reads == nil || r.Reads.ErrorReads != 0 || r.Reads.RowsStreamed <= 0 {
+			t.Fatalf("row %d missing or failed read summary: %s", i, b)
+		}
 	}
 	// Durable runs clean their scratch directories up after themselves.
 	ents, err := os.ReadDir(dataDir)
@@ -139,13 +146,16 @@ func TestLoadtestWritesReport(t *testing.T) {
 }
 
 func TestLoadtestRejectsBadSessions(t *testing.T) {
-	if err := runLoadtest("1,zero", "", 1, 50, 0.05, 1, 1, 8, "", ""); err == nil {
+	if err := runLoadtest("1,zero", "", 1, 50, 0.05, 1, 1, 8, 0, "", ""); err == nil {
 		t.Fatal("non-integer session count must fail")
 	}
-	if err := runLoadtest("0", "", 1, 50, 0.05, 1, 1, 8, "", ""); err == nil {
+	if err := runLoadtest("0", "", 1, 50, 0.05, 1, 1, 8, 0, "", ""); err == nil {
 		t.Fatal("zero session count must fail")
 	}
-	if err := runLoadtest("1", "2,x", 1, 50, 0.05, 1, 1, 8, "", ""); err == nil {
+	if err := runLoadtest("1", "2,x", 1, 50, 0.05, 1, 1, 8, 0, "", ""); err == nil {
 		t.Fatal("non-integer gomaxprocs must fail")
+	}
+	if err := runLoadtest("1", "", 1, 50, 0.05, 1, 1, 8, 1.5, "", ""); err == nil {
+		t.Fatal("read fraction >= 1 must fail")
 	}
 }

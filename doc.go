@@ -62,6 +62,16 @@
 //	        │   tuple against maintained state
 //	        └── Session: the same engine kept alive across ΔD batches
 //	                │
+//	                ├── ReadView: epoch-pinned snapshot (page-level
+//	                │   copy-on-write; the writer preserves pre-images
+//	                │   only for pages it dirties while a view is pinned)
+//	                │         │
+//	                │         ▼
+//	                │   RowCursor / VioCursor: lazy iterators in pinned
+//	                │   physical / canonical (tuple, rule, partner) order
+//	                │   with filter pushdown — streamed CSV dumps and
+//	                │   paginated violation listings, O(page) allocation,
+//	                │   no writer lock held during serialization
 //	                ▼
 //	        internal/server: named sessions, each a pipeline whose
 //	        only serialized stage is the engine pass itself
@@ -90,6 +100,14 @@
 //	                ▼
 //	        cmd/cfdserved (HTTP/JSON service, -data-dir durability)
 //
+//	          read plane (off the pipeline entirely): GET /dump and
+//	          GET /violations pin a ReadView from a small per-session
+//	          version-keyed cache and stream from its cursors — chunked
+//	          CSV with a completion trailer, opaque (version, offset)
+//	          pagination cursors (410 Gone once the pinned version ages
+//	          out), X-Session-Version on every response; SSE reconnects
+//	          replay the journal tail from Last-Event-ID
+//
 // Detection state is computed once per engine run and then maintained:
 // every mutation costs O(affected buckets), never O(|D|), which is what
 // makes both the detect→fix→re-detect repair loops and the streaming
@@ -113,7 +131,11 @@
 //   - A Session is single-writer, many-reader: mutations serialize on
 //     an internal lock while snapshot reads are lock-free against
 //     atomically published state stamped with the journal's NextID
-//     watermark and mutation Version. The server builds on this with a
+//     watermark and mutation Version. Bulk reads go further: ReadView
+//     pins a refcounted epoch under a brief lock hand-off, after which
+//     dumps and violation listings iterate copy-on-write pages with no
+//     lock at all — the writer pays one page copy per dirtied page per
+//     pinned epoch, readers pay nothing. The server builds on this with a
 //     per-session pipeline — request decode in the handler goroutine,
 //     one worker goroutine running engine passes (single-writer by
 //     construction), one committer goroutine doing WAL encode/append,

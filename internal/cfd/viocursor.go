@@ -1,0 +1,187 @@
+package cfd
+
+import (
+	"sort"
+
+	"cfdclean/internal/relation"
+)
+
+// VioFilter is the pushdown predicate of a VioCursor. Zero bounds are
+// open; Rule "" matches every rule; Attr < 0 matches every attribute
+// (use AnyVio for the match-everything filter — the zero value pins
+// attribute 0, which is almost never what a caller wants).
+type VioFilter struct {
+	// Rule, when non-empty, keeps only violations of the normal CFD with
+	// this name.
+	Rule string
+	// Attr, when >= 0, keeps only violations of rules whose embedded FD
+	// mentions this attribute position (in X or as the RHS A).
+	Attr int
+	// MinID/MaxID, when non-zero, bound the violating tuple id T.
+	MinID, MaxID relation.TupleID
+}
+
+// AnyVio returns the filter that matches every violation.
+func AnyVio() VioFilter { return VioFilter{Attr: -1} }
+
+// Match reports whether v passes the filter. It agrees exactly with the
+// cursor's group-level pushdown: filtering Detect()'s output through
+// Match yields the same list a filtered cursor streams.
+func (f VioFilter) Match(v Violation) bool {
+	if f.MinID != 0 && v.T < f.MinID {
+		return false
+	}
+	if f.MaxID != 0 && v.T > f.MaxID {
+		return false
+	}
+	if f.Rule != "" && v.N.Name != f.Rule {
+		return false
+	}
+	if f.Attr >= 0 && !containsAttr(v.N.X, f.Attr) && v.N.A != f.Attr {
+		return false
+	}
+	return true
+}
+
+// matchVio is the per-violation residue of the filter once the cursor's
+// group pushdown (attr) and id pushdown (range) have been applied.
+func (f VioFilter) matchVio(v Violation) bool {
+	return f.Rule == "" || v.N.Name == f.Rule
+}
+
+// groupHasRule reports whether any pattern row of group g came from a
+// normal CFD with the given name.
+func groupHasRule(g *fdGroup, rule string) bool {
+	for _, mb := range g.masks {
+		for _, rows := range mb.rows {
+			for _, row := range rows {
+				if row.n.Name == rule {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// VioCursor streams the maintained violations in the canonical (tuple
+// id, rule rank, partner id) order — the exact sequence Detect returns —
+// without materializing the full list. It walks the dirty-tuple set in
+// sorted id order and gathers each tuple's violations from the per-group
+// state on demand, so a limited read costs O(dirty·log dirty + rows
+// consumed), not O(vio(D)).
+//
+// Pushdown: groups whose embedded FD cannot produce a matching violation
+// (attribute filter, rule filter, zero group total) are skipped
+// entirely; the tuple-id range prunes the dirty-id walk before any
+// gather happens.
+//
+// The cursor reads live maintained state: it must run under the same
+// serialization as other VioStore queries (no concurrent mutation).
+// Snapshot consumers (increpair.ReadView) drain it while still holding
+// the writer's lock — cheap because streaming sessions keep vio(D) at
+// zero between batches.
+type VioCursor struct {
+	s      *VioStore
+	f      VioFilter
+	groups []int // relevant group indices after pushdown
+	ids    []relation.TupleID
+	i      int
+	cur    []Violation
+	pos    int
+	buf    []Violation
+}
+
+// Cursor opens a violation cursor with the given pushdown filter. See
+// VioCursor for the iteration contract.
+func (s *VioStore) Cursor(f VioFilter) *VioCursor {
+	c := &VioCursor{s: s, f: f}
+	if s.total == 0 {
+		return c
+	}
+	for gi, g := range s.d.groups {
+		if s.state[gi].total == 0 {
+			continue
+		}
+		if f.Attr >= 0 && !containsAttr(g.x, f.Attr) && g.a != f.Attr {
+			continue
+		}
+		if f.Rule != "" && !groupHasRule(g, f.Rule) {
+			continue
+		}
+		c.groups = append(c.groups, gi)
+	}
+	if len(c.groups) == 0 {
+		return c
+	}
+	c.ids = make([]relation.TupleID, 0, len(s.vio))
+	for id := range s.vio {
+		if f.MinID != 0 && id < f.MinID {
+			continue
+		}
+		if f.MaxID != 0 && id > f.MaxID {
+			continue
+		}
+		c.ids = append(c.ids, id)
+	}
+	sort.Slice(c.ids, func(i, j int) bool { return c.ids[i] < c.ids[j] })
+	return c
+}
+
+// Next returns the next violation in canonical order; ok is false when
+// the cursor is exhausted.
+func (c *VioCursor) Next() (v Violation, ok bool) {
+	for {
+		if c.pos < len(c.cur) {
+			v = c.cur[c.pos]
+			c.pos++
+			return v, true
+		}
+		if c.i >= len(c.ids) {
+			return Violation{}, false
+		}
+		id := c.ids[c.i]
+		c.i++
+		c.cur = c.gather(id)
+		c.pos = 0
+	}
+}
+
+// gather collects tuple id's matching violations across the relevant
+// groups, sorted by (rule rank, partner id) — the within-tuple leg of
+// the canonical order. The backing buffer is reused across tuples.
+func (c *VioCursor) gather(id relation.TupleID) []Violation {
+	buf := c.buf[:0]
+	for _, gi := range c.groups {
+		g := c.s.d.groups[gi]
+		st := &c.s.state[gi]
+		if g.hasVar {
+			// Bucketed state: every violation of t lives in t's own
+			// LHS-key bucket, alongside its bucket-mates' violations.
+			t := c.s.rel.Tuple(id)
+			if t == nil {
+				continue
+			}
+			for _, v := range st.byBucket[t.KeyOnIDs(g.x)] {
+				if v.T == id && c.f.matchVio(v) {
+					buf = append(buf, v)
+				}
+			}
+		} else {
+			for _, v := range st.byTuple[id] {
+				if c.f.matchVio(v) {
+					buf = append(buf, v)
+				}
+			}
+		}
+	}
+	rank := c.s.d.rank
+	sort.Slice(buf, func(i, j int) bool {
+		if ra, rb := rank[buf[i].N], rank[buf[j].N]; ra != rb {
+			return ra < rb
+		}
+		return buf[i].With < buf[j].With
+	})
+	c.buf = buf
+	return buf
+}

@@ -1,0 +1,171 @@
+package cfd
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cfdclean/internal/relation"
+)
+
+// drainCursor collects a cursor into a slice (nil when empty, matching
+// reflect.DeepEqual against a filtered empty list).
+func drainCursor(c *VioCursor) []Violation {
+	var out []Violation
+	for v, ok := c.Next(); ok; v, ok = c.Next() {
+		out = append(out, v)
+	}
+	return out
+}
+
+// filterDetect is the oracle: the canonical Detect list filtered through
+// VioFilter.Match, order preserved.
+func filterDetect(s *VioStore, f VioFilter) []Violation {
+	var out []Violation
+	for _, v := range s.Detect() {
+		if f.Match(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func checkCursor(t *testing.T, tag string, s *VioStore, f VioFilter) {
+	t.Helper()
+	got := drainCursor(s.Cursor(f))
+	want := filterDetect(s, f)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: cursor(%+v) diverged:\ngot:  %v\nwant: %v", tag, f, got, want)
+	}
+}
+
+func TestVioCursorMatchesDetectOnPaperData(t *testing.T) {
+	rel := paperData(t)
+	sigma := paperSigma(rel.Schema())
+	s := NewVioStore(rel, sigma)
+	defer s.Close()
+
+	checkCursor(t, "all", s, AnyVio())
+	// Per-rule pushdown, every rule in sigma.
+	for _, n := range sigma {
+		f := AnyVio()
+		f.Rule = n.Name
+		checkCursor(t, "rule "+n.Name, s, f)
+	}
+	// Per-attribute pushdown, every attribute.
+	for a := 0; a < rel.Schema().Arity(); a++ {
+		checkCursor(t, fmt.Sprintf("attr %d", a), s, VioFilter{Attr: a})
+	}
+	// A range that cuts the dirty set in half.
+	mid := relation.TupleID(rel.Size() / 2)
+	f := AnyVio()
+	f.MaxID = mid
+	checkCursor(t, "min side", s, f)
+	f = AnyVio()
+	f.MinID = mid + 1
+	checkCursor(t, "max side", s, f)
+}
+
+// TestVioCursorFuzzBitIdentity drives random mutation sequences and
+// asserts after each step that the unfiltered cursor streams exactly the
+// canonical Detect list, and that randomly chosen pushdown filters agree
+// with Match-filtering the oracle.
+func TestVioCursorFuzzBitIdentity(t *testing.T) {
+	schema := orderSchema()
+	sigma := paperSigma(schema)
+	pools := [][]string{
+		{"a23", "a12", "a89"},
+		{"H. Porter", "J. Denver", "Snow White"},
+		{"17.99", "7.94", "18.99"},
+		{"212", "215", "610", "415"},
+		{"8983490", "3456789", "3345677", "5674322"},
+		{"Walnut", "Spruce", "Canel", "Broad"},
+		{"PHI", "NYC", "CHI"},
+		{"PA", "NY", "IL"},
+		{"10012", "19014", "60614"},
+	}
+	randVal := func(rng *rand.Rand, a int) relation.Value {
+		if rng.Intn(8) == 0 {
+			return relation.NullValue
+		}
+		p := pools[a]
+		return relation.S(p[rng.Intn(len(p))])
+	}
+	randFilter := func(rng *rand.Rand, rel *relation.Relation) VioFilter {
+		f := AnyVio()
+		if rng.Intn(3) == 0 {
+			f.Rule = sigma[rng.Intn(len(sigma))].Name
+		}
+		if rng.Intn(3) == 0 {
+			f.Attr = rng.Intn(schema.Arity())
+		}
+		if rng.Intn(3) == 0 {
+			n := rel.NextID()
+			f.MinID = relation.TupleID(rng.Int63n(int64(n)))
+			f.MaxID = f.MinID + relation.TupleID(rng.Int63n(int64(n)))
+		}
+		return f
+	}
+
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			rel := relation.New(schema)
+			for i := 0; i < 12; i++ {
+				vals := make([]relation.Value, schema.Arity())
+				for a := range vals {
+					vals[a] = randVal(rng, a)
+				}
+				rel.MustInsert(&relation.Tuple{Vals: vals})
+			}
+			s := NewVioStore(rel, sigma)
+			defer s.Close()
+
+			for step := 0; step < 100; step++ {
+				tag := fmt.Sprintf("step %d", step)
+				switch op := rng.Intn(10); {
+				case op < 3:
+					vals := make([]relation.Value, schema.Arity())
+					for a := range vals {
+						vals[a] = randVal(rng, a)
+					}
+					rel.MustInsert(&relation.Tuple{Vals: vals})
+				case op < 5:
+					ts := rel.Tuples()
+					if len(ts) == 0 {
+						continue
+					}
+					rel.Delete(ts[rng.Intn(len(ts))].ID)
+				default:
+					ts := rel.Tuples()
+					if len(ts) == 0 {
+						continue
+					}
+					tu := ts[rng.Intn(len(ts))]
+					a := rng.Intn(schema.Arity())
+					if _, err := rel.Set(tu.ID, a, randVal(rng, a)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				checkCursor(t, tag, s, AnyVio())
+				checkCursor(t, tag+" filtered", s, randFilter(rng, rel))
+			}
+		})
+	}
+}
+
+// The zero VioFilter pins attribute 0 by construction; AnyVio is the
+// documented way to match everything. Guard the distinction.
+func TestVioFilterZeroValuePinsAttrZero(t *testing.T) {
+	rel := paperData(t)
+	sigma := paperSigma(rel.Schema())
+	s := NewVioStore(rel, sigma)
+	defer s.Close()
+	zero := drainCursor(s.Cursor(VioFilter{}))
+	for _, v := range zero {
+		if !containsAttr(v.N.X, 0) && v.N.A != 0 {
+			t.Fatalf("zero-value filter leaked violation of %s (attrs %v->%d)", v.N.Name, v.N.X, v.N.A)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package increpair
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/relation"
+)
+
+// benchReadSession builds a clean n-tuple session over a 3-attribute
+// schema with one variable-RHS CFD [K] -> [V]. Keys are unique, so the
+// base satisfies sigma and construction does no repair work.
+func benchReadSession(tb testing.TB, n int) *Session {
+	s := relation.MustSchema("bench", "K", "V", "P")
+	phi := cfd.MustNew("phi", s, []string{"K"}, []string{"V"},
+		[]cfd.Cell{cfd.W, cfd.W})
+	d := relation.New(s)
+	for i := 0; i < n; i++ {
+		d.MustInsert(relation.NewTuple(0,
+			fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i%97), "p"))
+	}
+	sess, err := NewSession(d, cfd.NormalizeAll([]*cfd.CFD{phi}), nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sess
+}
+
+var (
+	benchSessMu sync.Mutex
+	benchSess   = map[int]*Session{}
+)
+
+func sharedBenchSession(tb testing.TB, n int) *Session {
+	benchSessMu.Lock()
+	defer benchSessMu.Unlock()
+	if s, ok := benchSess[n]; ok {
+		return s
+	}
+	s := benchReadSession(tb, n)
+	benchSess[n] = s
+	return s
+}
+
+// largeBenchEnabled gates the 1M-tuple rows: they need ~1 GiB and tens
+// of seconds of setup, too heavy for the CI bench-compile smoke. Set
+// CFD_READBENCH_LARGE=1 to run them (BENCH_PR7.json records the output).
+func largeBenchEnabled(tb testing.TB) {
+	if os.Getenv("CFD_READBENCH_LARGE") == "" {
+		tb.Skip("set CFD_READBENCH_LARGE=1 to run the 1M-tuple read benchmarks")
+	}
+}
+
+// benchmarkDumpBuffered is the pre-PR 7 read path: the full CSV
+// materialized in one buffer before a byte is written out (what
+// handleDump did). Allocation grows O(relation).
+func benchmarkDumpBuffered(b *testing.B, n int) {
+	s := sharedBenchSession(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := s.Dump(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+// benchmarkDumpStreamed is the PR 7 read path: a pinned view streamed
+// straight to the sink; peak buffering is one cursor page plus the CSV
+// writer's buffer, independent of n.
+func benchmarkDumpStreamed(b *testing.B, n int) {
+	s := sharedBenchSession(b, n)
+	cw := &countWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw.n = 0
+		if err := s.Dump(cw); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(cw.n)
+	}
+}
+
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) { w.n += int64(len(p)); return len(p), nil }
+
+func BenchmarkDumpBuffered100k(b *testing.B) { benchmarkDumpBuffered(b, 100_000) }
+func BenchmarkDumpStreamed100k(b *testing.B) { benchmarkDumpStreamed(b, 100_000) }
+func BenchmarkDumpBuffered1M(b *testing.B)   { largeBenchEnabled(b); benchmarkDumpBuffered(b, 1_000_000) }
+func BenchmarkDumpStreamed1M(b *testing.B)   { largeBenchEnabled(b); benchmarkDumpStreamed(b, 1_000_000) }
+
+// BenchmarkViolationsLimited measures the cursor-backed Violations read
+// on a clean session: O(1) regardless of relation size, where the old
+// path materialized Detect() under the lock.
+func BenchmarkViolationsLimited(b *testing.B) {
+	s := sharedBenchSession(b, 100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs, total := s.Violations(100); total != 0 || vs != nil {
+			b.Fatal("bench session is dirty")
+		}
+	}
+}
+
+// writerLatency streams batches of fresh inserts through the session
+// while `readers` goroutines dump continuously, and returns the sorted
+// per-batch ApplyOps wall times. This is the harness behind the
+// BENCH_PR7.json "writer p99 under concurrent dumps" rows: before PR 7
+// each dump held the session mutex for the full serialization, so a
+// dump of an n-tuple relation put an O(n) stall in the writer's tail.
+func writerLatency(tb testing.TB, s *Session, batches, perBatch, readers int) []time.Duration {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.Dump(io.Discard); err != nil {
+					tb.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	lats := make([]time.Duration, 0, batches)
+	next := int(s.Snapshot().Watermark)
+	for i := 0; i < batches; i++ {
+		delta := make([]*relation.Tuple, perBatch)
+		for j := range delta {
+			delta[j] = relation.NewTuple(0,
+				fmt.Sprintf("k%d", next), fmt.Sprintf("v%d", next%97), "p")
+			next++
+		}
+		t0 := time.Now()
+		if _, err := s.ApplyDelta(delta); err != nil {
+			tb.Fatal(err)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	close(stop)
+	wg.Wait()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// TestWriterLatencyUnderConcurrentDumps is the BENCH_PR7.json recorder:
+// writer p50/p99 with 0 and 4 concurrent dump streams over a 1M-tuple
+// session. Gated like the 1M benchmarks; run with
+//
+//	CFD_READBENCH_LARGE=1 go test -run WriterLatencyUnderConcurrentDumps \
+//	    -v ./internal/increpair/
+func TestWriterLatencyUnderConcurrentDumps(t *testing.T) {
+	largeBenchEnabled(t)
+	const batches, perBatch = 60, 20
+	for _, readers := range []int{0, 4} {
+		s := benchReadSession(t, 1_000_000)
+		lats := writerLatency(t, s, batches, perBatch, readers)
+		t.Logf("1M tuples, %d concurrent dumps: writer p50 %v p99 %v (n=%d, %d inserts/batch)",
+			readers, quantile(lats, 0.50), quantile(lats, 0.99), batches, perBatch)
+		s.Close()
+	}
+}
+
+// TestWriterLatencyUnderDumpsSmoke is the always-on variant at 20k
+// tuples: it asserts the structural property rather than a ratio — the
+// writer keeps completing batches while 4 dumps stream, and every
+// reader-pinned generation is released by the end.
+func TestWriterLatencyUnderDumpsSmoke(t *testing.T) {
+	s := benchReadSession(t, 20_000)
+	defer s.Close()
+	lats := writerLatency(t, s, 8, 10, 4)
+	if len(lats) != 8 {
+		t.Fatalf("writer completed %d/8 batches", len(lats))
+	}
+	if n := s.Current().ActiveViews(); n != 0 {
+		t.Fatalf("ActiveViews = %d after harness, want 0", n)
+	}
+}

@@ -1,0 +1,224 @@
+package increpair
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/relation"
+)
+
+func TestReadViewPinsStateAcrossApplies(t *testing.T) {
+	d := cleanPaperData(t)
+	sigma := cfd.NormalizeAll(paperCFDs(d.Schema()))
+	s, err := NewSession(d, sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var want bytes.Buffer
+	if err := s.Dump(&want); err != nil {
+		t.Fatal(err)
+	}
+	rv, err := s.ReadView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.Version() != s.Snapshot().Version {
+		t.Fatalf("view version %d != snapshot version %d", rv.Version(), s.Snapshot().Version)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for batch := 0; batch < 5; batch++ {
+		if _, err := s.ApplyDelta(randomDelta(rng, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The pinned view replays the pre-apply serialization bit for bit,
+	// and does so repeatedly (cursors do not consume the view).
+	for rep := 0; rep < 2; rep++ {
+		var got bytes.Buffer
+		if err := rv.WriteCSV(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("rep %d: pinned view drifted from pin-time dump", rep)
+		}
+	}
+	// The live session moved on.
+	var live bytes.Buffer
+	if err := s.Dump(&live); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(live.Bytes(), want.Bytes()) {
+		t.Fatal("live dump unchanged after 5 batches")
+	}
+	if s.Snapshot().Version == rv.Version() {
+		t.Fatal("version did not advance")
+	}
+	rv.Release()
+	rv.Release() // idempotent
+}
+
+func TestReadViewSurvivesClose(t *testing.T) {
+	d := cleanPaperData(t)
+	sigma := cfd.NormalizeAll(paperCFDs(d.Schema()))
+	s, err := NewSession(d, sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := s.Dump(&want); err != nil {
+		t.Fatal(err)
+	}
+	rv, err := s.ReadView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rv.Release()
+	s.Close()
+
+	// A view pinned before Close keeps serving its pinned state...
+	var got bytes.Buffer
+	if err := rv.WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("pinned view lost state across Close")
+	}
+	// ...but new pins are refused.
+	if _, err := s.ReadView(); err == nil {
+		t.Fatal("ReadView after Close succeeded")
+	}
+}
+
+// TestReadViewViolationPaging drives the page iterator against a
+// synthetic captured listing (streaming sessions drain violations to
+// zero between batches, so a non-empty listing only occurs after a
+// failed pass — fabricate one): every (filter, page size) combination
+// must concatenate to exactly the one-shot filtered listing, with the
+// more flag flipping on the last page.
+func TestReadViewViolationPaging(t *testing.T) {
+	d := cleanPaperData(t)
+	sigma := cfd.NormalizeAll(paperCFDs(d.Schema()))
+	s, err := NewSession(d, sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rv, err := s.ReadView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rv.Release()
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 57; i++ {
+		rv.vios = append(rv.vios, cfd.Violation{
+			T:    relation.TupleID(1 + rng.Intn(40)),
+			N:    sigma[rng.Intn(len(sigma))],
+			With: relation.TupleID(rng.Intn(3) * (1 + rng.Intn(40))),
+		})
+	}
+
+	filters := []cfd.VioFilter{
+		cfd.AnyVio(),
+		{Rule: sigma[0].Name, Attr: -1},
+		{Attr: sigma[1].A},
+		{Attr: -1, MinID: 10, MaxID: 30},
+	}
+	for fi, f := range filters {
+		oneShot, more := rv.Violations(f, 0, 0)
+		if more {
+			t.Fatalf("filter %d: unlimited read reports more", fi)
+		}
+		for _, limit := range []int{1, 3, 7, 100} {
+			var paged []cfd.Violation
+			for offset := 0; ; {
+				page, more := rv.Violations(f, offset, limit)
+				paged = append(paged, page...)
+				offset += len(page)
+				if !more {
+					break
+				}
+				if len(page) != limit {
+					t.Fatalf("filter %d limit %d: short page with more=true", fi, limit)
+				}
+			}
+			if !reflect.DeepEqual(paged, oneShot) {
+				t.Fatalf("filter %d limit %d: paged read != one-shot (%d vs %d entries)",
+					fi, limit, len(paged), len(oneShot))
+			}
+		}
+	}
+}
+
+// TestSessionReadsRaceWriter pins views, pages violations and streams
+// dumps from several goroutines while a writer applies batches — the
+// -race companion of the server-level battery, at the Session layer.
+func TestSessionReadsRaceWriter(t *testing.T) {
+	d := cleanPaperData(t)
+	sigma := cfd.NormalizeAll(paperCFDs(d.Schema()))
+	s, err := NewSession(d, sigma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rv, err := s.ReadView()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				a := make([]byte, 0, 1024)
+				var b1, b2 bytes.Buffer
+				if err := rv.WriteCSV(&b1); err != nil {
+					t.Error(err)
+				}
+				if err := rv.WriteCSV(&b2); err != nil {
+					t.Error(err)
+				}
+				a = append(a, b1.Bytes()...)
+				if !bytes.Equal(a, b2.Bytes()) {
+					t.Errorf("reader %d: two streams of one view differ", g)
+				}
+				if _, more := rv.Violations(cfd.AnyVio(), 0, 10); more {
+					t.Errorf("reader %d: clean session reports more violations", g)
+				}
+				rv.Release()
+			}
+		}(g)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for batch := 0; batch < 12; batch++ {
+		if _, err := s.ApplyDelta(randomDelta(rng, 6)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Dump(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n := s.Current().ActiveViews(); n != 0 {
+		t.Fatalf("ActiveViews = %d after all readers released, want 0", n)
+	}
+}

@@ -349,34 +349,46 @@ func (s *Session) Stats() (batches, tuples int, cost float64, changes int) {
 
 // Violations returns up to limit current violations (limit <= 0 means
 // all) in the canonical (tuple id, rule, partner id) order, plus the
-// maintained vio(D) total, both read from the store under the session
-// lock — the pair is mutually consistent, unlike combining a listing
-// with a separately loaded Snapshot. After Close the store is detached
-// and would answer stale; like Dump, the call refuses and returns nil.
+// maintained vio(D) total — the pair is mutually consistent, unlike
+// combining a listing with a separately loaded Snapshot. It streams the
+// store's lazy cursor, so the lock is held for O(limit + dirty tuples),
+// never O(vio(D)) materialization. After Close the store is detached and
+// would answer stale; like Dump, the call refuses and returns nil.
 func (s *Session) Violations(limit int) (vs []cfd.Violation, total int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, 0
 	}
-	vs = s.e.store.Detect()
-	if limit > 0 && len(vs) > limit {
-		vs = vs[:limit]
+	total = s.e.store.TotalViolations()
+	if total == 0 {
+		return nil, 0
 	}
-	return vs, s.e.store.TotalViolations()
+	n := total
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	vs = make([]cfd.Violation, 0, n)
+	c := s.e.store.Cursor(cfd.AnyVio())
+	for v, ok := c.Next(); ok && len(vs) < n; v, ok = c.Next() {
+		vs = append(vs, v)
+	}
+	return vs, total
 }
 
-// Dump writes the session's current relation as CSV under the session
-// lock, yielding a consistent serialization even while other goroutines
-// apply batches. The row order is deterministic for a deterministic
-// call sequence (see extractDirty on why physical order is pinned).
+// Dump writes the session's current relation as CSV from a pinned
+// ReadView: the session lock is held only for the pin handoff, so a
+// large dump no longer stalls concurrent ApplyOps. The serialization is
+// consistent at one journal version and the row order is deterministic
+// for a deterministic call sequence (see extractDirty on why physical
+// order is pinned).
 func (s *Session) Dump(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return errClosed
+	v, err := s.ReadView()
+	if err != nil {
+		return err
 	}
-	return relation.WriteCSV(s.e.repr, w)
+	defer v.Release()
+	return v.WriteCSV(w)
 }
 
 // Close detaches the session's violation store from its relation. The

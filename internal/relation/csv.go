@@ -57,27 +57,20 @@ func ReadCSV(name string, r io.Reader) (*Relation, error) {
 }
 
 // WriteCSV writes the relation as CSV with a header row. Null values are
-// written as NullLiteral.
+// written as NullLiteral. It shares its row codec with the streaming
+// CSVEncoder (cursor.go), so a pinned View.WriteCSV at the same version
+// is byte-identical.
 func WriteCSV(rel *Relation, w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(rel.Schema().Attrs()); err != nil {
-		return fmt.Errorf("relation: writing CSV header: %w", err)
+	enc, err := NewCSVEncoder(w, rel.Schema())
+	if err != nil {
+		return err
 	}
-	rec := make([]string, rel.Schema().Arity())
 	for _, t := range rel.Tuples() {
-		for i, v := range t.Vals {
-			if v.Null {
-				rec[i] = NullLiteral
-			} else {
-				rec[i] = v.Str
-			}
-		}
-		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("relation: writing CSV tuple %d: %w", t.ID, err)
+		if err := enc.Write(t); err != nil {
+			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return enc.Flush()
 }
 
 // WriteWeightsCSV writes the per-attribute confidence weights as a CSV

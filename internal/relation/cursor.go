@@ -1,0 +1,124 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// RowCursor iterates a pinned View in physical (pin-time) order, one page
+// of row pointers at a time: each refill copies up to viewPageSize
+// pointers under the view's read lock, then rows are served from the
+// private buffer with no lock held. An optional tuple-id range is pushed
+// down so filtered scans never materialize non-matching rows.
+type RowCursor struct {
+	v     *View
+	minID TupleID // 0: no lower bound
+	maxID TupleID // 0: no upper bound
+	p     int     // next page to fetch
+	buf   []*Tuple
+	pos   int
+	pages int
+}
+
+// Rows returns a cursor over all rows of the view.
+func (v *View) Rows() *RowCursor { return v.RowsRange(0, 0) }
+
+// RowsRange returns a cursor over the view's rows whose tuple id lies in
+// [minID, maxID]; a zero bound means unbounded on that side. Rows come
+// back in physical order (ids are not sorted — deletions compact the
+// array), matching the unfiltered dump order.
+func (v *View) RowsRange(minID, maxID TupleID) *RowCursor {
+	return &RowCursor{v: v, minID: minID, maxID: maxID, buf: make([]*Tuple, 0, viewPageSize)}
+}
+
+// Next returns the next matching row, or nil when the cursor is
+// exhausted. The returned tuple is immutable for the view's lifetime and
+// must not be modified.
+func (c *RowCursor) Next() *Tuple {
+	for {
+		for c.pos < len(c.buf) {
+			t := c.buf[c.pos]
+			c.pos++
+			if c.minID != 0 && t.ID < c.minID {
+				continue
+			}
+			if c.maxID != 0 && t.ID > c.maxID {
+				continue
+			}
+			return t
+		}
+		n := c.v.page(c.p, c.buf[:cap(c.buf)])
+		if n == 0 {
+			return nil
+		}
+		c.p++
+		c.buf = c.buf[:n]
+		c.pos = 0
+		c.pages++
+	}
+}
+
+// Pages reports how many page copy-outs the cursor has performed — the
+// unit of lock acquisition and of peak buffering for streamed reads.
+func (c *RowCursor) Pages() int { return c.pages }
+
+// A CSVEncoder streams tuples as CSV rows behind a shared row codec, so
+// the buffered whole-relation WriteCSV and the server's streamed dump
+// emit byte-identical output. NewCSVEncoder writes the header row
+// immediately; Flush must be called (and its error checked) after the
+// last Write.
+type CSVEncoder struct {
+	cw  *csv.Writer
+	rec []string
+}
+
+// NewCSVEncoder writes the schema's header row to w and returns an
+// encoder for the tuple rows.
+func NewCSVEncoder(w io.Writer, s *Schema) (*CSVEncoder, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(s.Attrs()); err != nil {
+		return nil, fmt.Errorf("relation: writing CSV header: %w", err)
+	}
+	return &CSVEncoder{cw: cw, rec: make([]string, s.Arity())}, nil
+}
+
+// Write encodes one tuple row. Null values are written as NullLiteral.
+func (e *CSVEncoder) Write(t *Tuple) error {
+	for i, v := range t.Vals {
+		if v.Null {
+			e.rec[i] = NullLiteral
+		} else {
+			e.rec[i] = v.Str
+		}
+	}
+	if err := e.cw.Write(e.rec); err != nil {
+		return fmt.Errorf("relation: writing CSV tuple %d: %w", t.ID, err)
+	}
+	return nil
+}
+
+// Flush drains the encoder's buffer to the underlying writer and returns
+// any deferred write error.
+func (e *CSVEncoder) Flush() error {
+	e.cw.Flush()
+	return e.cw.Error()
+}
+
+// WriteCSV streams the pinned view as CSV with a header row —
+// byte-identical to relation.WriteCSV at the same version. Peak
+// buffering is one page of row pointers plus the csv writer's buffer,
+// independent of the relation size.
+func (v *View) WriteCSV(w io.Writer) error {
+	enc, err := NewCSVEncoder(w, v.Schema())
+	if err != nil {
+		return err
+	}
+	cur := v.Rows()
+	for t := cur.Next(); t != nil; t = cur.Next() {
+		if err := enc.Write(t); err != nil {
+			return err
+		}
+	}
+	return enc.Flush()
+}

@@ -3,6 +3,8 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Relation is an in-memory instance of a single-relation schema. It owns
@@ -26,6 +28,14 @@ type Relation struct {
 	subs    []subscriber
 	nextSub int
 	version uint64
+
+	// Pinned snapshot views (see view.go). gens holds the active view
+	// generations; activeGens mirrors len(gens) so mutators can check for
+	// pins without taking viewMu. viewMu orders page preservation and
+	// slice writes against readers' page copy-outs.
+	viewMu     sync.RWMutex
+	gens       []*viewGen
+	activeGens atomic.Int32
 }
 
 // New creates an empty relation instance of schema s.
@@ -86,7 +96,11 @@ func (r *Relation) Insert(t *Tuple) error {
 		r.nextID = t.ID + 1
 	}
 	r.byID[t.ID] = len(r.tuples)
-	r.tuples = append(r.tuples, t)
+	if r.activeGens.Load() != 0 {
+		r.cowAppend(t)
+	} else {
+		r.tuples = append(r.tuples, t)
+	}
 	// (Re-)intern the tuple's values against this relation's dictionary;
 	// ids from a previous owner are meaningless here.
 	t.ids = make([]ValueID, len(t.Vals))
@@ -133,10 +147,14 @@ func (r *Relation) Delete(id TupleID) bool {
 			r.dropAdom(a, id)
 		}
 	}
-	last := len(r.tuples) - 1
-	r.tuples[i] = r.tuples[last]
-	r.byID[r.tuples[i].ID] = i
-	r.tuples = r.tuples[:last]
+	if r.activeGens.Load() != 0 {
+		r.cowDelete(i)
+	} else {
+		last := len(r.tuples) - 1
+		r.tuples[i] = r.tuples[last]
+		r.byID[r.tuples[i].ID] = i
+		r.tuples = r.tuples[:last]
+	}
 	delete(r.byID, id)
 	r.version++
 	if len(r.subs) > 0 {
@@ -165,8 +183,14 @@ func (r *Relation) Set(id TupleID, a int, v Value) (Value, error) {
 	if vid != NullID {
 		r.adom[a][vid]++
 	}
-	t.Vals[a] = v
-	t.ids[a] = vid
+	if r.activeGens.Load() != 0 {
+		// Tuples reachable from pinned views are immutable: update via
+		// clone-and-swap, leaving the shared object untouched.
+		t = r.cowSet(i, a, v, vid)
+	} else {
+		t.Vals[a] = v
+		t.ids[a] = vid
+	}
 	r.version++
 	if len(r.subs) > 0 {
 		r.notify(Delta{Kind: DeltaUpdate, T: t, Attr: a, Old: old, OldID: oldID})

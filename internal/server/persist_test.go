@@ -87,7 +87,7 @@ func sessionState(t *testing.T, base, name string) (dump []byte, snap WireSnapsh
 	if err := json.Unmarshal(body, &info); err != nil {
 		t.Fatal(err)
 	}
-	resp, body = do(t, "GET", base+"/v1/sessions/"+name+"/violations?limit=0", nil)
+	resp, body = do(t, "GET", base+"/v1/sessions/"+name+"/violations", nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("violations %s: %d: %s", name, resp.StatusCode, body)
 	}

@@ -184,9 +184,9 @@ func TestSubscriberDropResync(t *testing.T) {
 
 	var last Event
 	for i := 0; i < subscriberBuffer; i++ {
-		b := <-ch
+		fr := <-ch
 		last = Event{}
-		if err := json.Unmarshal(b, &last); err != nil {
+		if err := json.Unmarshal(fr.data, &last); err != nil {
 			t.Fatal(err)
 		}
 		if last.Seq < 100 && last.Resync {

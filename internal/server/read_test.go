@@ -1,0 +1,475 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cfdclean/internal/cfd"
+)
+
+// Tests for the streaming read path: cursor-paginated violation
+// listings, chunked CSV dumps with completion trailers, version-pinned
+// view reuse with 410 on eviction, and SSE resume from Last-Event-ID.
+
+func applyOne(t *testing.T, base, name string, ac, ct string) WireSnapshot {
+	t.Helper()
+	resp, body := do(t, "POST", base+"/v1/sessions/"+name+"/apply", ApplyRequest{
+		Inserts: []WireTuple{{Vals: []*string{strp(ac), strp(ct)}}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("apply: %d: %s", resp.StatusCode, body)
+	}
+	var ar ApplyResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	return ar.Snapshot
+}
+
+func TestViolationsParamValidation(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	base := ts.URL
+	createTiny(t, base, "s")
+
+	for _, c := range []struct {
+		query string
+		want  int
+	}{
+		{"", http.StatusOK},
+		{"?limit=5", http.StatusOK},
+		{"?limit=0", http.StatusBadRequest},
+		{"?limit=-3", http.StatusBadRequest},
+		{"?limit=abc", http.StatusBadRequest},
+		{"?attr=CT", http.StatusOK},
+		{"?attr=NOPE", http.StatusBadRequest},
+		{"?rule=phi1&min_id=1&max_id=9", http.StatusOK},
+		{"?min_id=-1", http.StatusBadRequest},
+		{"?max_id=x", http.StatusBadRequest},
+		{"?cursor=!!!", http.StatusBadRequest},
+	} {
+		resp, body := do(t, "GET", base+"/v1/sessions/s/violations"+c.query, nil)
+		if resp.StatusCode != c.want {
+			t.Errorf("violations%s: %d (want %d): %s", c.query, resp.StatusCode, c.want, body)
+		}
+		if c.want == http.StatusOK && resp.Header.Get("X-Session-Version") == "" {
+			t.Errorf("violations%s: no X-Session-Version header", c.query)
+		}
+	}
+
+	// A cursor fixes the filter; explicit filter params alongside it are
+	// ambiguous and refused.
+	tok := encodeCursor(readCursor{version: 1, f: cfd.AnyVio()})
+	resp, body := do(t, "GET", base+"/v1/sessions/s/violations?cursor="+tok+"&rule=phi1", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cursor+filter: %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	for _, c := range []readCursor{
+		{version: 7, offset: 120, f: cfd.AnyVio()},
+		{version: 1, offset: 0, f: cfd.VioFilter{Rule: "phi:with:colons", Attr: 3, MinID: 5, MaxID: 900}},
+	} {
+		got, err := decodeCursor(encodeCursor(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c {
+			t.Fatalf("cursor round trip: got %+v want %+v", got, c)
+		}
+	}
+	for _, bad := range []string{
+		"", "AAAA", "!!!",
+		base64.RawURLEncoding.EncodeToString([]byte("9:9:9:9")),     // too few fields
+		base64.RawURLEncoding.EncodeToString([]byte("1:x:0:0:0:r")), // bad offset
+	} {
+		if _, err := decodeCursor(bad); err == nil {
+			t.Fatalf("decodeCursor(%q) accepted", bad)
+		}
+	}
+}
+
+// TestDumpStreamsWithTrailer: the dump is served chunked with the
+// completion trailer, carries the pinned version, and its bytes are
+// identical to the in-process buffered serialization at that version.
+func TestDumpStreamsWithTrailer(t *testing.T) {
+	s, ts := newTestService(t, Options{})
+	base := ts.URL
+	createTiny(t, base, "s")
+	applyOne(t, base, "s", "215", "PHI")
+
+	resp, body := do(t, "GET", base+"/v1/sessions/s/dump", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dump: %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Trailer.Get("X-Dump-Complete"); got != "true" {
+		t.Fatalf("X-Dump-Complete trailer = %q, want \"true\"", got)
+	}
+	ver := resp.Header.Get("X-Session-Version")
+	if ver == "" {
+		t.Fatal("dump carries no X-Session-Version")
+	}
+	h, err := s.Registry().Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := h.sess.Dump(&want); err != nil {
+		t.Fatal(err)
+	}
+	if cur := strconv.FormatUint(h.sess.Snapshot().Version, 10); cur != ver {
+		t.Fatalf("version moved between dump (%s) and check (%s)", ver, cur)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Fatalf("streamed dump differs from buffered serialization:\n%s\nvs\n%s", body, want.Bytes())
+	}
+}
+
+// TestCursorGoneAfterEviction: a cursor pinned at an old version is
+// answered 410 once enough newer versions have rotated it out of the
+// view cache; a cursor at the session's current version is always
+// servable (it re-pins).
+func TestCursorGoneAfterEviction(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	base := ts.URL
+	createTiny(t, base, "s")
+
+	resp, _ := do(t, "GET", base+"/v1/sessions/s/violations", nil)
+	v1, err := strconv.ParseUint(resp.Header.Get("X-Session-Version"), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance the session past the cache cap: each read caches its own
+	// version, and pruning keeps only the most recent idle views.
+	for i := 0; i < maxCachedViews+1; i++ {
+		applyOne(t, base, "s", fmt.Sprintf("6%02d", i), "NYC")
+		do(t, "GET", base+"/v1/sessions/s/violations", nil)
+	}
+
+	tok := encodeCursor(readCursor{version: v1, f: cfd.AnyVio()})
+	resp, body := do(t, "GET", base+"/v1/sessions/s/violations?cursor="+tok, nil)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stale cursor: %d (want 410): %s", resp.StatusCode, body)
+	}
+
+	// The current version always works, cached or not.
+	resp, _ = do(t, "GET", base+"/v1/sessions/s/violations", nil)
+	cur := resp.Header.Get("X-Session-Version")
+	curV, _ := strconv.ParseUint(cur, 10, 64)
+	tok = encodeCursor(readCursor{version: curV, f: cfd.AnyVio()})
+	resp, body = do(t, "GET", base+"/v1/sessions/s/violations?cursor="+tok, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("current-version cursor: %d: %s", resp.StatusCode, body)
+	}
+	var vr ViolationsResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Version != curV {
+		t.Fatalf("cursor at %d served version %d", curV, vr.Version)
+	}
+}
+
+// TestServerReadersRaceWriter is the service-level read/write battery:
+// four goroutines page violation listings and two stream dumps while
+// the writer applies batches. Every read must be internally consistent
+// — dumps at the same pinned version byte-identical, trailers present,
+// versions monotone per reader — and the final streamed dump must match
+// the in-process buffered state. Run under -race.
+func TestServerReadersRaceWriter(t *testing.T) {
+	s, ts := newTestService(t, Options{})
+	base := ts.URL
+	createTiny(t, base, "race")
+
+	var (
+		mu      sync.Mutex
+		byVer   = map[string][]byte{}
+		stop    = make(chan struct{})
+		readers sync.WaitGroup
+	)
+	checkDump := func() error {
+		resp, body := do(t, "GET", base+"/v1/sessions/race/dump", nil)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("dump: %d: %s", resp.StatusCode, body)
+		}
+		if resp.Trailer.Get("X-Dump-Complete") != "true" {
+			return fmt.Errorf("dump missing completion trailer")
+		}
+		ver := resp.Header.Get("X-Session-Version")
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, ok := byVer[ver]; ok {
+			if !bytes.Equal(prev, body) {
+				return fmt.Errorf("two dumps at version %s differ", ver)
+			}
+		} else {
+			byVer[ver] = body
+		}
+		return nil
+	}
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := checkDump(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			queries := []string{"?limit=5", "?limit=3&rule=phi1", "?limit=7&attr=CT", "?limit=2&min_id=1&max_id=50"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, body := do(t, "GET", base+"/v1/sessions/race/violations"+queries[(g+i)%len(queries)], nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("violations: %d: %s", resp.StatusCode, body)
+					return
+				}
+				var vr ViolationsResponse
+				if err := json.Unmarshal(body, &vr); err != nil {
+					t.Error(err)
+					return
+				}
+				// The INCREPAIR invariant holds at every pinned version:
+				// batches leave the session consistent.
+				if vr.Total != 0 || len(vr.Violations) != 0 {
+					t.Errorf("violations at version %d: total %d", vr.Version, vr.Total)
+					return
+				}
+			}
+		}(g)
+	}
+
+	for i := 0; i < 25; i++ {
+		ct := "NYC"
+		if i%3 == 0 {
+			ct = "PHI" // dirty: repaired by the pass
+		}
+		applyOne(t, base, "race", "212", ct)
+	}
+	close(stop)
+	readers.Wait()
+
+	// Final streamed read equals the in-process buffered state.
+	h, err := s.Registry().Get("race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := h.sess.Dump(&want); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := do(t, "GET", base+"/v1/sessions/race/dump", nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, want.Bytes()) {
+		t.Fatalf("final streamed dump diverged (%d)", resp.StatusCode)
+	}
+	// Idle views may stay cached for cursor continuation, but never more
+	// than the cap — and all of them must be releasable (no leaked refs).
+	if n := h.sess.Current().ActiveViews(); n > maxCachedViews {
+		t.Fatalf("ActiveViews = %d after readers stopped, want <= %d", n, maxCachedViews)
+	}
+	h.views.closeAll()
+	if n := h.sess.Current().ActiveViews(); n != 0 {
+		t.Fatalf("ActiveViews = %d after cache close, want 0 (leaked reader refs)", n)
+	}
+}
+
+// sseClient consumes one SSE stream in the background, emitting
+// (id, event) pairs parsed from the wire format.
+type sseEvent struct {
+	id uint64
+	ev Event
+}
+
+func openSSE(t *testing.T, url, lastEventID string) (<-chan sseEvent, func()) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+	out := make(chan sseEvent, 64)
+	go func() {
+		defer close(out)
+		sc := bufio.NewScanner(resp.Body)
+		var cur sseEvent
+		for sc.Scan() {
+			l := sc.Text()
+			switch {
+			case strings.HasPrefix(l, "id: "):
+				cur.id, _ = strconv.ParseUint(strings.TrimPrefix(l, "id: "), 10, 64)
+			case strings.HasPrefix(l, "data: "):
+				if json.Unmarshal([]byte(strings.TrimPrefix(l, "data: ")), &cur.ev) == nil {
+					out <- cur
+				}
+				cur = sseEvent{}
+			}
+		}
+	}()
+	return out, func() { resp.Body.Close() }
+}
+
+func collectSSE(t *testing.T, ch <-chan sseEvent, n int) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	for len(out) < n {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				t.Fatalf("stream ended after %d/%d events", len(out), n)
+			}
+			out = append(out, e)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out after %d/%d events", len(out), n)
+		}
+	}
+	return out
+}
+
+// TestSSEResumeFromLastEventID: a client that reconnects with the last
+// journal version it saw receives exactly the missed tail — replayed
+// from the event ring, no resync — and keeps receiving live events
+// seamlessly past it.
+func TestSSEResumeFromLastEventID(t *testing.T) {
+	s, ts := newTestService(t, Options{})
+	base := ts.URL
+	createTiny(t, base, "s")
+
+	ch, cancel := openSSE(t, base+"/v1/sessions/s/events", "")
+	for i := 0; i < 3; i++ {
+		applyOne(t, base, "s", "212", "NYC")
+	}
+	got := collectSSE(t, ch, 3)
+	cancel()
+	lastID := got[2].id
+	if lastID == 0 {
+		t.Fatal("events carry no id")
+	}
+
+	// Offline: three more passes land in the ring.
+	for i := 0; i < 3; i++ {
+		applyOne(t, base, "s", "215", "NYC")
+	}
+	// The ring is written by the committer after the apply reply; wait
+	// for it to catch up before resuming.
+	h, err := s.Registry().Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h.subs.mu.Lock()
+		n := len(h.subs.tail(lastID))
+		h.subs.mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ring never saw the offline passes")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ch, cancel = openSSE(t, base+"/v1/sessions/s/events", strconv.FormatUint(lastID, 10))
+	defer cancel()
+	replay := collectSSE(t, ch, 3)
+	for i, e := range replay {
+		if e.id <= lastID {
+			t.Fatalf("replayed event %d has id %d <= Last-Event-ID %d", i, e.id, lastID)
+		}
+		if e.ev.Resync {
+			t.Fatalf("covered resume replayed a resync event: %+v", e.ev)
+		}
+		if e.ev.Seq != got[2].ev.Seq+uint64(i)+1 {
+			t.Fatalf("replay gap: event %d has seq %d, want %d", i, e.ev.Seq, got[2].ev.Seq+uint64(i)+1)
+		}
+	}
+	// Live continuation after the replayed tail.
+	applyOne(t, base, "s", "212", "NYC")
+	live := collectSSE(t, ch, 1)
+	if live[0].ev.Seq != replay[2].ev.Seq+1 || live[0].ev.Resync {
+		t.Fatalf("live event after replay: %+v", live[0].ev)
+	}
+}
+
+// TestSSEResumeBeyondRing: when the ring no longer covers the client's
+// Last-Event-ID, the replay degrades to resync semantics — the first
+// replayed event is flagged, and its snapshot re-anchors the client.
+func TestSSEResumeBeyondRing(t *testing.T) {
+	s, ts := newTestService(t, Options{})
+	base := ts.URL
+	createTiny(t, base, "s")
+	h, err := s.Registry().Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the replay ring before any event is published.
+	h.subs.mu.Lock()
+	h.subs.ringCap = 2
+	h.subs.mu.Unlock()
+
+	first := applyOne(t, base, "s", "212", "NYC")
+	for i := 0; i < 4; i++ {
+		applyOne(t, base, "s", "215", "NYC")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h.subs.mu.Lock()
+		evicted := h.subs.dropVersion >= first.Version
+		h.subs.mu.Unlock()
+		if evicted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ring never evicted the first pass")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ch, cancel := openSSE(t, base+"/v1/sessions/s/events", strconv.FormatUint(first.Version, 10))
+	defer cancel()
+	replay := collectSSE(t, ch, 2)
+	if !replay[0].ev.Resync {
+		t.Fatalf("uncovered resume: first replayed event not resync-flagged: %+v", replay[0].ev)
+	}
+	if replay[1].ev.Resync {
+		t.Fatalf("resync flag leaked past the first replayed event: %+v", replay[1].ev)
+	}
+	if !replay[1].ev.Snapshot.Satisfied {
+		t.Fatalf("replayed snapshot not authoritative: %+v", replay[1].ev.Snapshot)
+	}
+}

@@ -162,6 +162,9 @@ type hosted struct {
 	seq  atomic.Uint64 // engine passes completed on this session
 	subs subscribers
 	lat  latWindow
+	// views shares pinned read views among this session's streaming
+	// readers (see views.go); cursor tokens name versions in it.
+	views *viewCache
 }
 
 // job is one unit of queued work. Async insert-only jobs (reply == nil,
@@ -264,6 +267,7 @@ func (r *Registry) register(name string, sess *increpair.Session, schema *relati
 		committerDone: make(chan struct{}),
 		quit:          make(chan struct{}),
 		done:          make(chan struct{}),
+		views:         newViewCache(sess),
 	}
 	h.subs.drops = &r.sseDrops
 	if p != nil {
@@ -432,6 +436,7 @@ func (h *hosted) run(r *Registry) {
 	defer close(h.done)
 	defer h.subs.closeAll()
 	defer h.sess.Close()
+	defer h.views.closeAll()
 	defer h.finishPersist(r)
 	defer func() {
 		close(h.commits)

@@ -34,10 +34,17 @@
 // or 429 when the queue is full; the worker coalesces runs of adjacent
 // ingested batches into one engine pass — optionally up to a tuple cap
 // and a linger window (Options.CoalesceMaxTuples, CoalesceDelay) — to
-// amortize per-pass overhead under burst load. Reads are lock-free
-// (session snapshots are published atomically after every pass) except
-// violation listings and CSV dumps, which briefly serialize with the
-// worker.
+// amortize per-pass overhead under burst load.
+//
+// Reads never hold the session lock beyond a pinned-view handoff:
+// session snapshots are published atomically after every pass, and the
+// streaming reads — violation pages and CSV dumps — run against
+// snapshot-isolated ReadViews (see views.go). The lock is taken only to
+// pin the view; serialization streams outside it while the writer
+// preserves page pre-images copy-on-write. Every read reply carries
+// X-Session-Version, the journal version it was served at; paginated
+// listings continue at that exact version via an opaque cursor,
+// answered 410 Gone once the version is evicted.
 //
 // Shutdown is graceful: Drain refuses new work, lets every worker finish
 // its queued batches, and closes the sessions — no accepted batch is
@@ -45,11 +52,11 @@
 package server
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -69,6 +76,9 @@ type Options struct {
 	DrainTimeout time.Duration
 	// MaxBodyBytes bounds request bodies. Default 64 MiB.
 	MaxBodyBytes int64
+	// MaxReadLimit caps the page size of violation listings: a ?limit=
+	// beyond it is clamped. Default 1000.
+	MaxReadLimit int
 
 	// CoalesceMaxTuples caps the tuples folded into one ingest pass; 0
 	// (the default) leaves the fold bounded only by queue content.
@@ -104,6 +114,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 64 << 20
+	}
+	if o.MaxReadLimit <= 0 {
+		o.MaxReadLimit = 1000
 	}
 	if o.FsyncInterval <= 0 {
 		o.FsyncInterval = 100 * time.Millisecond
@@ -412,45 +425,158 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusAccepted, IngestResponse{Session: name, Queued: len(inserts)})
 }
 
+// handleViolations serves one page of a session's violation listing,
+// read from a pinned snapshot view. Without a cursor it pins the
+// current version, applies the optional rule/attr/min_id/max_id
+// pushdown filters, and returns the first limit entries of the
+// canonical (tuple id, rule, partner) order; when entries remain, the
+// response carries next_cursor — an opaque (version, offset, filter)
+// token that continues the SAME pinned version, so the concatenation
+// of pages is exactly the one-shot listing. A cursor whose version has
+// been evicted gets 410 Gone: restart without a cursor.
 func (s *Server) handleViolations(w http.ResponseWriter, req *http.Request) {
 	h, err := s.reg.Get(req.PathValue("name"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	q := req.URL.Query()
 	limit := 100
-	if q := req.URL.Query().Get("limit"); q != "" {
-		limit, err = strconv.Atoi(q)
-		if err != nil {
-			writeStatus(w, http.StatusBadRequest, "limit must be an integer")
+	if v := q.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit <= 0 {
+			writeStatus(w, http.StatusBadRequest, "limit must be a positive integer")
 			return
 		}
 	}
-	vs, total := h.sess.Violations(limit)
-	writeJSON(w, http.StatusOK, ViolationsResponse{
+	limit = min(limit, s.opts.MaxReadLimit)
+
+	var cur readCursor
+	if tok := q.Get("cursor"); tok != "" {
+		// The filter travels in the token: every page of one pagination
+		// is provably the same query at the same version.
+		if q.Get("rule") != "" || q.Get("attr") != "" || q.Get("min_id") != "" || q.Get("max_id") != "" {
+			writeStatus(w, http.StatusBadRequest, "cursor already carries the filter; drop rule, attr, min_id and max_id")
+			return
+		}
+		if cur, err = decodeCursor(tok); err != nil {
+			writeStatus(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	} else {
+		cur.f = cfd.AnyVio()
+		cur.f.Rule = q.Get("rule")
+		if a := q.Get("attr"); a != "" {
+			if cur.f.Attr, err = h.schema.Index(a); err != nil {
+				writeStatus(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+		for _, p := range []struct {
+			key string
+			dst *relation.TupleID
+		}{{"min_id", &cur.f.MinID}, {"max_id", &cur.f.MaxID}} {
+			if v := q.Get(p.key); v != "" {
+				id, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || id < 0 {
+					writeStatus(w, http.StatusBadRequest, p.key+" must be a non-negative integer")
+					return
+				}
+				*p.dst = relation.TupleID(id)
+			}
+		}
+	}
+
+	var (
+		rv      *increpair.ReadView
+		release func()
+	)
+	if cur.version != 0 {
+		rv, release, err = h.views.acquireAt(cur.version)
+	} else {
+		rv, release, err = h.views.acquireCurrent()
+	}
+	if errors.Is(err, errVersionGone) {
+		writeStatus(w, http.StatusGone, err.Error())
+		return
+	}
+	if err != nil {
+		writeStatus(w, http.StatusServiceUnavailable, "session is closed")
+		return
+	}
+	defer release()
+
+	page, more := rv.Violations(cur.f, cur.offset, limit)
+	resp := ViolationsResponse{
 		Session:    h.name,
-		Total:      total,
-		Violations: encodeViolations(vs),
-	})
+		Version:    rv.Version(),
+		Total:      rv.TotalViolations(),
+		Violations: encodeViolations(page),
+	}
+	if more {
+		resp.NextCursor = encodeCursor(readCursor{
+			version: rv.Version(), offset: cur.offset + len(page), f: cur.f,
+		})
+	}
+	w.Header().Set("X-Session-Version", strconv.FormatUint(rv.Version(), 10))
+	writeJSON(w, http.StatusOK, resp)
 }
 
+// dumpFlushBytes is how much CSV accumulates between explicit flushes
+// of a streaming dump: small enough that clients see steady progress,
+// large enough to amortize the chunked-encoding overhead.
+const dumpFlushBytes = 256 << 10
+
+// flushWriter flushes the HTTP response every dumpFlushBytes written.
+type flushWriter struct {
+	w  io.Writer
+	fl http.Flusher
+	n  int
+}
+
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	fw.n += n
+	if fw.fl != nil && fw.n >= dumpFlushBytes {
+		fw.fl.Flush()
+		fw.n = 0
+	}
+	return n, err
+}
+
+// handleDump streams the session as CSV from a pinned snapshot view:
+// no full-relation buffering, peak memory one cursor page regardless
+// of relation size. Completion is signaled out-of-band — the body has
+// no length up front — by the X-Dump-Complete trailer; a mid-stream
+// failure aborts the connection instead of ending the chunked body
+// cleanly, so `curl -f` (and any client checking the trailer) can tell
+// a truncated export from a finished one.
 func (s *Server) handleDump(w http.ResponseWriter, req *http.Request) {
 	h, err := s.reg.Get(req.PathValue("name"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	// Serialize to a buffer first: Dump can fail (session closed by a
-	// racing delete), and an error after WriteHeader would masquerade as
-	// a successful empty export to `curl -f` callers.
-	var buf bytes.Buffer
-	if err := h.sess.Dump(&buf); err != nil {
+	rv, release, err := h.views.acquireCurrent()
+	if err != nil {
+		// Pin failures happen before any byte is written, so a racing
+		// delete still gets a clean error status.
 		writeStatus(w, http.StatusServiceUnavailable, "session is closed")
 		return
 	}
-	w.Header().Set("Content-Type", "text/csv")
+	defer release()
+	hdr := w.Header()
+	hdr.Set("Content-Type", "text/csv")
+	hdr.Set("X-Session-Version", strconv.FormatUint(rv.Version(), 10))
+	hdr.Set("Trailer", "X-Dump-Complete")
 	w.WriteHeader(http.StatusOK)
-	w.Write(buf.Bytes())
+	fl, _ := w.(http.Flusher)
+	if err := rv.WriteCSV(&flushWriter{w: w, fl: fl}); err != nil {
+		// Headers are out; a clean EOF here would masquerade as a
+		// successful export. Abort the connection mid-chunk instead.
+		panic(http.ErrAbortHandler)
+	}
+	hdr.Set("X-Dump-Complete", "true")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {

@@ -520,6 +520,7 @@ func TestEvents(t *testing.T) {
 	do(t, "POST", base+"/v1/sessions/s/apply", ApplyRequest{
 		Inserts: []WireTuple{{Vals: []*string{strp("212"), strp("PHI")}}},
 	})
+	expect("id: ")
 	expect("event: batch")
 	data := expect("data: ")
 	var ev Event

@@ -153,11 +153,20 @@ type WireViolation struct {
 	With int64  `json:"with,omitempty"`
 }
 
-// ViolationsResponse lists current violations of one session.
+// ViolationsResponse is one page of a session's violation listing,
+// read at one pinned journal version (Version; also the response's
+// X-Session-Version header). Total counts ALL violations at that
+// version, before filters and paging. NextCursor, when present, is the
+// opaque token for the next page at the same version: pass it back as
+// ?cursor= with no other filter parameters. A cursor whose version the
+// server no longer retains is answered 410 Gone — restart the listing
+// without a cursor.
 type ViolationsResponse struct {
 	Session    string          `json:"session"`
+	Version    uint64          `json:"version"`
 	Total      int             `json:"total"`
 	Violations []WireViolation `json:"violations"`
+	NextCursor string          `json:"next_cursor,omitempty"`
 }
 
 // SessionInfo describes one hosted session in listings. Persist is
@@ -195,11 +204,11 @@ type MetricsResponse struct {
 // queue depths plus histograms over the hot-path stages (engine pass,
 // WAL append→fsync lag, ingest fold size) and the slow-SSE drop count.
 type OpsMetrics struct {
-	Queues      []QueueGauge       `json:"queues,omitempty"`
-	PassSeconds *metrics.Snapshot  `json:"pass_seconds,omitempty"`
-	FsyncLag    *metrics.Snapshot  `json:"fsync_lag_seconds,omitempty"`
-	FoldBatches *metrics.Snapshot  `json:"fold_batches,omitempty"`
-	SSEDropped  uint64             `json:"sse_dropped,omitempty"`
+	Queues      []QueueGauge      `json:"queues,omitempty"`
+	PassSeconds *metrics.Snapshot `json:"pass_seconds,omitempty"`
+	FsyncLag    *metrics.Snapshot `json:"fsync_lag_seconds,omitempty"`
+	FoldBatches *metrics.Snapshot `json:"fold_batches,omitempty"`
+	SSEDropped  uint64            `json:"sse_dropped,omitempty"`
 }
 
 // QueueGauge is one session's work-queue occupancy at scrape time.

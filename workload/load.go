@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -29,6 +30,13 @@ import (
 // LoadConfig.BaseURL empty the driver spins up an in-process server on a
 // loopback listener, so the numbers include the full HTTP round trip but
 // no network.
+//
+// ReadFrac mixes streaming reads into the workload: each session's
+// client interleaves CSV dumps and cursor-paginated violation walks
+// with its writes so that reads make up the requested fraction of
+// operations. The read side is reported separately (rows/s streamed,
+// pages fetched, client-observed pinned-view lifetimes) and the write
+// percentiles in the same row show what the reads cost the writer.
 
 // LoadConfig parameterizes one load measurement.
 type LoadConfig struct {
@@ -60,6 +68,12 @@ type LoadConfig struct {
 	// Fsync is the durable server's WAL sync policy: "batch" (default),
 	// "interval" or "off". Only meaningful with DataDir.
 	Fsync string
+	// ReadFrac is the fraction of client operations that are streaming
+	// reads (alternating CSV dumps and paginated violation walks),
+	// interleaved with each session's writes. 0 (the default) measures a
+	// pure write workload; must be below 1 — some writes have to drive
+	// the sessions forward.
+	ReadFrac float64
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -119,6 +133,25 @@ type LoadResult struct {
 	// persist (WAL append + fsync + ack). Client round-trip minus the
 	// stage sum is HTTP/codec overhead.
 	Stages *StageLatencies `json:"stages,omitempty"`
+	// Reads summarizes the read side of a mixed workload (ReadFrac > 0):
+	// absent on pure write runs.
+	Reads *ReadStats `json:"reads,omitempty"`
+}
+
+// ReadStats summarizes the streaming reads of a mixed workload run.
+// DumpLatency is the client-observed life of one dump — request to last
+// byte — which brackets the server-side pinned-view lifetime: the view
+// is pinned before the first byte and released when the stream ends.
+// PageLatency is the round trip of one violation page.
+type ReadStats struct {
+	ReadFrac     float64             `json:"read_frac"`
+	Dumps        int                 `json:"dumps"`
+	Pages        int                 `json:"violation_pages"`
+	RowsStreamed int                 `json:"rows_streamed"`
+	RowsPerSec   float64             `json:"rows_per_sec"`
+	ErrorReads   int                 `json:"error_reads"`
+	DumpLatency  *server.WireLatency `json:"dump_latency,omitempty"`
+	PageLatency  *server.WireLatency `json:"page_latency,omitempty"`
 }
 
 // StageLatencies summarizes per-stage server-side timings across every
@@ -139,6 +172,12 @@ type StageLatencies struct {
 // all succeeds.
 func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	cfg = cfg.withDefaults()
+	if cfg.ReadFrac < 0 {
+		cfg.ReadFrac = 0
+	}
+	if cfg.ReadFrac >= 1 {
+		return nil, fmt.Errorf("workload: ReadFrac %g must be below 1 (writes drive the sessions)", cfg.ReadFrac)
+	}
 
 	base := cfg.BaseURL
 	if base == "" {
@@ -232,8 +271,13 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		errCount  int
 		firstErr  error
 		okBatches int
+		reads     readTally
 	)
 	stageHeaders := [3]string{"X-Stage-Queue-Us", "X-Stage-Engine-Us", "X-Stage-Persist-Us"}
+	// readRatio turns ReadFrac (fraction of all operations) into reads
+	// issued per write, accumulated as fractional credit so any fraction
+	// mixes evenly across the run.
+	readRatio := cfg.ReadFrac / (1 - cfg.ReadFrac)
 	start := time.Now()
 	for i := range loads {
 		wg.Add(1)
@@ -241,7 +285,16 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			defer wg.Done()
 			var local []time.Duration
 			var localStages [3][]time.Duration
+			var localReads readTally
 			localTuples, localErrs := 0, 0
+			readCredit, readTurn := 0.0, 0
+			fail := func(err error) {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
 			for _, wb := range sl.batches {
 				var resp server.ApplyResponse
 				t0 := time.Now()
@@ -253,11 +306,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				}
 				if err != nil {
 					localErrs++
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					fail(err)
 					continue
 				}
 				local = append(local, d)
@@ -266,6 +315,15 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 					if us, perr := strconv.ParseInt(hdr.Get(name), 10, 64); perr == nil {
 						localStages[si] = append(localStages[si], time.Duration(us)*time.Microsecond)
 					}
+				}
+				// Interleave the read share: alternating streamed dumps
+				// and paginated violation walks against the same session
+				// the writes are advancing.
+				for readCredit += readRatio; readCredit >= 1; readCredit-- {
+					if err := localReads.one(client, base, sl.name, readTurn); err != nil {
+						fail(err)
+					}
+					readTurn++
 				}
 			}
 			mu.Lock()
@@ -276,6 +334,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			okTuples += localTuples
 			okBatches += len(local)
 			errCount += localErrs
+			reads.merge(&localReads)
 			mu.Unlock()
 		}(loads[i])
 	}
@@ -327,7 +386,125 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	if q, e, p := server.LatencySummary(stageLats[0]), server.LatencySummary(stageLats[1]), server.LatencySummary(stageLats[2]); q != nil || e != nil || p != nil {
 		res.Stages = &StageLatencies{Queue: q, Engine: e, Persist: p}
 	}
+	if cfg.ReadFrac > 0 {
+		res.Reads = &ReadStats{
+			ReadFrac:     cfg.ReadFrac,
+			Dumps:        reads.dumps,
+			Pages:        reads.pages,
+			RowsStreamed: reads.rows,
+			RowsPerSec:   float64(reads.rows) / wall.Seconds(),
+			ErrorReads:   reads.errs,
+			DumpLatency:  server.LatencySummary(reads.dumpLats),
+			PageLatency:  server.LatencySummary(reads.pageLats),
+		}
+	}
 	return res, nil
+}
+
+// readTally accumulates one goroutine's (and then the run's) read-side
+// observations.
+type readTally struct {
+	dumps, pages, rows, errs int
+	dumpLats, pageLats       []time.Duration
+}
+
+func (r *readTally) merge(o *readTally) {
+	r.dumps += o.dumps
+	r.pages += o.pages
+	r.rows += o.rows
+	r.errs += o.errs
+	r.dumpLats = append(r.dumpLats, o.dumpLats...)
+	r.pageLats = append(r.pageLats, o.pageLats...)
+}
+
+// one performs a single read operation against a session, alternating
+// by turn between a streamed CSV dump and a full cursor-paginated
+// violation walk. Failed reads are tallied and returned (the caller
+// records the first error) but never stop the workload.
+func (r *readTally) one(client *http.Client, base, name string, turn int) error {
+	if turn%2 == 0 {
+		t0 := time.Now()
+		rows, err := streamDump(client, base+"/v1/sessions/"+name+"/dump")
+		if err != nil {
+			r.errs++
+			return fmt.Errorf("session %s: %w", name, err)
+		}
+		r.dumpLats = append(r.dumpLats, time.Since(t0))
+		r.dumps++
+		r.rows += rows
+		return nil
+	}
+	pages, err := r.walkViolations(client, base, name)
+	r.pages += pages
+	if err != nil {
+		r.errs++
+		return fmt.Errorf("session %s: %w", name, err)
+	}
+	return nil
+}
+
+// streamDump fetches one CSV dump line by line — client-side buffering
+// stays O(line), matching the server's O(page) — counting data rows and
+// requiring the completion trailer that distinguishes a finished export
+// from a truncated one.
+func streamDump(client *http.Client, url string) (rows int, err error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if resp.Trailer.Get("X-Dump-Complete") != "true" {
+		return 0, fmt.Errorf("GET %s: dump ended without completion trailer", url)
+	}
+	if lines > 0 {
+		lines-- // header row
+	}
+	return lines, nil
+}
+
+// walkViolations pages through a session's violation listing following
+// next_cursor to exhaustion — every page pinned to the version the
+// first page was served at. Pages fetched before an error are counted.
+func (r *readTally) walkViolations(client *http.Client, base, name string) (pages int, err error) {
+	url := base + "/v1/sessions/" + name + "/violations?limit=64"
+	for {
+		var vr server.ViolationsResponse
+		t0 := time.Now()
+		resp, err := client.Get(url)
+		if err != nil {
+			return pages, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return pages, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return pages, fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+		}
+		if err := json.Unmarshal(body, &vr); err != nil {
+			return pages, err
+		}
+		r.pageLats = append(r.pageLats, time.Since(t0))
+		pages++
+		if vr.NextCursor == "" {
+			return pages, nil
+		}
+		url = base + "/v1/sessions/" + name + "/violations?cursor=" + vr.NextCursor
+	}
 }
 
 // postJSON posts v, requires wantStatus, and decodes the body into out

@@ -29,6 +29,48 @@ func TestRunLoadDurable(t *testing.T) {
 	}
 }
 
+// TestRunLoadMixedReads drives a read/write mix: half the operations
+// are streaming reads (dumps and paginated violation walks), and the
+// report must carry a complete, error-free read-side summary.
+func TestRunLoadMixedReads(t *testing.T) {
+	res, err := RunLoad(LoadConfig{
+		Sessions:  2,
+		Batches:   4,
+		BaseSize:  150,
+		NoiseRate: 0.08,
+		Seed:      3,
+		ReadFrac:  0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads == nil {
+		t.Fatalf("mixed run reported no read stats: %+v", res)
+	}
+	r := res.Reads
+	// ReadFrac 0.5 means one read per write: 8 writes -> 8 reads,
+	// alternating dump / violation walk.
+	if r.Dumps+r.Pages == 0 || r.Dumps == 0 || r.Pages == 0 {
+		t.Fatalf("read mix did not exercise both read kinds: %+v", r)
+	}
+	if r.ErrorReads != 0 {
+		t.Fatalf("reads failed: %+v", r)
+	}
+	if r.RowsStreamed <= 0 || r.RowsPerSec <= 0 {
+		t.Fatalf("no rows streamed: %+v", r)
+	}
+	if r.DumpLatency == nil || r.DumpLatency.Count != r.Dumps {
+		t.Fatalf("dump latency sample inconsistent: %+v", r)
+	}
+	if res.ErrorBatches != 0 {
+		t.Fatalf("writes failed under read mix: %+v", res)
+	}
+
+	if _, err := RunLoad(LoadConfig{Sessions: 1, Batches: 1, BaseSize: 60, ReadFrac: 1}); err == nil {
+		t.Fatal("ReadFrac=1 accepted (no writes would flow)")
+	}
+}
+
 // TestRunLoadSmoke exercises the full load-driver path — in-process
 // server, session creation over generated bases, concurrent streaming,
 // teardown — at a tiny scale, and sanity-checks the report's arithmetic.
