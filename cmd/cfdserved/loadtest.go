@@ -13,7 +13,7 @@ import (
 	"cfdclean/workload"
 )
 
-// loadReport is the BENCH_PR7.json shape: environment header plus
+// loadReport is the BENCH json shape: environment header plus
 // workload.LoadResult rows per (GOMAXPROCS, concurrent-session) pair —
 // one row for the in-memory server and, when -data-dir is given, a
 // second row with per-batch WAL persistence on, so the durability
@@ -21,7 +21,8 @@ import (
 // off adjacent GOMAXPROCS groups. With -read-frac > 0 each row also
 // carries a read-side summary (rows streamed per second, pages
 // fetched, pinned-view lifetime) alongside the writer percentiles it
-// was measured against.
+// was measured against. With -slo-p99 every row carries an SLO verdict
+// and the command's exit status reflects the worst of them.
 type loadReport struct {
 	PR          int                    `json:"pr"`
 	Title       string                 `json:"title"`
@@ -48,11 +49,32 @@ type loadCfg struct {
 	QueueDepth        int     `json:"queue_depth"`
 	ReadFrac          float64 `json:"read_frac,omitempty"`
 	DataDir           string  `json:"data_dir,omitempty"`
+	SLOMaxP99ms       float64 `json:"slo_max_p99_ms,omitempty"`
+	SLOMaxErrorRate   float64 `json:"slo_max_error_rate,omitempty"`
+	QuotaOps          float64 `json:"quota_ops,omitempty"`
 }
 
-func runLoadtest(sessionsCSV, gomaxprocsCSV string, batches, baseSize int, noise float64, seed int64, workers, queue int, readFrac float64, dataDir, outPath string) error {
+// loadtestOpts carries the -loadtest flag values into the driver.
+type loadtestOpts struct {
+	sessionsCSV, gomaxprocsCSV string
+	batches, baseSize          int
+	noise                      float64
+	seed                       int64
+	workers, queue             int
+	readFrac                   float64
+	dataDir, outPath           string
+	// sloP99 > 0 turns the run into an SLO assertion (see
+	// workload.LoadConfig.SLOMaxP99ms); breaches fail the command AFTER
+	// the report is written, so CI keeps the evidence.
+	sloP99, sloErrors float64
+	// quotaOps > 0 throttles session 0 to that many writes/sec so the
+	// run exercises 429 + Retry-After backoff under multi-tenant load.
+	quotaOps float64
+}
+
+func runLoadtest(o loadtestOpts) error {
 	var counts []int
-	for _, f := range strings.Split(sessionsCSV, ",") {
+	for _, f := range strings.Split(o.sessionsCSV, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n < 1 {
 			return fmt.Errorf("-sessions: %q is not a positive integer", f)
@@ -60,8 +82,8 @@ func runLoadtest(sessionsCSV, gomaxprocsCSV string, batches, baseSize int, noise
 		counts = append(counts, n)
 	}
 	var procs []int
-	if gomaxprocsCSV != "" {
-		for _, f := range strings.Split(gomaxprocsCSV, ",") {
+	if o.gomaxprocsCSV != "" {
+		for _, f := range strings.Split(o.gomaxprocsCSV, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil || n < 1 {
 				return fmt.Errorf("-gomaxprocs: %q is not a positive integer", f)
@@ -73,65 +95,84 @@ func runLoadtest(sessionsCSV, gomaxprocsCSV string, batches, baseSize int, noise
 	}
 
 	cmd := fmt.Sprintf("go run ./cmd/cfdserved -loadtest -sessions %s -batches %d -base %d -noise %g -seed %d -workers %d",
-		sessionsCSV, batches, baseSize, noise, seed, workers)
-	if gomaxprocsCSV != "" {
-		cmd += " -gomaxprocs " + gomaxprocsCSV
+		o.sessionsCSV, o.batches, o.baseSize, o.noise, o.seed, o.workers)
+	if o.gomaxprocsCSV != "" {
+		cmd += " -gomaxprocs " + o.gomaxprocsCSV
 	}
-	if readFrac > 0 {
-		cmd += fmt.Sprintf(" -read-frac %g", readFrac)
+	if o.readFrac > 0 {
+		cmd += fmt.Sprintf(" -read-frac %g", o.readFrac)
 	}
-	if dataDir != "" {
-		cmd += " -data-dir " + dataDir
+	if o.dataDir != "" {
+		cmd += " -data-dir " + o.dataDir
+	}
+	if o.sloP99 > 0 {
+		cmd += fmt.Sprintf(" -slo-p99 %g -slo-errors %g", o.sloP99, o.sloErrors)
+	}
+	if o.quotaOps > 0 {
+		cmd += fmt.Sprintf(" -quota-ops %g", o.quotaOps)
 	}
 	rep := &loadReport{
-		PR:    7,
-		Title: "cfdserved: lazy streaming reads — snapshot-isolated cursors take dumps and violation listings off the writer's lock",
+		PR:    8,
+		Title: "cfdserved: production observability — Prometheus exposition, per-tenant quotas, SLO-gated loadtests",
 		Environment: loadEnv{
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Go:         runtime.Version(),
 			Command:    cmd,
-			Note:       "In-process server on a loopback listener: latencies include the full HTTP round trip (JSON codec, registry, queue hand-off, engine pass) but no network. Durable rows add the per-batch WAL path — delta encode, CRC, append, fsync before the ack, now run on a per-session committer stage that overlaps the next engine pass, with one group fsync amortized across sessions per sync window — under -fsync batch, the worst-case policy; each durable run writes to a fresh directory that is deleted afterwards. Apply calls are synchronous, so per-session traffic is closed-loop and total offered load scales with the session count. The -gomaxprocs sweep re-runs each session count under runtime.GOMAXPROCS(n); on hosts with fewer physical cores than n the higher rows are structural (they exercise scheduling, not added parallelism). Per-row stages report server-side queue/engine/persist time from the X-Stage-* headers. With -read-frac f each session interleaves snapshot-isolated reads between its writes at f of total operations, alternating full streamed CSV dumps with cursor-paginated violation walks; reads pin copy-on-write views and never take the writer's lock, so comparing writer percentiles between a read-frac 0 row and a read-frac > 0 row at the same session count measures read/write isolation directly. Dump latency in the read summary is the client-observed pinned-view lifetime (first byte to trailer).",
+			Note:       "In-process server on a loopback listener: latencies include the full HTTP round trip (JSON codec, registry, queue hand-off, engine pass) but no network. Durable rows add the per-batch WAL path — delta encode, CRC, append, fsync before the ack, run on a per-session committer stage that overlaps the next engine pass, with one group fsync amortized across sessions per sync window — under -fsync batch, the worst-case policy; each durable run writes to a fresh directory that is deleted afterwards. Apply calls are synchronous, so per-session traffic is closed-loop and total offered load scales with the session count. The -gomaxprocs sweep re-runs each session count under runtime.GOMAXPROCS(n); on hosts with fewer physical cores than n the higher rows are structural (they exercise scheduling, not added parallelism). Per-row stages report server-side queue/engine/persist time from the X-Stage-* headers. With -read-frac f each session interleaves snapshot-isolated reads between its writes at f of total operations, alternating full streamed CSV dumps with cursor-paginated violation walks. With -quota-ops q session 0 is created with a q writes/sec token-bucket quota: its client absorbs 429s and retries after the server's Retry-After, tallied in rate_limited; the other sessions run unquota'd, so their percentiles demonstrate per-tenant isolation. With -slo-p99 each row carries an SLO verdict over write p99 and error rate (backoff waits are excluded from the percentile sample — they are the throttled tenant's own queueing, not service latency).",
 		},
 		Config: loadCfg{
-			BatchesPerSession: batches,
-			BaseSize:          baseSize,
-			NoiseRate:         noise,
-			Seed:              seed,
-			Workers:           workers,
-			QueueDepth:        queue,
-			ReadFrac:          readFrac,
-			DataDir:           dataDir,
+			BatchesPerSession: o.batches,
+			BaseSize:          o.baseSize,
+			NoiseRate:         o.noise,
+			Seed:              o.seed,
+			Workers:           o.workers,
+			QueueDepth:        o.queue,
+			ReadFrac:          o.readFrac,
+			DataDir:           o.dataDir,
+			SLOMaxP99ms:       o.sloP99,
+			SLOMaxErrorRate:   o.sloErrors,
+			QuotaOps:          o.quotaOps,
 		},
 	}
 
+	var breaches []string
 	run := func(n int, dir string) error {
 		mode := "in-memory"
 		if dir != "" {
 			mode = "durable"
 		}
-		fmt.Fprintf(os.Stderr, "loadtest: gomaxprocs=%d, %d session(s), %d batches each, %s ... ", runtime.GOMAXPROCS(0), n, batches, mode)
+		fmt.Fprintf(os.Stderr, "loadtest: gomaxprocs=%d, %d session(s), %d batches each, %s ... ", runtime.GOMAXPROCS(0), n, o.batches, mode)
 		t0 := time.Now()
 		res, err := workload.RunLoad(workload.LoadConfig{
-			Sessions:   n,
-			Batches:    batches,
-			BaseSize:   baseSize,
-			NoiseRate:  noise,
-			Seed:       seed,
-			Workers:    workers,
-			QueueDepth: queue,
-			ReadFrac:   readFrac,
-			DataDir:    dir,
+			Sessions:        n,
+			Batches:         o.batches,
+			BaseSize:        o.baseSize,
+			NoiseRate:       o.noise,
+			Seed:            o.seed,
+			Workers:         o.workers,
+			QueueDepth:      o.queue,
+			ReadFrac:        o.readFrac,
+			DataDir:         dir,
+			SLOMaxP99ms:     o.sloP99,
+			SLOMaxErrorRate: o.sloErrors,
+			QuotaOps:        o.quotaOps,
 		})
 		if err != nil {
 			return fmt.Errorf("sessions=%d (%s): %w", n, mode, err)
 		}
-		fmt.Fprintf(os.Stderr, "%.1f batches/s, p50 %.0fms, p99 %.0fms, %d error(s) (%v)\n",
-			res.BatchesPerSec, res.P50ms, res.P99ms, res.ErrorBatches, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "%.1f batches/s, p50 %.0fms, p99 %.0fms, %d error(s), %d rate-limited (%v)\n",
+			res.BatchesPerSec, res.P50ms, res.P99ms, res.ErrorBatches, res.RateLimited, time.Since(t0).Round(time.Millisecond))
 		if res.Reads != nil {
 			fmt.Fprintf(os.Stderr, "loadtest:   reads: %d dump(s), %d page(s), %.0f rows/s streamed, %d read error(s)\n",
 				res.Reads.Dumps, res.Reads.Pages, res.Reads.RowsPerSec, res.Reads.ErrorReads)
+		}
+		if res.SLO != nil && !res.SLO.Pass {
+			for _, b := range res.SLO.Breaches {
+				breaches = append(breaches, fmt.Sprintf("sessions=%d (%s): %s", n, mode, b))
+			}
+			fmt.Fprintf(os.Stderr, "loadtest:   SLO BREACH: %s\n", strings.Join(res.SLO.Breaches, "; "))
 		}
 		rep.Results = append(rep.Results, res)
 		return nil
@@ -145,8 +186,8 @@ func runLoadtest(sessionsCSV, gomaxprocsCSV string, batches, baseSize int, noise
 			if err := run(n, ""); err != nil {
 				return err
 			}
-			if dataDir != "" {
-				dir := filepath.Join(dataDir, fmt.Sprintf("loadtest-%d-%d", gp, n))
+			if o.dataDir != "" {
+				dir := filepath.Join(o.dataDir, fmt.Sprintf("loadtest-%d-%d", gp, n))
 				err := run(n, dir)
 				os.RemoveAll(dir)
 				if err != nil {
@@ -161,9 +202,17 @@ func runLoadtest(sessionsCSV, gomaxprocsCSV string, batches, baseSize int, noise
 		return err
 	}
 	b = append(b, '\n')
-	if outPath == "" {
-		_, err = os.Stdout.Write(b)
+	if o.outPath == "" {
+		if _, err := os.Stdout.Write(b); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(o.outPath, b, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, b, 0o644)
+	// The gate fires only after the report is safely written: a breached
+	// run must leave its evidence behind for the CI log artifact.
+	if len(breaches) > 0 {
+		return fmt.Errorf("SLO gate failed:\n  %s", strings.Join(breaches, "\n  "))
+	}
+	return nil
 }

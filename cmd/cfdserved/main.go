@@ -11,10 +11,13 @@
 //	          [-fsync-interval 100ms] [-snap-every 64]
 //	          [-coalesce-tuples 0] [-coalesce-delay 0]
 //	          [-max-read-limit 1000]
+//	          [-quota-ops 0] [-quota-tuples 0]
+//	          [-quota-max-size 0] [-quota-max-subscribers 0]
 //	cfdserved -loadtest [-sessions 1,4,16] [-gomaxprocs 1,2,4]
 //	          [-batches 8] [-base 800] [-noise 0.08] [-seed 1]
 //	          [-workers 1] [-read-frac 0] [-data-dir DIR]
-//	          [-out BENCH_PR7.json]
+//	          [-slo-p99 0] [-slo-errors 0] [-quota-ops 0]
+//	          [-out BENCH.json]
 //
 // With -data-dir the service is durable: every session writes a
 // CRC-checked write-ahead log plus periodic full-state snapshots under
@@ -26,9 +29,18 @@
 // "off" leaves flushing to the OS. In -loadtest mode -data-dir makes
 // the driver measure durable and in-memory throughput side by side.
 //
+// The -quota-* flags set server-wide default per-session admission
+// limits, enforced ahead of each session's work queue: -quota-ops and
+// -quota-tuples are token-bucket rates (writes rejected with 429 and a
+// Retry-After computed from the bucket's refill time), -quota-max-size
+// caps relation size (403), -quota-max-subscribers caps concurrent SSE
+// consumers (409). Zero means unlimited; a create request may override
+// per session via its "quota" field.
+//
 // Endpoints (all JSON unless noted):
 //
 //	GET    /healthz                        liveness (503 while draining)
+//	GET    /metrics                        Prometheus text exposition
 //	GET    /v1/metrics                     service counters + pass latency
 //	GET    /v1/sessions                    list sessions
 //	POST   /v1/sessions                    create a session
@@ -61,6 +73,12 @@
 // the runtime's parallelism across the given values, one result group
 // per value, and -read-frac mixes streaming reads (dumps and cursor
 // walks) into the write workload at the given operation fraction.
+// -slo-p99 turns the loadtest into an SLO gate: the report gains a
+// per-row verdict and the command exits non-zero (after writing the
+// report) when any row's write p99 exceeds the bound or its error rate
+// exceeds -slo-errors. In -loadtest mode -quota-ops throttles session 0
+// to that many writes/sec — its clients absorb 429s and back off per
+// Retry-After — so the run demonstrates per-tenant isolation.
 //
 // -pprof ADDR opens a second listener serving net/http/pprof on its
 // default mux (/debug/pprof/...), kept off the service mux so profiling
@@ -97,6 +115,10 @@ func main() {
 	coalesceDelay := flag.Duration("coalesce-delay", 0, "linger window for folding more ingest batches into a pass (0: fold queued work only)")
 	maxReadLimit := flag.Int("max-read-limit", 1000, "cap on ?limit= for paginated violation reads")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this extra address (empty: off)")
+	quotaOps := flag.Float64("quota-ops", 0, "per-session write ops/sec quota, 429 past it (0: unlimited; loadtest: throttle session 0)")
+	quotaTuples := flag.Float64("quota-tuples", 0, "per-session tuples/sec quota, 429 past it (0: unlimited)")
+	quotaMaxSize := flag.Int("quota-max-size", 0, "per-session relation size cap, 403 past it (0: unlimited)")
+	quotaMaxSubs := flag.Int("quota-max-subscribers", 0, "per-session SSE subscriber cap, 409 past it (0: unlimited)")
 
 	loadtest := flag.Bool("loadtest", false, "run the service load driver instead of serving")
 	sessions := flag.String("sessions", "1,4,16", "loadtest: comma-separated concurrent session counts")
@@ -107,6 +129,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "loadtest: generator seed (session i uses seed+i)")
 	workers := flag.Int("workers", 1, "loadtest: per-session engine workers")
 	readFrac := flag.Float64("read-frac", 0, "loadtest: fraction of operations that are streaming reads (0 <= f < 1)")
+	sloP99 := flag.Float64("slo-p99", 0, "loadtest: SLO gate — exit non-zero when write p99 exceeds this many ms (0: off)")
+	sloErrors := flag.Float64("slo-errors", 0, "loadtest: SLO gate — error-batch rate tolerated before breaching (default: none)")
 	out := flag.String("out", "", "loadtest: JSON report path (default stdout)")
 	flag.Parse()
 
@@ -125,10 +149,32 @@ func main() {
 		CoalesceMaxTuples: *coalesceTuples,
 		CoalesceDelay:     *coalesceDelay,
 		MaxReadLimit:      *maxReadLimit,
+		Quota: server.QuotaConfig{
+			OpsPerSec:       *quotaOps,
+			TuplesPerSec:    *quotaTuples,
+			MaxRelationSize: *quotaMaxSize,
+			MaxSubscribers:  *quotaMaxSubs,
+		},
 	}
 
 	if *loadtest {
-		if err := runLoadtest(*sessions, *gomaxprocs, *batches, *baseSize, *noise, *seed, *workers, *queue, *readFrac, *dataDir, *out); err != nil {
+		err := runLoadtest(loadtestOpts{
+			sessionsCSV:   *sessions,
+			gomaxprocsCSV: *gomaxprocs,
+			batches:       *batches,
+			baseSize:      *baseSize,
+			noise:         *noise,
+			seed:          *seed,
+			workers:       *workers,
+			queue:         *queue,
+			readFrac:      *readFrac,
+			dataDir:       *dataDir,
+			outPath:       *out,
+			sloP99:        *sloP99,
+			sloErrors:     *sloErrors,
+			quotaOps:      *quotaOps,
+		})
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "cfdserved: %v\n", err)
 			os.Exit(1)
 		}

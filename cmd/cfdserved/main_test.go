@@ -87,14 +87,21 @@ func TestServeBadAddr(t *testing.T) {
 }
 
 // TestLoadtestWritesReport runs the self-loadtest at a tiny scale and
-// checks the BENCH_PR7.json shape it writes, including the durable rows
+// checks the BENCH json shape it writes, including the durable rows
 // the -data-dir mode adds next to each in-memory row, the per-stage
-// server-side timings each row carries, and the read-side summary a
-// non-zero -read-frac attaches.
+// server-side timings each row carries, the read-side summary a
+// non-zero -read-frac attaches, and the per-row SLO verdict a -slo-p99
+// bound adds (passing here: the bound is generous and every batch must
+// succeed anyway).
 func TestLoadtestWritesReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	dataDir := t.TempDir()
-	if err := runLoadtest("1,2", "", 2, 120, 0.08, 3, 1, 8, 0.5, dataDir, out); err != nil {
+	err := runLoadtest(loadtestOpts{
+		sessionsCSV: "1,2", batches: 2, baseSize: 120, noise: 0.08, seed: 3,
+		workers: 1, queue: 8, readFrac: 0.5, dataDir: dataDir, outPath: out,
+		sloP99: 60_000,
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
@@ -105,7 +112,7 @@ func TestLoadtestWritesReport(t *testing.T) {
 	if err := json.Unmarshal(b, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.PR != 7 || len(rep.Results) != 4 {
+	if rep.PR != 8 || len(rep.Results) != 4 {
 		t.Fatalf("report shape: %s", b)
 	}
 	if rep.Config.ReadFrac != 0.5 {
@@ -134,6 +141,9 @@ func TestLoadtestWritesReport(t *testing.T) {
 		if r.Reads == nil || r.Reads.ErrorReads != 0 || r.Reads.RowsStreamed <= 0 {
 			t.Fatalf("row %d missing or failed read summary: %s", i, b)
 		}
+		if r.SLO == nil || !r.SLO.Pass || r.SLO.TargetP99ms != 60_000 {
+			t.Fatalf("row %d missing or failed SLO verdict: %s", i, b)
+		}
 	}
 	// Durable runs clean their scratch directories up after themselves.
 	ents, err := os.ReadDir(dataDir)
@@ -146,16 +156,46 @@ func TestLoadtestWritesReport(t *testing.T) {
 }
 
 func TestLoadtestRejectsBadSessions(t *testing.T) {
-	if err := runLoadtest("1,zero", "", 1, 50, 0.05, 1, 1, 8, 0, "", ""); err == nil {
-		t.Fatal("non-integer session count must fail")
+	tiny := loadtestOpts{batches: 1, baseSize: 50, noise: 0.05, seed: 1, workers: 1, queue: 8}
+	for _, tc := range []struct {
+		name string
+		mut  func(*loadtestOpts)
+	}{
+		{"non-integer session count", func(o *loadtestOpts) { o.sessionsCSV = "1,zero" }},
+		{"zero session count", func(o *loadtestOpts) { o.sessionsCSV = "0" }},
+		{"non-integer gomaxprocs", func(o *loadtestOpts) { o.sessionsCSV = "1"; o.gomaxprocsCSV = "2,x" }},
+		{"read fraction >= 1", func(o *loadtestOpts) { o.sessionsCSV = "1"; o.readFrac = 1.5 }},
+	} {
+		o := tiny
+		tc.mut(&o)
+		if err := runLoadtest(o); err == nil {
+			t.Fatalf("%s must fail", tc.name)
+		}
 	}
-	if err := runLoadtest("0", "", 1, 50, 0.05, 1, 1, 8, 0, "", ""); err == nil {
-		t.Fatal("zero session count must fail")
+}
+
+// TestLoadtestSLOGateFails drives the gate itself: an impossible p99
+// bound must fail the command — but only after the report (the CI
+// evidence) was written.
+func TestLoadtestSLOGateFails(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := runLoadtest(loadtestOpts{
+		sessionsCSV: "1", batches: 2, baseSize: 120, noise: 0.08, seed: 3,
+		workers: 1, queue: 8, outPath: out,
+		sloP99: 0.000001, // no real run can beat a nanosecond p99
+	})
+	if err == nil {
+		t.Fatal("impossible SLO bound must fail the gate")
 	}
-	if err := runLoadtest("1", "2,x", 1, 50, 0.05, 1, 1, 8, 0, "", ""); err == nil {
-		t.Fatal("non-integer gomaxprocs must fail")
+	b, rerr := os.ReadFile(out)
+	if rerr != nil {
+		t.Fatalf("breached run must still write its report: %v", rerr)
 	}
-	if err := runLoadtest("1", "", 1, 50, 0.05, 1, 1, 8, 1.5, "", ""); err == nil {
-		t.Fatal("read fraction >= 1 must fail")
+	var rep loadReport
+	if jerr := json.Unmarshal(b, &rep); jerr != nil || len(rep.Results) != 1 {
+		t.Fatalf("breached report shape: %v: %s", jerr, b)
+	}
+	if rep.Results[0].SLO == nil || rep.Results[0].SLO.Pass {
+		t.Fatalf("breached row must carry a failing verdict: %s", b)
 	}
 }

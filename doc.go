@@ -77,6 +77,13 @@
 //	        only serialized stage is the engine pass itself
 //
 //	          handler: decode + validate   (per-request goroutine)
+//	                │
+//	                ▼
+//	          admission: per-tenant quotas, ahead of the queue —
+//	                │ token buckets on ops/sec and tuples/sec
+//	                │ (429 + Retry-After / X-Retry-After-Ms from the
+//	                │ bucket's actual refill time), hard caps on
+//	                │ relation size (403) and SSE subscribers (409)
 //	                │ enqueue (bounded queue, 429 backpressure)
 //	                ▼
 //	          worker: fold coalescable batches → engine pass
@@ -107,6 +114,13 @@
 //	          pagination cursors (410 Gone once the pinned version ages
 //	          out), X-Session-Version on every response; SSE reconnects
 //	          replay the journal tail from Last-Event-ID
+//
+//	          observability: GET /v1/metrics (JSON) and GET /metrics
+//	          (Prometheus text exposition — cumulative le-bucketed
+//	          histograms for pass latency, fsync lag and fold size,
+//	          plus per-session queue-depth gauges and quota/SSE-drop
+//	          counters), assembled from atomic loads without touching
+//	          any session worker
 //
 // Detection state is computed once per engine run and then maintained:
 // every mutation costs O(affected buckets), never O(|D|), which is what

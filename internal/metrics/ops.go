@@ -7,7 +7,10 @@
 
 package metrics
 
-import "sync"
+import (
+	"math"
+	"sync"
+)
 
 // Histogram is a fixed-bucket histogram safe for concurrent use. Bounds
 // are upper bucket edges in increasing order; an observation lands in
@@ -60,6 +63,35 @@ type Snapshot struct {
 	Mean     float64  `json:"mean"`
 	Buckets  []Bucket `json:"buckets,omitempty"`
 	Overflow uint64   `json:"overflow,omitempty"`
+}
+
+// CumBucket is one Prometheus-style cumulative bucket: Count is the
+// number of observations with value <= LE, and the final bucket's LE is
+// +Inf (its count equals the total observation count).
+type CumBucket struct {
+	LE    float64
+	Count uint64
+}
+
+// Cumulative converts the histogram into Prometheus exposition
+// semantics: one bucket per configured bound plus the +Inf bucket, each
+// carrying the cumulative count of observations at or below its bound.
+// Unlike Snapshot, empty buckets are kept — a scraper needs the full
+// bucket layout to compute quantiles — and an unobserved histogram
+// returns all-zero buckets rather than nil, so idle series still
+// expose their shape.
+func (h *Histogram) Cumulative() (buckets []CumBucket, count uint64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	buckets = make([]CumBucket, 0, len(h.bounds)+1)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		buckets = append(buckets, CumBucket{LE: b, Count: cum})
+	}
+	cum += h.counts[len(h.bounds)]
+	buckets = append(buckets, CumBucket{LE: math.Inf(1), Count: cum})
+	return buckets, h.n, h.sum
 }
 
 // Snapshot copies the current state; nil when nothing was observed, so

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"math"
 	"sync"
 	"testing"
 )
@@ -37,6 +38,71 @@ func TestHistogramBuckets(t *testing.T) {
 	// The snapshot must be JSON-safe (no +Inf bound anywhere).
 	if _, err := json.Marshal(s); err != nil {
 		t.Fatalf("snapshot does not serialize: %v", err)
+	}
+}
+
+// TestHistogramCumulative pins the Prometheus exposition semantics of
+// the conversion: one bucket per bound plus +Inf, each counting
+// observations <= its bound (cumulative, monotone non-decreasing),
+// empty buckets retained, and the +Inf bucket equal to the total count.
+func TestHistogramCumulative(t *testing.T) {
+	bounds := []float64{0.01, 0.1, 1, 10}
+	h := NewHistogram(bounds...)
+
+	// Empty histogram: full bucket layout, all zeros.
+	buckets, count, sum := h.Cumulative()
+	if len(buckets) != len(bounds)+1 || count != 0 || sum != 0 {
+		t.Fatalf("empty cumulative: %v count=%d sum=%g", buckets, count, sum)
+	}
+	for _, b := range buckets {
+		if b.Count != 0 {
+			t.Fatalf("empty histogram has non-zero bucket: %+v", b)
+		}
+	}
+
+	obs := []float64{0.005, 0.01, 0.05, 0.5, 1, 2, 50, 60}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	buckets, count, sum = h.Cumulative()
+	if count != uint64(len(obs)) {
+		t.Fatalf("count = %d, want %d", count, len(obs))
+	}
+	// Each bucket's count must equal the direct count of observations at
+	// or below its bound — the Prometheus definition of le.
+	var prev uint64
+	for i, b := range buckets {
+		want := uint64(0)
+		for _, v := range obs {
+			if v <= b.LE {
+				want++
+			}
+		}
+		if b.Count != want {
+			t.Fatalf("bucket le=%g count=%d, want %d", b.LE, b.Count, want)
+		}
+		if b.Count < prev {
+			t.Fatalf("bucket %d not monotone: %d after %d", i, b.Count, prev)
+		}
+		prev = b.Count
+	}
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(last.LE, 1) {
+		t.Fatalf("last bucket bound = %g, want +Inf", last.LE)
+	}
+	if last.Count != count {
+		t.Fatalf("+Inf bucket %d != count %d", last.Count, count)
+	}
+	var wantSum float64
+	for _, v := range obs {
+		wantSum += v
+	}
+	if sum != wantSum {
+		t.Fatalf("sum = %g, want %g", sum, wantSum)
+	}
+	// Cumulative and Snapshot describe the same state.
+	if s := h.Snapshot(); s.Count != count || s.Sum != sum {
+		t.Fatalf("snapshot disagrees with cumulative: %+v vs count=%d sum=%g", s, count, sum)
 	}
 }
 

@@ -1,0 +1,419 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestTokenBucket(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newTokenBucket(2) // burst 2, refill 2/s
+
+	if ok, _ := b.take(2, t0); !ok {
+		t.Fatal("full bucket must admit its burst")
+	}
+	ok, wait := b.take(1, t0)
+	if ok {
+		t.Fatal("empty bucket must reject")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("wait = %v, want (0, 1s] for 1 token at 2/s", wait)
+	}
+	// After the advertised wait the same request must be admitted — the
+	// Retry-After contract.
+	if ok, _ := b.take(1, t0.Add(wait)); !ok {
+		t.Fatal("bucket must admit after its own advertised wait")
+	}
+
+	// Refill caps at the burst: a long idle stretch is not a credit line.
+	if ok, _ := b.take(2, t0.Add(time.Hour)); !ok {
+		t.Fatal("bucket must be full after idling")
+	}
+	if ok, _ := b.take(1, t0.Add(time.Hour)); ok {
+		t.Fatal("burst must cap accumulated tokens")
+	}
+
+	// A request beyond the burst is charged across future windows, not
+	// rejected forever.
+	big := newTokenBucket(1)
+	if ok, _ := big.take(10, t0); !ok {
+		t.Fatal("over-burst request must be admitted (and charged)")
+	}
+	if ok, wait := big.take(1, t0); ok || wait < 9*time.Second {
+		t.Fatalf("deficit must carry: ok=%v wait=%v", ok, wait)
+	}
+
+	// refund restores tokens for a request that was not admitted.
+	rb := newTokenBucket(4)
+	rb.take(4, t0)
+	rb.refund(1)
+	if ok, _ := rb.take(1, t0); !ok {
+		t.Fatal("refunded token must be spendable")
+	}
+}
+
+func TestResolveQuota(t *testing.T) {
+	def := QuotaConfig{OpsPerSec: 10, TuplesPerSec: 100, MaxRelationSize: 1000, MaxSubscribers: 4}
+	if got := resolveQuota(def, nil); got != def {
+		t.Fatalf("nil override must inherit: %+v", got)
+	}
+	// Zero fields inherit, positive fields override, negative fields
+	// lift the default.
+	got := resolveQuota(def, &WireQuota{OpsPerSec: 5, TuplesPerSec: -1, MaxSubscribers: -1})
+	want := QuotaConfig{OpsPerSec: 5, TuplesPerSec: 0, MaxRelationSize: 1000, MaxSubscribers: 0}
+	if got != want {
+		t.Fatalf("resolve = %+v, want %+v", got, want)
+	}
+	if (QuotaConfig{}).wire() != nil {
+		t.Fatal("fully unlimited quota must not serialize")
+	}
+	if w := want.wire(); w == nil || w.OpsPerSec != 5 || w.MaxRelationSize != 1000 {
+		t.Fatalf("wire = %+v", w)
+	}
+}
+
+// TestLatencySummaryNearestRank pins the percentile definition the SLO
+// gate asserts on: the q-th percentile is the ceil(q*n)-th smallest
+// sample. Small samples are the load-bearing cases — a 2-sample p99
+// must be the LARGER sample, not the smaller one an (n-1)-scaled index
+// would pick.
+func TestLatencySummaryNearestRank(t *testing.T) {
+	ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+	if LatencySummary(nil) != nil {
+		t.Fatal("empty sample must summarize to nil")
+	}
+	one := LatencySummary([]time.Duration{ms(7)})
+	if one.Count != 1 || one.P50ms != 7 || one.P99ms != 7 || one.Maxms != 7 {
+		t.Fatalf("single sample: %+v", one)
+	}
+	two := LatencySummary([]time.Duration{ms(30), ms(10)})
+	if two.P50ms != 10 {
+		t.Fatalf("p50 of {10,30} = %g, want 10 (ceil(.5*2)=1st)", two.P50ms)
+	}
+	if two.P99ms != 30 {
+		t.Fatalf("p99 of {10,30} = %g, want 30 (ceil(.99*2)=2nd)", two.P99ms)
+	}
+	hundred := make([]time.Duration, 100)
+	for i := range hundred {
+		hundred[i] = ms(float64(100 - i))
+	}
+	h := LatencySummary(hundred)
+	if h.P50ms != 50 || h.P99ms != 99 || h.Maxms != 100 {
+		t.Fatalf("1..100ms: p50=%g p99=%g max=%g, want 50/99/100", h.P50ms, h.P99ms, h.Maxms)
+	}
+}
+
+// createWithQuota creates a session named name over the tiny schema
+// with a per-session quota override.
+func createWithQuota(t *testing.T, base, name string, q *WireQuota) {
+	t.Helper()
+	resp, body := do(t, "POST", base+"/v1/sessions", CreateRequest{
+		Name:   name,
+		Schema: &WireSchema{Name: "orders", Attrs: []string{"AC", "CT"}},
+		CFDs:   tinyCFDs,
+		Base:   []WireTuple{{Vals: []*string{strp("212"), strp("NYC")}}},
+		Quota:  q,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestQuotaOpsRateLimit exercises the ops token bucket end to end: the
+// burst is admitted, the next write is 429 with both backoff headers,
+// and the unquota'd session next door is untouched.
+func TestQuotaOpsRateLimit(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	base := ts.URL
+	createWithQuota(t, base, "limited", &WireQuota{OpsPerSec: 1})
+	createTiny(t, base, "free")
+
+	apply := func(name string) (*http.Response, []byte) {
+		return do(t, "POST", base+"/v1/sessions/"+name+"/apply", ApplyRequest{
+			Inserts: []WireTuple{{Vals: []*string{strp("212"), strp("NYC")}}},
+		})
+	}
+	if resp, body := apply("limited"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("burst apply: %d: %s", resp.StatusCode, body)
+	}
+	resp, body := apply("limited")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second apply: %d, want 429: %s", resp.StatusCode, body)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	ms, err := strconv.Atoi(resp.Header.Get("X-Retry-After-Ms"))
+	if err != nil || ms < 1 || ms > ra*1000 {
+		t.Fatalf("X-Retry-After-Ms = %q, want 1..%d", resp.Header.Get("X-Retry-After-Ms"), ra*1000)
+	}
+
+	// The other tenant's writes are unaffected by its neighbour's limit.
+	for i := 0; i < 3; i++ {
+		if resp, body := apply("free"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("free apply %d: %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	// The rejection is visible in the service counters.
+	resp, body = do(t, "GET", base+"/v1/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var mr MetricsResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.RateLimited < 1 {
+		t.Fatalf("rate_limited = %d, want >= 1: %s", mr.RateLimited, body)
+	}
+
+	// And the effective quota is reported in the session listing.
+	resp, body = do(t, "GET", base+"/v1/sessions/limited", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d", resp.StatusCode)
+	}
+	var si SessionInfo
+	if err := json.Unmarshal(body, &si); err != nil {
+		t.Fatal(err)
+	}
+	if si.Quota == nil || si.Quota.OpsPerSec != 1 {
+		t.Fatalf("session quota not reported: %s", body)
+	}
+}
+
+// TestQuotaTuplesBackoffRecovers drives the full 429 contract on the
+// ingest path: reject, wait exactly the advertised backoff, retry,
+// succeed. The tuple rate is high so the advertised wait is a few
+// milliseconds and the test stays fast.
+func TestQuotaTuplesBackoffRecovers(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	base := ts.URL
+	createWithQuota(t, base, "s", &WireQuota{TuplesPerSec: 1000})
+
+	batch := func(n int) ApplyRequest {
+		ar := ApplyRequest{}
+		for i := 0; i < n; i++ {
+			ar.Inserts = append(ar.Inserts, WireTuple{Vals: []*string{strp("212"), strp("NYC")}})
+		}
+		return ar
+	}
+	// Drain the burst (1000 tuples), then a 500-tuple ingest must be
+	// rejected with a sub-second precise backoff: the bucket needs half
+	// a second of refill before it fits, far more than any request
+	// round trip (so the rejection is deterministic even under -race
+	// slowdowns).
+	if resp, body := do(t, "POST", base+"/v1/sessions/s/ingest", batch(1000)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("burst ingest: %d: %s", resp.StatusCode, body)
+	}
+	resp, body := do(t, "POST", base+"/v1/sessions/s/ingest", batch(500))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota ingest: %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	ms, err := strconv.Atoi(resp.Header.Get("X-Retry-After-Ms"))
+	if err != nil || ms < 1 {
+		t.Fatalf("X-Retry-After-Ms = %q", resp.Header.Get("X-Retry-After-Ms"))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+		resp, body = do(t, "POST", base+"/v1/sessions/s/ingest", batch(500))
+		if resp.StatusCode == http.StatusAccepted {
+			break
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || time.Now().After(deadline) {
+			t.Fatalf("retry after backoff: %d: %s", resp.StatusCode, body)
+		}
+		ms, _ = strconv.Atoi(resp.Header.Get("X-Retry-After-Ms"))
+		if ms < 1 {
+			ms = 1
+		}
+	}
+}
+
+// TestRelationSizeCap: a batch that would push the relation past its
+// cap is 403, a same-size churn batch (delete + insert) passes, and the
+// rejection does not consume rate tokens.
+func TestRelationSizeCap(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	base := ts.URL
+	createWithQuota(t, base, "s", &WireQuota{MaxRelationSize: 2})
+
+	ins := ApplyRequest{Inserts: []WireTuple{{Vals: []*string{strp("212"), strp("NYC")}}}}
+	if resp, body := do(t, "POST", base+"/v1/sessions/s/apply", ins); resp.StatusCode != http.StatusOK {
+		t.Fatalf("apply to cap: %d: %s", resp.StatusCode, body)
+	}
+	resp, body := do(t, "POST", base+"/v1/sessions/s/apply", ins)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("over-cap apply: %d, want 403: %s", resp.StatusCode, body)
+	}
+	// Churn at the cap is fine: the batch's own deletes make room. The
+	// base tuple has id 1.
+	churn := ApplyRequest{
+		Deletes: []int64{1},
+		Inserts: []WireTuple{{Vals: []*string{strp("212"), strp("NYC")}}},
+	}
+	if resp, body := do(t, "POST", base+"/v1/sessions/s/apply", churn); resp.StatusCode != http.StatusOK {
+		t.Fatalf("churn at cap: %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestSubscriberCap: the session's SSE consumer cap answers 409 to the
+// subscriber past it, and a disconnect frees the slot.
+func TestSubscriberCap(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	base := ts.URL
+	createWithQuota(t, base, "s", &WireQuota{MaxSubscribers: 1})
+
+	_, cancel := openSSE(t, base+"/v1/sessions/s/events", "")
+	resp, err := http.Get(base + "/v1/sessions/s/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second subscriber: %d, want 409", resp.StatusCode)
+	}
+	cancel()
+	// The slot frees asynchronously with the reader teardown.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/sessions/s/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: %d", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerDefaultQuota: Options.Quota applies to every created
+// session, and a per-session override can lift it.
+func TestServerDefaultQuota(t *testing.T) {
+	_, ts := newTestService(t, Options{Quota: QuotaConfig{MaxRelationSize: 2}})
+	base := ts.URL
+	createTiny(t, base, "capped")
+	createWithQuota(t, base, "lifted", &WireQuota{MaxRelationSize: -1})
+
+	ins := ApplyRequest{Inserts: []WireTuple{
+		{Vals: []*string{strp("212"), strp("NYC")}},
+		{Vals: []*string{strp("212"), strp("NYC")}},
+	}}
+	resp, body := do(t, "POST", base+"/v1/sessions/capped/apply", ins)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("default cap: %d, want 403: %s", resp.StatusCode, body)
+	}
+	if resp, body := do(t, "POST", base+"/v1/sessions/lifted/apply", ins); resp.StatusCode != http.StatusOK {
+		t.Fatalf("lifted cap: %d: %s", resp.StatusCode, body)
+	}
+	// The lifted session is fully unlimited, so no quota is listed.
+	resp, body = do(t, "GET", base+"/v1/sessions/lifted", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d", resp.StatusCode)
+	}
+	var si SessionInfo
+	if err := json.Unmarshal(body, &si); err != nil {
+		t.Fatal(err)
+	}
+	if si.Quota != nil {
+		t.Fatalf("lifted session must list no quota: %s", body)
+	}
+}
+
+// TestQuotaRejectionCostsNothing: a batch the tuple bucket rejects must
+// refund its ops token, so a rejected tenant is not double-charged.
+func TestQuotaRejectionCostsNothing(t *testing.T) {
+	q := newQuotaState(QuotaConfig{OpsPerSec: 2, TuplesPerSec: 1})
+	now := time.Unix(2000, 0)
+	// First: 1 op + 1 tuple, admitted.
+	if err := q.admit(0, 1, 0, now); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	// Second: tuple bucket empty → rejected; the ops token must come back.
+	err := q.admit(0, 1, 0, now)
+	rle := &RateLimitError{}
+	if err == nil || !asRateLimit(err, &rle) || rle.What != "tuples" {
+		t.Fatalf("want tuples rate limit, got %v", err)
+	}
+	// A tuple-free op must still be admitted on the refunded token: ops
+	// had burst 2, spent 1+1, refunded 1 → 1 left.
+	if err := q.admit(0, 0, 0, now); err != nil {
+		t.Fatalf("refunded op: %v", err)
+	}
+}
+
+func asRateLimit(err error, out **RateLimitError) bool {
+	e, ok := err.(*RateLimitError)
+	if ok {
+		*out = e
+	}
+	return ok
+}
+
+// TestEffectiveLimitHeader: the violation listing's ?limit= clamp is
+// not silent — X-Effective-Limit always reports the page size actually
+// applied, clamped or not, so clients can tell a truncated page from an
+// exhausted listing.
+func TestEffectiveLimitHeader(t *testing.T) {
+	_, ts := newTestService(t, Options{MaxReadLimit: 5})
+	base := ts.URL
+	createTiny(t, base, "s")
+
+	for _, tc := range []struct {
+		query string
+		want  string
+	}{
+		{"", "5"},           // default page size (100) clamps to the cap
+		{"?limit=3", "3"},   // under the cap: echoed as-is
+		{"?limit=5", "5"},   // exactly the cap
+		{"?limit=999", "5"}, // over the cap: clamped
+	} {
+		resp, body := do(t, "GET", base+"/v1/sessions/s/violations"+tc.query, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("violations%s: %d: %s", tc.query, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Effective-Limit"); got != tc.want {
+			t.Fatalf("violations%s: X-Effective-Limit = %q, want %q", tc.query, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterSeconds pins the header rendering: ceil to whole
+// seconds, at least 1.
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		wait time.Duration
+		want int
+	}{
+		{10 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1100 * time.Millisecond, 2},
+		{5 * time.Second, 5},
+	} {
+		e := &RateLimitError{What: "ops", RetryAfter: tc.wait}
+		if got := e.retryAfterSeconds(); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.wait, got, tc.want)
+		}
+	}
+	if s := (&RateLimitError{What: "ops", RetryAfter: time.Second}).Error(); s == "" {
+		t.Fatal("error text must not be empty")
+	}
+	_ = fmt.Sprintf("%v", ErrRelationFull)
+}

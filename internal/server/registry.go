@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,11 @@ type Registry struct {
 	// sessions purely in memory, as before PR 5.
 	persist *persistConfig
 
+	// quota is the server-wide default admission-control configuration;
+	// a create request may override it per session (see quota.go). The
+	// zero value is fully unlimited.
+	quota QuotaConfig
+
 	// Group fsync: committers under the per-batch policy funnel sync
 	// requests through one lazily started goroutine that drains a
 	// window of pending requests and issues one Fsync per distinct WAL
@@ -75,11 +81,13 @@ type Registry struct {
 	draining atomic.Bool
 
 	// Service-wide counters (see MetricsResponse).
-	passes    atomic.Uint64 // engine passes completed
-	batches   atomic.Uint64 // client batches accepted
-	coalesced atomic.Uint64 // client batches merged into a shared pass
-	rejected  atomic.Uint64 // ingests refused with ErrBacklog
-	tuples    atomic.Uint64 // tuples inserted
+	passes      atomic.Uint64 // engine passes completed
+	batches     atomic.Uint64 // client batches accepted
+	coalesced   atomic.Uint64 // client batches merged into a shared pass
+	rejected    atomic.Uint64 // ingests refused with ErrBacklog
+	rateLimited atomic.Uint64 // writes refused by a tenant quota (429/403)
+	tuples      atomic.Uint64 // tuples inserted
+	errorPasses atomic.Uint64 // engine passes that returned an error
 
 	// Operational instruments (see OpsMetrics).
 	passLat  *metrics.Histogram // engine pass duration, seconds
@@ -120,11 +128,39 @@ func (r *Registry) shard(name string) *shard {
 // hosted is one session plus its service furniture: the work queue, the
 // worker and committer goroutines' lifecycle channels, the event
 // fan-out and a bounded latency window.
+// sessionOps is one session's operational instrumentation: the same
+// hot-path histograms the registry keeps service-wide, but per tenant,
+// which is what the Prometheus exposition labels by session. Counters
+// live here too so a tenant's error and drop history survives scrapes
+// (but not the session's removal — registry totals do).
+type sessionOps struct {
+	passLat     *metrics.Histogram // engine pass duration, seconds
+	walLag      *metrics.Histogram // WAL append→fsync-acknowledged lag, seconds
+	foldSize    *metrics.Histogram // client batches folded per engine pass
+	sseDropped  atomic.Uint64      // events dropped at this session's slow subscribers
+	errorPasses atomic.Uint64      // engine passes that returned an error
+	rateLimited atomic.Uint64      // writes refused by this session's quota
+}
+
+func newSessionOps() *sessionOps {
+	return &sessionOps{
+		passLat:  metrics.NewHistogram(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5),
+		walLag:   metrics.NewHistogram(0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5),
+		foldSize: metrics.NewHistogram(1, 2, 4, 8, 16, 32, 64),
+	}
+}
+
 type hosted struct {
 	name   string
 	schema *relation.Schema
 	attrs  []string
 	sess   *increpair.Session
+
+	// quota is the session's admission-control state (nil limiter
+	// fields = unlimited); ops the per-tenant instruments behind the
+	// Prometheus exposition.
+	quota *quotaState
+	ops   *sessionOps
 
 	// pers is the session's durability sidecar (nil when the registry
 	// runs in memory); purge tells the exiting worker to delete the
@@ -219,21 +255,31 @@ type commitItem struct {
 	resync *wal.Snapshot
 }
 
-// Create opens a session under name and starts its worker. The caller
-// supplies a ready increpair.Session (built from the decoded create
-// request) and the schema used for wire encoding and attribute lookup.
+// Create opens a session under name and starts its worker, with the
+// registry's default quota. The caller supplies a ready
+// increpair.Session (built from the decoded create request) and the
+// schema used for wire encoding and attribute lookup.
 func (r *Registry) Create(name string, sess *increpair.Session, schema *relation.Schema) (*hosted, error) {
-	return r.register(name, sess, schema, nil)
+	return r.register(name, sess, schema, nil, r.quota)
+}
+
+// CreateWithQuota is Create with a per-session quota override layered
+// over the registry defaults (zero fields inherit, negative fields
+// lift the default; see resolveQuota).
+func (r *Registry) CreateWithQuota(name string, sess *increpair.Session, schema *relation.Schema, wq *WireQuota) (*hosted, error) {
+	return r.register(name, sess, schema, nil, resolveQuota(r.quota, wq))
 }
 
 // adopt re-hosts a recovered session with its existing persister —
 // Create's boot-time sibling, which must not write a fresh generation 0
-// over the recovered files.
+// over the recovered files. Recovered sessions get the registry default
+// quota: per-session overrides are service furniture, not session
+// state, and are not persisted in the WAL or snapshots.
 func (r *Registry) adopt(name string, sess *increpair.Session, schema *relation.Schema, p *persister) (*hosted, error) {
-	return r.register(name, sess, schema, p)
+	return r.register(name, sess, schema, p, r.quota)
 }
 
-func (r *Registry) register(name string, sess *increpair.Session, schema *relation.Schema, p *persister) (*hosted, error) {
+func (r *Registry) register(name string, sess *increpair.Session, schema *relation.Schema, p *persister, quota QuotaConfig) (*hosted, error) {
 	sh := r.shard(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -261,6 +307,8 @@ func (r *Registry) register(name string, sess *increpair.Session, schema *relati
 		schema:        schema,
 		attrs:         schema.Attrs(),
 		sess:          sess,
+		quota:         newQuotaState(quota),
+		ops:           newSessionOps(),
 		pers:          p,
 		queue:         make(chan job, r.queueDepth),
 		commits:       make(chan commitItem, r.queueDepth),
@@ -270,6 +318,8 @@ func (r *Registry) register(name string, sess *increpair.Session, schema *relati
 		views:         newViewCache(sess),
 	}
 	h.subs.drops = &r.sseDrops
+	h.subs.sessionDrops = &h.ops.sseDropped
+	h.subs.max = quota.MaxSubscribers
 	if p != nil {
 		// Carry recovery's replay count into the rotation budget so a
 		// crash-looping server still rotates (see recoverSession).
@@ -308,6 +358,32 @@ func (r *Registry) List() []*hosted {
 	return out
 }
 
+// admit runs the session's quota checks for one write batch BEFORE it
+// can occupy a queue slot: a rejected tenant never reaches the worker,
+// so its burst cannot starve the other sessions' passes. The relation
+// size fed to the cap check is the current snapshot — queued
+// not-yet-applied batches are not counted, so the cap is approximate by
+// up to one queue's worth, which is the price of keeping admission off
+// the worker's lock.
+func (r *Registry) admit(h *hosted, tuples, deletes int) error {
+	q := h.quota
+	if q == nil {
+		return nil
+	}
+	size := 0
+	if q.cfg.MaxRelationSize > 0 {
+		size = h.sess.Snapshot().Size
+	}
+	if err := q.admit(size, tuples, deletes, time.Now()); err != nil {
+		r.rateLimited.Add(1)
+		if h.ops != nil {
+			h.ops.rateLimited.Add(1)
+		}
+		return err
+	}
+	return nil
+}
+
 // Apply enqueues a synchronous batch on h and waits for its engine
 // pass. The reply is exactly what the equivalent in-process ApplyOps
 // returned. Taking the resolved session — not a name — matters: the
@@ -315,6 +391,9 @@ func (r *Registry) List() []*hosted {
 // could resolve a different session if the name was deleted and
 // re-created mid-request.
 func (r *Registry) Apply(ctx context.Context, h *hosted, deletes []relation.TupleID, sets []increpair.SetOp, inserts []*relation.Tuple) (jobReply, error) {
+	if err := r.admit(h, len(inserts), len(deletes)); err != nil {
+		return jobReply{}, err
+	}
 	j := job{deletes: deletes, sets: sets, inserts: inserts, enqueued: time.Now(), reply: make(chan jobReply, 1)}
 	select {
 	case h.queue <- j:
@@ -346,6 +425,9 @@ func (r *Registry) Apply(ctx context.Context, h *hosted, deletes []relation.Tupl
 // it to 429), which is the service's backpressure signal. Like Apply it
 // takes the resolved session so the batch lands where it was decoded.
 func (r *Registry) Ingest(h *hosted, inserts []*relation.Tuple) error {
+	if err := r.admit(h, len(inserts), 0); err != nil {
+		return err
+	}
 	j := job{inserts: inserts, coalescable: true, enqueued: time.Now()}
 	// Both the quit check and the send happen under the fence, so the
 	// worker's final drain cannot slip between them (see hosted.sendMu).
@@ -542,11 +624,20 @@ func (h *hosted) apply(r *Registry, j job, batches int) {
 	h.lat.record(engine)
 	r.passLat.Observe(engine.Seconds())
 	r.foldSize.Observe(float64(batches))
+	if h.ops != nil {
+		h.ops.passLat.Observe(engine.Seconds())
+		h.ops.foldSize.Observe(float64(batches))
+	}
 	var seq uint64
 	if err == nil {
 		seq = h.seq.Add(1)
 		r.passes.Add(1)
 		r.tuples.Add(uint64(len(res.Inserted)))
+	} else {
+		r.errorPasses.Add(1)
+		if h.ops != nil {
+			h.ops.errorPasses.Add(1)
+		}
 	}
 	item := commitItem{
 		j: j, batches: batches, version: snap.Version, passDone: time.Now(),
@@ -604,7 +695,11 @@ func (h *hosted) committer(r *Registry) {
 					if h.pers.cfg.policy == FsyncBatch {
 						appended := time.Now()
 						if r.groupSync(h.pers) == nil {
-							r.walLag.Observe(time.Since(appended).Seconds())
+							lag := time.Since(appended).Seconds()
+							r.walLag.Observe(lag)
+							if h.ops != nil {
+								h.ops.walLag.Observe(lag)
+							}
 						}
 					}
 					if item.rotate != nil {
@@ -745,14 +840,21 @@ func (l *latWindow) window() []time.Duration {
 // LatencySummary summarizes a latency sample into the wire shape
 // (nearest-rank percentiles in milliseconds); it sorts all in place.
 // Shared by /v1/metrics and the workload load driver so both report
-// identically defined p50/p99.
+// identically defined p50/p99 — and the SLO gate asserts on these
+// numbers, so the definition is load-bearing: the q-th percentile is
+// the ceil(q·n)-th smallest sample (never an interpolation, never a
+// sample below the true rank — a single-sample run reports that sample
+// for every percentile, and p99 of two samples is the larger one).
 func LatencySummary(all []time.Duration) *WireLatency {
 	if len(all) == 0 {
 		return nil
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	pick := func(q float64) float64 {
-		i := int(q * float64(len(all)-1))
+		i := int(math.Ceil(q*float64(len(all)))) - 1
+		if i < 0 {
+			i = 0
+		}
 		return float64(all[i]) / float64(time.Millisecond)
 	}
 	return &WireLatency{

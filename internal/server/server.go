@@ -77,8 +77,16 @@ type Options struct {
 	// MaxBodyBytes bounds request bodies. Default 64 MiB.
 	MaxBodyBytes int64
 	// MaxReadLimit caps the page size of violation listings: a ?limit=
-	// beyond it is clamped. Default 1000.
+	// beyond it is clamped (the response's X-Effective-Limit header
+	// reports the limit actually applied). Default 1000.
 	MaxReadLimit int
+
+	// Quota is the server-wide default admission-control configuration
+	// (the -quota-* flags): token-bucket rate limits on writes plus hard
+	// caps on relation size and SSE subscribers, enforced per session
+	// ahead of the worker queue. The zero value is fully unlimited; a
+	// create request may override per session (CreateRequest.Quota).
+	Quota QuotaConfig
 
 	// CoalesceMaxTuples caps the tuples folded into one ingest pass; 0
 	// (the default) leaves the fold bounded only by queue content.
@@ -142,6 +150,7 @@ func New(opts Options) *Server {
 	s.reg = NewRegistry(s.opts.QueueDepth)
 	s.reg.coalesceMax = s.opts.CoalesceMaxTuples
 	s.reg.coalesceDelay = s.opts.CoalesceDelay
+	s.reg.quota = s.opts.Quota
 	if s.opts.DataDir != "" {
 		s.reg.persist = &persistConfig{
 			dir:       s.opts.DataDir,
@@ -152,6 +161,7 @@ func New(opts Options) *Server {
 	}
 	m := http.NewServeMux()
 	m.HandleFunc("GET /healthz", s.handleHealth)
+	m.HandleFunc("GET /metrics", s.handlePrometheus)
 	m.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	m.HandleFunc("GET /v1/sessions", s.handleList)
 	m.HandleFunc("POST /v1/sessions", s.handleCreate)
@@ -267,7 +277,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 		writeStatus(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	h, err := s.reg.Create(cr.Name, sess, rel.Schema())
+	h, err := s.reg.CreateWithQuota(cr.Name, sess, rel.Schema(), cr.Quota)
 	if err != nil {
 		sess.Close()
 		writeError(w, err)
@@ -304,7 +314,7 @@ func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
 }
 
 func (h *hosted) info() SessionInfo {
-	return SessionInfo{
+	si := SessionInfo{
 		Name:     h.name,
 		Attrs:    h.attrs,
 		Queue:    len(h.queue),
@@ -312,6 +322,10 @@ func (h *hosted) info() SessionInfo {
 		Persist:  h.pers.status(),
 		Snapshot: encodeSnapshot(h.sess.Snapshot()),
 	}
+	if h.quota != nil {
+		si.Quota = h.quota.cfg.wire()
+	}
+	return si
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, req *http.Request) {
@@ -449,7 +463,11 @@ func (s *Server) handleViolations(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
+	// The clamp is not silent: X-Effective-Limit always reports the page
+	// size actually applied, so a client asking past -max-read-limit can
+	// tell a truncated page from an exhausted listing.
 	limit = min(limit, s.opts.MaxReadLimit)
+	w.Header().Set("X-Effective-Limit", strconv.Itoa(limit))
 
 	var cur readCursor
 	if tok := q.Get("cursor"); tok != "" {
@@ -599,6 +617,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		Batches:       s.reg.batches.Load(),
 		Coalesced:     s.reg.coalesced.Load(),
 		Rejected:      s.reg.rejected.Load(),
+		RateLimited:   s.reg.rateLimited.Load(),
+		ErrorPasses:   s.reg.errorPasses.Load(),
 		Tuples:        s.reg.tuples.Load(),
 		Latency:       LatencySummary(all),
 		Ops:           ops,
@@ -629,9 +649,25 @@ func writeStatus(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorResponse{Error: msg})
 }
 
-// writeError maps registry errors onto HTTP statuses.
+// writeError maps registry errors onto HTTP statuses. A rate-limited
+// request carries its bucket's actual refill time: Retry-After in
+// integer seconds (rounded up, per RFC 9110) and the precise wait in
+// X-Retry-After-Ms for clients doing sub-second backoff.
 func writeError(w http.ResponseWriter, err error) {
+	var rle *RateLimitError
 	switch {
+	case errors.As(err, &rle):
+		ms := (rle.RetryAfter + time.Millisecond - 1) / time.Millisecond
+		if ms < 1 {
+			ms = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(rle.retryAfterSeconds()))
+		w.Header().Set("X-Retry-After-Ms", strconv.FormatInt(int64(ms), 10))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrRelationFull):
+		writeStatus(w, http.StatusForbidden, err.Error())
+	case errors.Is(err, ErrSubscriberLimit):
+		writeStatus(w, http.StatusConflict, err.Error())
 	case errors.Is(err, ErrNotFound):
 		writeStatus(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, ErrExists):

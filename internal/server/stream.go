@@ -59,9 +59,14 @@ type subscribers struct {
 
 	queue   chan Event
 	fanDone chan struct{}
-	// drops counts events dropped at slow consumers, registry-wide
-	// (nil on bare test fixtures).
-	drops *atomic.Uint64
+	// drops counts events dropped at slow consumers, registry-wide;
+	// sessionDrops is the same count on the session's own instruments
+	// (either may be nil on bare test fixtures).
+	drops        *atomic.Uint64
+	sessionDrops *atomic.Uint64
+	// max caps concurrent subscribers (0 = unlimited); set from the
+	// session's quota at registration.
+	max int
 
 	// ring retains the most recent events in pass order for
 	// Last-Event-ID replay; unmarshaled Event values, so retention costs
@@ -127,9 +132,10 @@ func (s *subscribers) newestSeq() uint64 {
 
 // subscribe registers a new event consumer; the returned cancel is
 // idempotent and must be called when the consumer goes away. A nil
-// channel is returned after closeAll (session shut down).
+// channel is returned after closeAll (session shut down) or when the
+// session's subscriber cap is reached.
 func (s *subscribers) subscribe() (ch chan frame, cancel func()) {
-	ch, _, cancel = s.subscribeFrom(0, false)
+	ch, _, cancel, _ = s.subscribeFrom(0, false)
 	return ch, cancel
 }
 
@@ -141,11 +147,16 @@ func (s *subscribers) subscribe() (ch chan frame, cancel func()) {
 // contains. When the ring no longer covers lastID the whole retained
 // tail is replayed with the first event resync-flagged — the gap is
 // announced, and the embedded snapshots re-anchor the client.
-func (s *subscribers) subscribeFrom(lastID uint64, resume bool) (ch chan frame, replay []Event, cancel func()) {
+// A session at its subscriber cap refuses with ErrSubscriberLimit
+// (mapped to 409): an existing consumer must disconnect first.
+func (s *subscribers) subscribeFrom(lastID uint64, resume bool) (ch chan frame, replay []Event, cancel func(), err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, nil, func() {}
+		return nil, nil, func() {}, nil
+	}
+	if s.max > 0 && len(s.m) >= s.max {
+		return nil, nil, func() {}, fmt.Errorf("%w: %d subscribers connected, cap %d", ErrSubscriberLimit, len(s.m), s.max)
 	}
 	if s.m == nil {
 		s.m = make(map[int]*subscriber)
@@ -178,6 +189,17 @@ func (s *subscribers) subscribeFrom(lastID uint64, resume bool) (ch chan frame, 
 			delete(s.m, id)
 			close(c.ch)
 		}
+	}, nil
+}
+
+// countDrops bumps the registry-wide and per-session slow-subscriber
+// drop counters (either may be nil on bare test fixtures).
+func (s *subscribers) countDrops(n uint64) {
+	if s.drops != nil {
+		s.drops.Add(n)
+	}
+	if s.sessionDrops != nil {
+		s.sessionDrops.Add(n)
 	}
 }
 
@@ -210,8 +232,8 @@ func (s *subscribers) publish(ev Event) {
 			sub.dropped = true
 		}
 		s.mu.Unlock()
-		if s.drops != nil && n > 0 {
-			s.drops.Add(uint64(n))
+		if n > 0 {
+			s.countDrops(uint64(n))
 		}
 	}
 }
@@ -263,9 +285,7 @@ func (s *subscribers) deliver(ev Event) {
 			sub.afterSeq = ev.Seq
 		default:
 			sub.dropped = true
-			if s.drops != nil {
-				s.drops.Add(1)
-			}
+			s.countDrops(1)
 		}
 	}
 }
@@ -320,7 +340,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 			lastID, resume = id, true
 		}
 	}
-	ch, replay, cancel := h.subs.subscribeFrom(lastID, resume)
+	ch, replay, cancel, err := h.subs.subscribeFrom(lastID, resume)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	defer cancel()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")

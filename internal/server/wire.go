@@ -73,6 +73,23 @@ type CreateRequest struct {
 	BaseCSV string       `json:"base_csv,omitempty"`
 	Base    []WireTuple  `json:"base,omitempty"`
 	Options *WireOptions `json:"options,omitempty"`
+	// Quota overrides the server's default admission-control limits for
+	// this session: zero fields inherit the -quota-* defaults, negative
+	// fields mean explicitly unlimited.
+	Quota *WireQuota `json:"quota,omitempty"`
+}
+
+// WireQuota is a session's admission-control configuration on the wire:
+// token-bucket rates plus hard caps. In a create request, zero fields
+// inherit the server defaults and negative fields lift them; in session
+// listings it reports the effective limits (absent when fully
+// unlimited). A rate-limited write is answered 429 with Retry-After;
+// the size cap maps to 403 and the subscriber cap to 409.
+type WireQuota struct {
+	OpsPerSec       float64 `json:"ops_per_sec,omitempty"`
+	TuplesPerSec    float64 `json:"tuples_per_sec,omitempty"`
+	MaxRelationSize int     `json:"max_relation_size,omitempty"`
+	MaxSubscribers  int     `json:"max_subscribers,omitempty"`
 }
 
 // WireSchema names a relation and its attributes.
@@ -179,6 +196,7 @@ type SessionInfo struct {
 	Queue    int          `json:"queue"`
 	QueueCap int          `json:"queue_cap"`
 	Persist  string       `json:"persist,omitempty"`
+	Quota    *WireQuota   `json:"quota,omitempty"`
 	Snapshot WireSnapshot `json:"snapshot"`
 }
 
@@ -188,6 +206,9 @@ type ListResponse struct {
 }
 
 // MetricsResponse is the service-wide counter and latency report.
+// RateLimited counts writes refused by tenant quotas (429/403);
+// ErrorPasses counts engine passes that returned an error. Both are
+// omitted while zero so pre-quota clients see unchanged bodies.
 type MetricsResponse struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
 	Sessions      int          `json:"sessions"`
@@ -195,6 +216,8 @@ type MetricsResponse struct {
 	Batches       uint64       `json:"batches"`
 	Coalesced     uint64       `json:"coalesced"`
 	Rejected      uint64       `json:"rejected"`
+	RateLimited   uint64       `json:"rate_limited,omitempty"`
+	ErrorPasses   uint64       `json:"error_passes,omitempty"`
 	Tuples        uint64       `json:"tuples"`
 	Latency       *WireLatency `json:"latency,omitempty"`
 	Ops           *OpsMetrics  `json:"ops,omitempty"`

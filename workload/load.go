@@ -74,6 +74,24 @@ type LoadConfig struct {
 	// pure write workload; must be below 1 — some writes have to drive
 	// the sessions forward.
 	ReadFrac float64
+
+	// SLOMaxP99ms, when > 0, turns the run into an SLO assertion: the
+	// result carries an SLOReport and Pass is false when the measured
+	// write p99 exceeds this bound or the error rate exceeds
+	// SLOMaxErrorRate. The loadtest command exits non-zero on breach.
+	SLOMaxP99ms float64
+	// SLOMaxErrorRate is the error-batch fraction tolerated by the SLO
+	// gate (errors / attempted batches). 0 — the default — means any
+	// failed batch breaches.
+	SLOMaxErrorRate float64
+
+	// QuotaOps, when > 0, creates session 0 with this ops/sec quota
+	// (server.WireQuota override) while the other sessions stay
+	// unlimited: the limited tenant's clients see 429s and back off per
+	// Retry-After, and the run demonstrates the others' latency holding
+	// the SLO. Rate-limited rejections are retried, tallied in
+	// LoadResult.RateLimited, and never counted as error batches.
+	QuotaOps float64
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -122,6 +140,10 @@ type LoadResult struct {
 	TotalBatches  int     `json:"total_batches"`
 	TotalTuples   int     `json:"total_tuples"`
 	ErrorBatches  int     `json:"error_batches"`
+	// RateLimited counts 429 rate-limit rejections the clients absorbed
+	// by backing off per Retry-After and retrying; the retried batches
+	// still land, so these are not errors.
+	RateLimited int `json:"rate_limited,omitempty"`
 	WallSeconds   float64 `json:"wall_seconds"`
 	BatchesPerSec float64 `json:"batches_per_sec"`
 	TuplesPerSec  float64 `json:"tuples_per_sec"`
@@ -136,6 +158,19 @@ type LoadResult struct {
 	// Reads summarizes the read side of a mixed workload (ReadFrac > 0):
 	// absent on pure write runs.
 	Reads *ReadStats `json:"reads,omitempty"`
+	// SLO is the assertion verdict, present when SLOMaxP99ms was set.
+	SLO *SLOReport `json:"slo,omitempty"`
+}
+
+// SLOReport is the verdict of an SLO-gated run: the targets it was held
+// to, the measured error rate, and the list of breached assertions
+// (empty when Pass).
+type SLOReport struct {
+	TargetP99ms  float64  `json:"target_p99_ms"`
+	MaxErrorRate float64  `json:"max_error_rate"`
+	ErrorRate    float64  `json:"error_rate"`
+	Pass         bool     `json:"pass"`
+	Breaches     []string `json:"breaches,omitempty"`
 }
 
 // ReadStats summarizes the streaming reads of a mixed workload run.
@@ -252,6 +287,11 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			BaseCSV: csvBuf.String(),
 			Options: &server.WireOptions{Ordering: "linear", Workers: cfg.Workers},
 		}
+		if cfg.QuotaOps > 0 && i == 0 {
+			// One deliberately throttled tenant; the rest stay unlimited so
+			// the run shows their latency unaffected by its backoff.
+			cr.Quota = &server.WireQuota{OpsPerSec: cfg.QuotaOps}
+		}
 		if _, err := postJSON(client, base+"/v1/sessions", cr, http.StatusCreated, nil); err != nil {
 			return nil, fmt.Errorf("creating %s: %w", name, err)
 		}
@@ -265,13 +305,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	var (
 		wg        sync.WaitGroup
 		mu        sync.Mutex
-		lats      []time.Duration
-		stageLats [3][]time.Duration // queue, engine, persist
-		okTuples  int
-		errCount  int
-		firstErr  error
-		okBatches int
-		reads     readTally
+		lats        []time.Duration
+		stageLats   [3][]time.Duration // queue, engine, persist
+		okTuples    int
+		errCount    int
+		rateLimited int
+		firstErr    error
+		okBatches   int
+		reads       readTally
 	)
 	stageHeaders := [3]string{"X-Stage-Queue-Us", "X-Stage-Engine-Us", "X-Stage-Persist-Us"}
 	// readRatio turns ReadFrac (fraction of all operations) into reads
@@ -286,7 +327,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			var local []time.Duration
 			var localStages [3][]time.Duration
 			var localReads readTally
-			localTuples, localErrs := 0, 0
+			localTuples, localErrs, localLimited := 0, 0, 0
 			readCredit, readTurn := 0.0, 0
 			fail := func(err error) {
 				mu.Lock()
@@ -297,10 +338,12 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			}
 			for _, wb := range sl.batches {
 				var resp server.ApplyResponse
-				t0 := time.Now()
-				hdr, err := postJSON(client, base+"/v1/sessions/"+sl.name+"/apply",
-					server.ApplyRequest{Inserts: wb}, http.StatusOK, &resp)
-				d := time.Since(t0)
+				// d is the accepted attempt's round trip: rate-limit backoff
+				// is the throttled tenant's own waiting, not service
+				// latency, so it stays out of the percentile sample.
+				hdr, retries, d, err := applyWithBackoff(client, base+"/v1/sessions/"+sl.name+"/apply",
+					server.ApplyRequest{Inserts: wb}, &resp)
+				localLimited += retries
 				if err == nil && !resp.Snapshot.Satisfied {
 					err = fmt.Errorf("session %s: batch left violations", sl.name)
 				}
@@ -334,6 +377,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			okTuples += localTuples
 			okBatches += len(local)
 			errCount += localErrs
+			rateLimited += localLimited
 			reads.merge(&localReads)
 			mu.Unlock()
 		}(loads[i])
@@ -369,6 +413,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		TotalBatches:  total,
 		TotalTuples:   okTuples,
 		ErrorBatches:  errCount,
+		RateLimited:   rateLimited,
 		WallSeconds:   wall.Seconds(),
 		BatchesPerSec: float64(total) / wall.Seconds(),
 		TuplesPerSec:  float64(okTuples) / wall.Seconds(),
@@ -398,7 +443,66 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			PageLatency:  server.LatencySummary(reads.pageLats),
 		}
 	}
+	if cfg.SLOMaxP99ms > 0 {
+		res.SLO = evaluateSLO(cfg, res)
+	}
 	return res, nil
+}
+
+// evaluateSLO holds a finished run against its targets: write p99 at or
+// under the bound, error-batch rate (errors over attempted batches) at
+// or under the tolerance. Every breach is spelled out so a failing CI
+// log says what broke, not just that something did.
+func evaluateSLO(cfg LoadConfig, res *LoadResult) *SLOReport {
+	rep := &SLOReport{TargetP99ms: cfg.SLOMaxP99ms, MaxErrorRate: cfg.SLOMaxErrorRate}
+	if attempted := res.TotalBatches + res.ErrorBatches; attempted > 0 {
+		rep.ErrorRate = float64(res.ErrorBatches) / float64(attempted)
+	}
+	if res.TotalBatches == 0 {
+		rep.Breaches = append(rep.Breaches, "no batch succeeded")
+	}
+	if res.P99ms > rep.TargetP99ms {
+		rep.Breaches = append(rep.Breaches,
+			fmt.Sprintf("write p99 %.1fms exceeds target %.1fms", res.P99ms, rep.TargetP99ms))
+	}
+	if rep.ErrorRate > rep.MaxErrorRate {
+		rep.Breaches = append(rep.Breaches,
+			fmt.Sprintf("error rate %.4f (%d/%d batches) exceeds %.4f",
+				rep.ErrorRate, res.ErrorBatches, res.TotalBatches+res.ErrorBatches, rep.MaxErrorRate))
+	}
+	rep.Pass = len(rep.Breaches) == 0
+	return rep
+}
+
+// applyWithBackoff posts one apply batch, absorbing 429 rate-limit
+// rejections by waiting out the server's advertised backoff —
+// X-Retry-After-Ms when present (precise), Retry-After seconds
+// otherwise — and retrying. retries reports how many 429s were
+// absorbed; d is the accepted attempt's round trip alone, excluding
+// rejected attempts and the sleeps between them. The retry budget is
+// generous but bounded: a session whose quota can never admit the
+// batch surfaces the 429 as an error instead of spinning forever.
+func applyWithBackoff(client *http.Client, url string, ar server.ApplyRequest, out *server.ApplyResponse) (hdr http.Header, retries int, d time.Duration, err error) {
+	const maxRetries = 100
+	for {
+		t0 := time.Now()
+		hdr, status, err := postJSONStatus(client, url, ar, out)
+		d = time.Since(t0)
+		if err == nil && status == http.StatusOK {
+			return hdr, retries, d, nil
+		}
+		if status != http.StatusTooManyRequests || retries >= maxRetries {
+			return hdr, retries, d, err
+		}
+		retries++
+		wait := 50 * time.Millisecond
+		if ms, perr := strconv.ParseInt(hdr.Get("X-Retry-After-Ms"), 10, 64); perr == nil && ms > 0 {
+			wait = time.Duration(ms) * time.Millisecond
+		} else if sec, perr := strconv.Atoi(hdr.Get("Retry-After")); perr == nil && sec > 0 {
+			wait = time.Duration(sec) * time.Second
+		}
+		time.Sleep(wait)
+	}
 }
 
 // readTally accumulates one goroutine's (and then the run's) read-side
@@ -511,24 +615,35 @@ func (r *readTally) walkViolations(client *http.Client, base, name string) (page
 // when non-nil; the response headers come back for callers that read
 // the per-stage timing headers.
 func postJSON(client *http.Client, url string, v any, wantStatus int, out any) (http.Header, error) {
+	hdr, status, err := postJSONStatus(client, url, v, out)
+	if err == nil && status != wantStatus {
+		err = fmt.Errorf("POST %s: unexpected status %d", url, status)
+	}
+	return hdr, err
+}
+
+// postJSONStatus posts v and returns the response status alongside the
+// headers; a non-2xx response is reported as an error carrying the body
+// text, with the status still returned so callers can branch on 429.
+func postJSONStatus(client *http.Client, url string, v any, out any) (http.Header, int, error) {
 	b, err := json.Marshal(v)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return resp.Header, err
+		return resp.Header, resp.StatusCode, err
 	}
-	if resp.StatusCode != wantStatus {
-		return resp.Header, fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+	if resp.StatusCode >= 300 {
+		return resp.Header, resp.StatusCode, fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
 	}
 	if out != nil {
-		return resp.Header, json.Unmarshal(body, out)
+		return resp.Header, resp.StatusCode, json.Unmarshal(body, out)
 	}
-	return resp.Header, nil
+	return resp.Header, resp.StatusCode, nil
 }

@@ -71,6 +71,65 @@ func TestRunLoadMixedReads(t *testing.T) {
 	}
 }
 
+// TestRunLoadQuotaThrottle drives the multi-tenant isolation story at
+// unit scale: session 0 is created with a tight ops/sec quota, its
+// client absorbs 429s and retries after the server's advertised
+// backoff, and the run finishes with every batch landed — rate-limited
+// rejections tallied separately, never as errors — while the SLO
+// verdict (measured on a sample that excludes backoff waits) passes.
+func TestRunLoadQuotaThrottle(t *testing.T) {
+	res, err := RunLoad(LoadConfig{
+		Sessions:    2,
+		Batches:     4,
+		BaseSize:    120,
+		NoiseRate:   0.08,
+		Seed:        5,
+		QuotaOps:    2,
+		SLOMaxP99ms: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RateLimited < 1 {
+		t.Fatalf("throttled tenant saw no 429s: %+v", res)
+	}
+	if res.ErrorBatches != 0 || res.TotalBatches != 8 {
+		t.Fatalf("retried 429s must all land without errors: %+v", res)
+	}
+	if res.SLO == nil || !res.SLO.Pass || res.SLO.ErrorRate != 0 {
+		t.Fatalf("SLO verdict: %+v", res.SLO)
+	}
+}
+
+// TestEvaluateSLO pins the gate's verdict composition without running
+// a server.
+func TestEvaluateSLO(t *testing.T) {
+	cfg := LoadConfig{SLOMaxP99ms: 100}
+	ok := evaluateSLO(cfg, &LoadResult{TotalBatches: 10, P99ms: 99})
+	if !ok.Pass || len(ok.Breaches) != 0 || ok.TargetP99ms != 100 {
+		t.Fatalf("clean run: %+v", ok)
+	}
+	slow := evaluateSLO(cfg, &LoadResult{TotalBatches: 10, P99ms: 101})
+	if slow.Pass || len(slow.Breaches) != 1 {
+		t.Fatalf("p99 breach: %+v", slow)
+	}
+	// Default tolerance: any failed batch breaches.
+	errs := evaluateSLO(cfg, &LoadResult{TotalBatches: 9, ErrorBatches: 1, P99ms: 50})
+	if errs.Pass || errs.ErrorRate != 0.1 {
+		t.Fatalf("error breach: %+v", errs)
+	}
+	// A non-zero tolerance admits that same rate.
+	cfg.SLOMaxErrorRate = 0.2
+	if got := evaluateSLO(cfg, &LoadResult{TotalBatches: 9, ErrorBatches: 1, P99ms: 50}); !got.Pass {
+		t.Fatalf("tolerated error rate still breached: %+v", got)
+	}
+	// Nothing succeeded: breached regardless of latency.
+	dead := evaluateSLO(cfg, &LoadResult{})
+	if dead.Pass {
+		t.Fatalf("empty run passed: %+v", dead)
+	}
+}
+
 // TestRunLoadSmoke exercises the full load-driver path — in-process
 // server, session creation over generated bases, concurrent streaming,
 // teardown — at a tiny scale, and sanity-checks the report's arithmetic.
