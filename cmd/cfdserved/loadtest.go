@@ -63,6 +63,10 @@ type loadtestOpts struct {
 	workers, queue             int
 	readFrac                   float64
 	dataDir, outPath           string
+	// target drives an already-running service (workload.LoadConfig.
+	// BaseURL) instead of the in-process server — how CI loads a real
+	// multi-node cluster. Durable in-process rows are skipped.
+	target string
 	// sloP99 > 0 turns the run into an SLO assertion (see
 	// workload.LoadConfig.SLOMaxP99ms); breaches fail the command AFTER
 	// the report is written, so CI keeps the evidence.
@@ -105,6 +109,9 @@ func runLoadtest(o loadtestOpts) error {
 	if o.dataDir != "" {
 		cmd += " -data-dir " + o.dataDir
 	}
+	if o.target != "" {
+		cmd += " -target " + o.target
+	}
 	if o.sloP99 > 0 {
 		cmd += fmt.Sprintf(" -slo-p99 %g -slo-errors %g", o.sloP99, o.sloErrors)
 	}
@@ -143,9 +150,13 @@ func runLoadtest(o loadtestOpts) error {
 		if dir != "" {
 			mode = "durable"
 		}
+		if o.target != "" {
+			mode = "external " + o.target
+		}
 		fmt.Fprintf(os.Stderr, "loadtest: gomaxprocs=%d, %d session(s), %d batches each, %s ... ", runtime.GOMAXPROCS(0), n, o.batches, mode)
 		t0 := time.Now()
 		res, err := workload.RunLoad(workload.LoadConfig{
+			BaseURL:         o.target,
 			Sessions:        n,
 			Batches:         o.batches,
 			BaseSize:        o.baseSize,
@@ -186,7 +197,7 @@ func runLoadtest(o loadtestOpts) error {
 			if err := run(n, ""); err != nil {
 				return err
 			}
-			if o.dataDir != "" {
+			if o.dataDir != "" && o.target == "" {
 				dir := filepath.Join(o.dataDir, fmt.Sprintf("loadtest-%d-%d", gp, n))
 				err := run(n, dir)
 				os.RemoveAll(dir)

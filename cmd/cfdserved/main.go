@@ -13,11 +13,13 @@
 //	          [-max-read-limit 1000]
 //	          [-quota-ops 0] [-quota-tuples 0]
 //	          [-quota-max-size 0] [-quota-max-subscribers 0]
+//	          [-peers HOST:PORT,HOST:PORT,...] [-self HOST:PORT]
+//	          [-ack leader|quorum]
 //	cfdserved -loadtest [-sessions 1,4,16] [-gomaxprocs 1,2,4]
 //	          [-batches 8] [-base 800] [-noise 0.08] [-seed 1]
 //	          [-workers 1] [-read-frac 0] [-data-dir DIR]
 //	          [-slo-p99 0] [-slo-errors 0] [-quota-ops 0]
-//	          [-out BENCH.json]
+//	          [-target http://host:port] [-out BENCH.json]
 //
 // With -data-dir the service is durable: every session writes a
 // CRC-checked write-ahead log plus periodic full-state snapshots under
@@ -28,6 +30,19 @@
 // syncs before every acknowledgement, "interval" syncs on a timer,
 // "off" leaves flushing to the OS. In -loadtest mode -data-dir makes
 // the driver measure durable and in-memory throughput side by side.
+//
+// With -peers (a static comma-separated node list including this node's
+// -self address) the service runs clustered: session names hash
+// consistently across the peers, any node routes requests it does not
+// own to the owner, and every primary streams its WAL to the session's
+// ring follower, so killing a node loses nothing acknowledged — promote
+// the follower (POST /v1/sessions/{name}/promote) and it serves a
+// byte-identical session. Writes landing on a follower answer 421 with
+// the primary's address in X-Primary. -ack picks the durability scope
+// of an acknowledgement: "leader" (default) answers after the local
+// fsync, "quorum" waits for the follower too. GET /v1/cluster shows
+// placement; PUT /v1/cluster/peers swaps the node list and transfers
+// sessions to their new owners (snapshot ship + remote promote).
 //
 // The -quota-* flags set server-wide default per-session admission
 // limits, enforced ahead of each session's work queue: -quota-ops and
@@ -51,6 +66,12 @@
 //	GET    /v1/sessions/{name}/violations  paginated violations
 //	GET    /v1/sessions/{name}/dump        relation as streamed CSV
 //	GET    /v1/sessions/{name}/events      SSE stream of applied batches
+//	POST   /v1/sessions/{name}/promote     promote a replica to primary
+//	GET    /v1/cluster                     placement + replication state
+//	PUT    /v1/cluster/peers               swap peer list, rebalance
+//	PUT    /v1/replica/{name}              replication: snapshot install
+//	POST   /v1/replica/{name}/batch        replication: one shipped batch
+//	DELETE /v1/replica/{name}              replication: drop a replica
 //
 // Reads are snapshot-isolated: each request pins a consistent view of
 // the session and never blocks (or is blocked by) the writer. Every
@@ -97,6 +118,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only by -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -119,6 +141,9 @@ func main() {
 	quotaTuples := flag.Float64("quota-tuples", 0, "per-session tuples/sec quota, 429 past it (0: unlimited)")
 	quotaMaxSize := flag.Int("quota-max-size", 0, "per-session relation size cap, 403 past it (0: unlimited)")
 	quotaMaxSubs := flag.Int("quota-max-subscribers", 0, "per-session SSE subscriber cap, 409 past it (0: unlimited)")
+	peers := flag.String("peers", "", "cluster: comma-separated static node list, host:port each (empty: single-node)")
+	self := flag.String("self", "", "cluster: this node's own entry in -peers")
+	ackMode := flag.String("ack", "leader", "cluster: write acknowledgement scope: leader (local fsync) or quorum (follower ack too)")
 
 	loadtest := flag.Bool("loadtest", false, "run the service load driver instead of serving")
 	sessions := flag.String("sessions", "1,4,16", "loadtest: comma-separated concurrent session counts")
@@ -132,12 +157,40 @@ func main() {
 	sloP99 := flag.Float64("slo-p99", 0, "loadtest: SLO gate — exit non-zero when write p99 exceeds this many ms (0: off)")
 	sloErrors := flag.Float64("slo-errors", 0, "loadtest: SLO gate — error-batch rate tolerated before breaching (default: none)")
 	out := flag.String("out", "", "loadtest: JSON report path (default stdout)")
+	target := flag.String("target", "", "loadtest: drive an already-running service at this base URL instead of an in-process server")
 	flag.Parse()
 
 	policy, err := server.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cfdserved: -fsync: %v\n", err)
 		os.Exit(2)
+	}
+	ack, err := server.ParseAckMode(*ackMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfdserved: -ack: %v\n", err)
+		os.Exit(2)
+	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "cfdserved: -peers requires -self (this node's own entry in the list)")
+			os.Exit(2)
+		}
+		ok := false
+		for _, p := range peerList {
+			if p == *self {
+				ok = true
+			}
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cfdserved: -self %q is not in -peers\n", *self)
+			os.Exit(2)
+		}
 	}
 	popts := server.Options{
 		QueueDepth:        *queue,
@@ -155,6 +208,9 @@ func main() {
 			MaxRelationSize: *quotaMaxSize,
 			MaxSubscribers:  *quotaMaxSubs,
 		},
+		Peers: peerList,
+		Self:  *self,
+		Ack:   ack,
 	}
 
 	if *loadtest {
@@ -169,6 +225,7 @@ func main() {
 			queue:         *queue,
 			readFrac:      *readFrac,
 			dataDir:       *dataDir,
+			target:        *target,
 			outPath:       *out,
 			sloP99:        *sloP99,
 			sloErrors:     *sloErrors,

@@ -1,0 +1,145 @@
+// Package ship is the replication layer of the streaming-session stack:
+// a per-session WAL shipping stream from a primary to a follower. The
+// primary's committer stage (internal/server) already serializes every
+// accepted batch as a wal.Batch with a journal-version bracket; this
+// package frames those batches (CRC-checked, version-cursored), sends
+// them to the follower, and applies them there through the same
+// ReplayBatch path crash recovery uses — so a follower is byte-identical
+// to its primary by construction (the PR 3/5 determinism property), and
+// promoting it after a primary crash is exactly as safe as restarting
+// the primary itself.
+//
+// # Wire format
+//
+// Every shipped message is one frame:
+//
+//	frame   = kind(u8) length(u32 LE) crc(u32 LE) payload
+//	kind    = 1 (snapshot, wal.Snapshot payload)
+//	        | 2 (batch,    wal.Batch payload)
+//
+// crc is the CRC-32C (Castagnoli) checksum of the payload alone — the
+// same framing discipline as the on-disk WAL, so a truncated or
+// corrupted frame is detected before it can reach the replica's engine.
+//
+// # Healing model
+//
+// The stream is *not* assumed reliable. Batches carry the journal
+// version bracket (PrevVersion, Version) the WAL already uses, and the
+// replica applies them with the same rules as crash replay: duplicates
+// (Version at or below the replica's counter) are skipped, and a batch
+// whose PrevVersion is ahead of the counter is a gap — refused with
+// ErrGap, never applied out of order. The shipper heals every refusal
+// the same way a follower joins mid-stream in the first place: capture a
+// fresh full snapshot from the live session (a quiescent image, exactly
+// the recovery path) and reship it, after which the follower's counter
+// has absorbed everything the lost frames carried. Dropped, duplicated,
+// reordered and truncated frames therefore all converge back to the
+// primary's state; see fault_test.go.
+package ship
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"cfdclean/internal/wal"
+)
+
+// Frame kinds.
+const (
+	KindSnapshot byte = 1
+	KindBatch    byte = 2
+)
+
+const (
+	frameHeaderLen = 9 // kind(u8) + length(u32) + crc(u32)
+	// maxFrameLen rejects absurd lengths decoded from a corrupted
+	// header before they drive a huge allocation.
+	maxFrameLen = 1 << 28 // 256 MiB
+)
+
+var (
+	// ErrFrame reports a structurally damaged frame: unknown kind,
+	// implausible length, short read, or checksum mismatch.
+	ErrFrame = errors.New("ship: bad frame")
+	// ErrGap reports that the follower cannot chain a batch onto its
+	// current journal version — frames are missing. The shipper heals
+	// it by resyncing with a fresh snapshot; the follower never applies
+	// out of order.
+	ErrGap = errors.New("ship: follower cannot chain batch (gap)")
+	// ErrUnknownReplica reports that the target node hosts no replica
+	// for the session (a follower joining, or a node that lost its
+	// state); healed by snapshot bootstrap.
+	ErrUnknownReplica = errors.New("ship: no replica for session")
+	// ErrRoleConflict reports that the target hosts the session as a
+	// primary — shipping into it would split the brain, so the sender
+	// must stop, not resync.
+	ErrRoleConflict = errors.New("ship: target hosts the session as primary")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Transport delivers frames for one session to its follower. ShipBatch
+// returns ErrGap (resync needed), ErrUnknownReplica (bootstrap needed)
+// or ErrRoleConflict (stop) as sentinel-wrapped errors; any other error
+// is a delivery failure the shipper absorbs and heals later.
+type Transport interface {
+	// ShipSnapshot installs a full session image on the follower,
+	// replacing whatever replica state it held.
+	ShipSnapshot(name string, snap *wal.Snapshot) error
+	// ShipBatch forwards one committed batch.
+	ShipBatch(name string, b *wal.Batch) error
+}
+
+// AppendFrame appends one framed message to dst.
+func AppendFrame(dst []byte, kind byte, payload []byte) []byte {
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// EncodeSnapshotFrame frames a full snapshot.
+func EncodeSnapshotFrame(snap *wal.Snapshot) []byte {
+	return AppendFrame(nil, KindSnapshot, snap.Encode())
+}
+
+// EncodeBatchFrame frames one committed batch.
+func EncodeBatchFrame(b *wal.Batch) []byte {
+	return AppendFrame(nil, KindBatch, b.Encode())
+}
+
+// ReadFrame reads and verifies one frame from r. A clean end of stream
+// before any header byte returns io.EOF; a stream that ends inside a
+// frame (the shipped analogue of a torn WAL tail) or fails its checksum
+// returns an ErrFrame-wrapped error.
+func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: %v", ErrFrame, err)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated header: %v", ErrFrame, err)
+	}
+	kind = hdr[0]
+	if kind != KindSnapshot && kind != KindBatch {
+		return 0, nil, fmt.Errorf("%w: unknown kind %d", ErrFrame, kind)
+	}
+	ln := binary.LittleEndian.Uint32(hdr[1:5])
+	if ln > maxFrameLen {
+		return 0, nil, fmt.Errorf("%w: implausible length %d", ErrFrame, ln)
+	}
+	payload = make([]byte, ln)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrFrame, err)
+	}
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(hdr[5:9]); got != want {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrFrame)
+	}
+	return kind, payload, nil
+}

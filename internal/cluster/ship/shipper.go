@@ -1,0 +1,234 @@
+package ship
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"cfdclean/internal/wal"
+)
+
+// shipQueueDepth bounds the async shipping backlog per session. A full
+// queue drops the batch — deliberately: the follower will refuse the
+// next batch it does see with a gap, and the shipper heals that with a
+// snapshot resync, so dropping never diverges state, it only costs one
+// snapshot send. Blocking the committer on a slow follower would.
+const shipQueueDepth = 128
+
+// Shipper is the primary side of one session's replication stream. The
+// committer hands it every committed batch (after the local fsync, so a
+// follower can never be ahead of the primary's own durability); the
+// shipper forwards frames to the follower and heals every refusal —
+// gap, missing replica, lost frames — by reshipping a fresh snapshot
+// captured from the live session.
+//
+// Two delivery modes share one serialized send path: EnqueueBatch is
+// fire-and-forget for ack=leader (a background goroutine drains the
+// queue), ShipSync blocks for ack=quorum (the committer waits for the
+// follower's acknowledgement before answering the client). Failures in
+// either mode degrade replication — counted, never fatal to the write
+// path: a primary with a dead follower keeps serving, which is the
+// availability half of the bargain, and the Stats surface is how the
+// operator sees the lag.
+type Shipper struct {
+	name   string
+	tr     Transport
+	snapFn func() (*wal.Snapshot, error)
+
+	// sendMu serializes all transport sends (bootstrap, queue drain and
+	// sync ships), so frames leave in commit order.
+	sendMu     sync.Mutex
+	needSnap   bool
+	failStreak int
+
+	queue     chan shipItem
+	quit      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+
+	batches     atomic.Uint64
+	snapshots   atomic.Uint64
+	degraded    atomic.Uint64
+	dropped     atomic.Uint64
+	lastShipped atomic.Uint64
+}
+
+type shipItem struct {
+	batch *wal.Batch
+	snap  *wal.Snapshot
+}
+
+// ShipStats is a point-in-time view of one shipping stream.
+type ShipStats struct {
+	Batches     uint64 // batches acknowledged by the follower
+	Snapshots   uint64 // snapshot installs (bootstrap + resyncs)
+	Degraded    uint64 // delivery failures absorbed
+	Dropped     uint64 // frames dropped on a full backlog
+	LastShipped uint64 // journal version the follower has acknowledged
+}
+
+// NewShipper starts a shipping stream for the named session. snapFn
+// captures a fresh quiescent snapshot from the live session — it is
+// the bootstrap image and the healing move for every gap. The follower
+// is bootstrapped immediately in the background.
+func NewShipper(name string, tr Transport, snapFn func() (*wal.Snapshot, error)) *Shipper {
+	s := &Shipper{
+		name:     name,
+		tr:       tr,
+		snapFn:   snapFn,
+		needSnap: true,
+		queue:    make(chan shipItem, shipQueueDepth),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *Shipper) loop() {
+	defer close(s.done)
+	// Bootstrap the follower right away instead of waiting for the
+	// first write; an empty item just triggers the pending-snapshot
+	// path.
+	s.send(shipItem{})
+	for {
+		select {
+		case <-s.quit:
+			return
+		case it := <-s.queue:
+			s.send(it)
+		}
+	}
+}
+
+// EnqueueBatch ships a committed batch asynchronously (ack=leader). A
+// full backlog drops the frame; the follower's gap detection turns the
+// loss into a snapshot resync.
+func (s *Shipper) EnqueueBatch(b *wal.Batch) {
+	select {
+	case s.queue <- shipItem{batch: b}:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// EnqueueSnapshot ships a full snapshot asynchronously — the committer
+// uses it when a failed pass already forced a boundary image (the
+// resync path), so the follower jumps with the primary.
+func (s *Shipper) EnqueueSnapshot(snap *wal.Snapshot) {
+	select {
+	case s.queue <- shipItem{snap: snap}:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// ShipSync ships a committed batch and waits for the follower's
+// acknowledgement (ack=quorum). The returned error means the follower
+// did not acknowledge — the caller decides whether that degrades or
+// fails the write; replication state heals either way.
+func (s *Shipper) ShipSync(b *wal.Batch) error {
+	return s.send(shipItem{batch: b})
+}
+
+// send is the single serialized delivery path. It resolves any pending
+// snapshot need first (bootstrap or healing), then the item itself;
+// a batch refused for a gap is converted into a fresh snapshot ship,
+// which by construction contains the batch.
+func (s *Shipper) send(it shipItem) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if it.snap != nil {
+		return s.shipSnapLocked(it.snap)
+	}
+	if s.needSnap {
+		if !retryAt(s.failStreak) {
+			// The follower has been refusing snapshots; back off
+			// instead of capturing a full image per batch.
+			s.failStreak++
+			s.dropped.Add(1)
+			return errors.New("ship: follower unavailable, frame dropped")
+		}
+		if err := s.resyncLocked(); err != nil {
+			return err
+		}
+		// The fresh snapshot contains every committed batch, this one
+		// included.
+		return nil
+	}
+	if it.batch == nil {
+		return nil
+	}
+	err := s.tr.ShipBatch(s.name, it.batch)
+	switch {
+	case err == nil:
+		s.failStreak = 0
+		s.batches.Add(1)
+		s.lastShipped.Store(it.batch.Version)
+		return nil
+	case errors.Is(err, ErrGap), errors.Is(err, ErrUnknownReplica):
+		// The follower can't chain this batch (lost frames, or it's
+		// joining fresh): heal with a full image.
+		return s.resyncLocked()
+	case errors.Is(err, ErrRoleConflict):
+		// The target believes it is the primary. Resyncing would split
+		// the brain; stop and surface through Stats.
+		s.degraded.Add(1)
+		return err
+	default:
+		s.failStreak++
+		s.degraded.Add(1)
+		return err
+	}
+}
+
+func (s *Shipper) resyncLocked() error {
+	snap, err := s.snapFn()
+	if err != nil {
+		s.failStreak++
+		s.degraded.Add(1)
+		return err
+	}
+	return s.shipSnapLocked(snap)
+}
+
+func (s *Shipper) shipSnapLocked(snap *wal.Snapshot) error {
+	if err := s.tr.ShipSnapshot(s.name, snap); err != nil {
+		s.needSnap = true
+		s.failStreak++
+		s.degraded.Add(1)
+		return err
+	}
+	s.needSnap = false
+	s.failStreak = 0
+	s.snapshots.Add(1)
+	if v := snap.Version; v > s.lastShipped.Load() {
+		s.lastShipped.Store(v)
+	}
+	return nil
+}
+
+// retryAt spaces snapshot attempts out exponentially over a failure
+// streak (attempt on streaks 0, 1, 2, 4, 8, ...), so a dead follower
+// does not cost a full state capture per committed batch.
+func retryAt(streak int) bool {
+	return streak&(streak-1) == 0
+}
+
+// Stats reports the stream's delivery counters.
+func (s *Shipper) Stats() ShipStats {
+	return ShipStats{
+		Batches:     s.batches.Load(),
+		Snapshots:   s.snapshots.Load(),
+		Degraded:    s.degraded.Load(),
+		Dropped:     s.dropped.Load(),
+		LastShipped: s.lastShipped.Load(),
+	}
+}
+
+// Close stops the background drain. Frames still queued are discarded;
+// a promoted or removed session has no follower to feed.
+func (s *Shipper) Close() {
+	s.closeOnce.Do(func() { close(s.quit) })
+	<-s.done
+}

@@ -275,31 +275,49 @@ func RestoreFromSnapshot(snap *wal.Snapshot, workers int) (*Session, error) {
 	return s, nil
 }
 
+// ErrReplayGap reports a hole in a replayed batch stream: the batch's
+// PrevVersion is ahead of the session's journal counter, so one or more
+// intermediate batches are missing. Crash recovery treats it as tail
+// damage; a replication follower treats it as the signal to resync from
+// a fresh snapshot instead of applying out of order.
+var ErrReplayGap = fmt.Errorf("increpair: replay gap")
+
 // ReplayBatch reapplies one logged batch. The batch's journal-version
 // bracket makes replay idempotent and gap-safe: a batch already
 // contained in the restored snapshot (Version at or below the session's
 // counter) is skipped, a batch whose PrevVersion does not meet the
-// session's counter reports a hole in the log, and a pass that does not
-// land exactly on the recorded post-version reports divergence — the
-// session can no longer be trusted to equal the pre-crash one. applied
-// reports whether the batch ran (false for the idempotent skip).
+// session's counter reports a hole in the log (ErrReplayGap), and a
+// pass that does not land exactly on the recorded post-version reports
+// divergence — the session can no longer be trusted to equal the
+// pre-crash one. applied reports whether the batch ran (false for the
+// idempotent skip).
 func (s *Session) ReplayBatch(b *wal.Batch) (applied bool, err error) {
+	_, _, applied, err = s.ReplayBatchResult(b)
+	return applied, err
+}
+
+// ReplayBatchResult is ReplayBatch returning the engine pass's Result
+// and delete count alongside the applied flag — a replication follower
+// uses them to publish the same change events a primary's committer
+// publishes. res is nil when the batch was skipped or failed.
+func (s *Session) ReplayBatchResult(b *wal.Batch) (res *Result, deleted int, applied bool, err error) {
 	cur := s.snap.Load().Version
 	if b.Version <= cur {
-		return false, nil
+		return nil, 0, false, nil
 	}
 	if b.PrevVersion != cur {
-		return false, fmt.Errorf("increpair: replay: batch expects journal version %d, session is at %d", b.PrevVersion, cur)
+		return nil, 0, false, fmt.Errorf("%w: batch expects journal version %d, session is at %d", ErrReplayGap, b.PrevVersion, cur)
 	}
 	deletes, sets, inserts, err := DeltasToOps(b.Ops)
 	if err != nil {
-		return false, err
+		return nil, 0, false, err
 	}
-	if _, _, err := s.ApplyOps(deletes, sets, inserts); err != nil {
-		return false, fmt.Errorf("increpair: replay: %w", err)
+	res, deleted, err = s.ApplyOps(deletes, sets, inserts)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("increpair: replay: %w", err)
 	}
 	if got := s.snap.Load().Version; got != b.Version {
-		return true, fmt.Errorf("increpair: replay: pass should end at journal version %d, session landed on %d", b.Version, got)
+		return res, deleted, true, fmt.Errorf("increpair: replay: pass should end at journal version %d, session landed on %d", b.Version, got)
 	}
-	return true, nil
+	return res, deleted, true, nil
 }

@@ -136,8 +136,10 @@ type persister struct {
 // directory is (re)created empty, snapshot generation 0 captures the
 // post-initial-cleaning state, and an empty WAL is opened. Any stale
 // directory content under the same name — left by a session that could
-// not be recovered — is replaced.
-func newPersister(cfg *persistConfig, name string, sess *increpair.Session) (*persister, error) {
+// not be recovered — is replaced. quota is the session's quota mark
+// (wal.Quota{} for inherited defaults); it rides in every snapshot
+// header so explicit overrides survive recovery and ship to replicas.
+func newPersister(cfg *persistConfig, name string, sess *increpair.Session, quota wal.Quota) (*persister, error) {
 	dir := filepath.Join(cfg.dir, name)
 	if err := os.RemoveAll(dir); err != nil {
 		return nil, err
@@ -149,6 +151,7 @@ func newPersister(cfg *persistConfig, name string, sess *increpair.Session) (*pe
 	if err != nil {
 		return nil, err
 	}
+	snap.Quota = quota
 	if err := wal.WriteSnapshotFile(snapPath(dir, 0), snap); err != nil {
 		return nil, err
 	}
@@ -385,7 +388,9 @@ func (p *persister) status() string {
 // recoverSession rebuilds one session from its directory: newest
 // readable snapshot generation first, then WAL replay across that and
 // any later generations. It returns the restored session plus a
-// persister positioned to continue appending. warn, when non-nil,
+// persister positioned to continue appending, and the quota mark read
+// from the chosen snapshot (Set only for explicit per-session
+// overrides). warn, when non-nil,
 // reports acknowledged records that could NOT be replayed — payload
 // corruption mid-log or a gap between generations — after which the
 // session still serves, re-anchored on the recovered prefix; the
@@ -393,11 +398,11 @@ func (p *persister) status() string {
 // newest log is not warned: those bytes never completed their append,
 // so nothing acknowledged is behind them.) workers > 0 overrides the
 // persisted per-session engine worker count.
-func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Session, *persister, error, error) {
+func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Session, *persister, wal.Quota, error, error) {
 	dir := filepath.Join(cfg.dir, name)
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, wal.Quota{}, nil, err
 	}
 	var snapGens, walGens []uint64
 	for _, e := range ents {
@@ -412,7 +417,7 @@ func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Se
 		}
 	}
 	if len(snapGens) == 0 {
-		return nil, nil, nil, fmt.Errorf("server: recover %s: no snapshot found", name)
+		return nil, nil, wal.Quota{}, nil, fmt.Errorf("server: recover %s: no snapshot found", name)
 	}
 	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] > snapGens[j] })
 	sort.Slice(walGens, func(i, j int) bool { return walGens[i] < walGens[j] })
@@ -420,6 +425,7 @@ func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Se
 	var (
 		sess    *increpair.Session
 		baseGen uint64
+		quota   wal.Quota
 		lastErr error
 	)
 	for _, g := range snapGens {
@@ -437,11 +443,11 @@ func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Se
 			lastErr = err
 			continue
 		}
-		sess, baseGen = s, g
+		sess, baseGen, quota = s, g, snap.Quota
 		break
 	}
 	if sess == nil {
-		return nil, nil, nil, fmt.Errorf("server: recover %s: no usable snapshot: %w", name, lastErr)
+		return nil, nil, wal.Quota{}, nil, fmt.Errorf("server: recover %s: no usable snapshot: %w", name, lastErr)
 	}
 
 	// Replay the logs from the restored generation forward. The version
@@ -516,7 +522,7 @@ func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Se
 		// every boot's replay) would grow without bound.
 		p.sinceSnap = replayed
 		p.startTicker()
-		return sess, p, warn, nil
+		return sess, p, quota, warn, nil
 	}
 	// No appendable tip (damage, or the newest WAL is missing): start a
 	// fresh generation whose snapshot captures the recovered state.
@@ -529,16 +535,17 @@ func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Se
 	snap, err := sess.PersistSnapshot(name)
 	if err != nil {
 		sess.Close()
-		return nil, nil, nil, err
+		return nil, nil, wal.Quota{}, nil, err
 	}
+	snap.Quota = quota // the override survives the re-anchoring rotation
 	if err := wal.WriteSnapshotFile(snapPath(dir, next), snap); err != nil {
 		sess.Close()
-		return nil, nil, nil, err
+		return nil, nil, wal.Quota{}, nil, err
 	}
 	log, err := wal.Create(walPath(dir, next))
 	if err != nil {
 		sess.Close()
-		return nil, nil, nil, err
+		return nil, nil, wal.Quota{}, nil, err
 	}
 	p.gen = next
 	p.log = log
@@ -549,7 +556,7 @@ func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Se
 		pruneGenerations(p.dir, next-2)
 	}
 	p.startTicker()
-	return sess, p, warn, nil
+	return sess, p, quota, warn, nil
 }
 
 // Recover scans Options.DataDir and re-hosts every persisted session.
@@ -579,7 +586,7 @@ func (s *Server) Recover() (restored int, err error) {
 			continue
 		}
 		name := e.Name()
-		sess, p, warn, rerr := recoverSession(cfg, name, 0)
+		sess, p, wq, warn, rerr := recoverSession(cfg, name, 0)
 		if rerr != nil {
 			errs = append(errs, rerr)
 			continue
@@ -587,7 +594,13 @@ func (s *Server) Recover() (restored int, err error) {
 		if warn != nil {
 			errs = append(errs, warn)
 		}
-		if _, cerr := s.reg.adopt(name, sess, sess.Current().Schema(), p); cerr != nil {
+		// An explicit per-session override persisted in the snapshot
+		// beats the boot-time defaults; inherited quotas re-resolve.
+		quota := s.reg.quota
+		if wq.Set {
+			quota = quotaFromWAL(wq)
+		}
+		if _, cerr := s.reg.adopt(name, sess, sess.Current().Schema(), p, quota); cerr != nil {
 			p.close()
 			sess.Close()
 			errs = append(errs, fmt.Errorf("server: recover %s: %w", name, cerr))

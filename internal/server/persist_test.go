@@ -24,6 +24,7 @@ import (
 	"cfdclean/internal/cfd"
 	"cfdclean/internal/increpair"
 	"cfdclean/internal/relation"
+	"cfdclean/internal/wal"
 )
 
 const recoveryCFDs = `cfd phi1: [AC] -> [CT, ST]
@@ -562,7 +563,7 @@ func TestFinishPersistSupersededKeepsData(t *testing.T) {
 
 	// Not superseded: purge removes the directory.
 	s1 := newSess()
-	p1, err := newPersister(reg.persist, "x", s1)
+	p1, err := newPersister(reg.persist, "x", s1, wal.Quota{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -576,7 +577,7 @@ func TestFinishPersistSupersededKeepsData(t *testing.T) {
 	// Superseded: a new hosted session owns the name (and a rebuilt
 	// directory); the stale worker's purge must keep its hands off.
 	s2 := newSess()
-	pOld, err := newPersister(reg.persist, "x", s2)
+	pOld, err := newPersister(reg.persist, "x", s2, wal.Quota{})
 	if err != nil {
 		t.Fatal(err)
 	}

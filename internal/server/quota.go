@@ -6,6 +6,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"cfdclean/internal/wal"
 )
 
 // Per-tenant admission control. Every hosted session carries a quota:
@@ -64,6 +66,12 @@ func (e *RateLimitError) retryAfterSeconds() int {
 // Zero values mean unlimited. It doubles as the server-wide default set
 // (Options.Quota) and as the resolved per-session state's shape.
 type QuotaConfig struct {
+	// Explicit marks a per-session override (a create request carried a
+	// quota) as opposed to inherited server defaults. Explicit quotas
+	// are session state: they are recorded in snapshots, survive
+	// recovery and ship to replicas, whereas inherited ones re-resolve
+	// against whatever defaults the restoring server was booted with.
+	Explicit bool `json:"-"`
 	// OpsPerSec bounds accepted write requests (apply + ingest) per
 	// second, with a burst of one second's worth (at least 1).
 	OpsPerSec float64
@@ -86,6 +94,7 @@ func resolveQuota(def QuotaConfig, wq *WireQuota) QuotaConfig {
 	if wq == nil {
 		return q
 	}
+	q.Explicit = true
 	override := func(dst *float64, v float64) {
 		if v < 0 {
 			*dst = 0
@@ -110,8 +119,10 @@ func resolveQuota(def QuotaConfig, wq *WireQuota) QuotaConfig {
 
 // wire renders the effective quota for session listings; nil when the
 // session is entirely unlimited so unquota'd services stay byte-stable.
+// Explicitness alone does not render: an explicitly all-unlimited quota
+// looks like no quota on the wire, as before.
 func (q QuotaConfig) wire() *WireQuota {
-	if q == (QuotaConfig{}) {
+	if q.OpsPerSec == 0 && q.TuplesPerSec == 0 && q.MaxRelationSize == 0 && q.MaxSubscribers == 0 {
 		return nil
 	}
 	return &WireQuota{
@@ -119,6 +130,35 @@ func (q QuotaConfig) wire() *WireQuota {
 		TuplesPerSec:    q.TuplesPerSec,
 		MaxRelationSize: q.MaxRelationSize,
 		MaxSubscribers:  q.MaxSubscribers,
+	}
+}
+
+// walQuota renders a session's quota for a snapshot header. Only
+// explicit overrides are recorded (Set=true, values verbatim — all-zero
+// means explicitly unlimited); inherited defaults write an empty mark so
+// a restoring server re-resolves against its own boot-time defaults.
+func walQuota(q QuotaConfig) wal.Quota {
+	if !q.Explicit {
+		return wal.Quota{}
+	}
+	return wal.Quota{
+		Set:             true,
+		OpsPerSec:       q.OpsPerSec,
+		TuplesPerSec:    q.TuplesPerSec,
+		MaxRelationSize: q.MaxRelationSize,
+		MaxSubscribers:  q.MaxSubscribers,
+	}
+}
+
+// quotaFromWAL restores a persisted explicit override. Call only when
+// wq.Set; unset marks mean "inherit the server defaults".
+func quotaFromWAL(wq wal.Quota) QuotaConfig {
+	return QuotaConfig{
+		Explicit:        true,
+		OpsPerSec:       wq.OpsPerSec,
+		TuplesPerSec:    wq.TuplesPerSec,
+		MaxRelationSize: wq.MaxRelationSize,
+		MaxSubscribers:  wq.MaxSubscribers,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"testing"
 	"time"
@@ -65,7 +66,7 @@ func TestResolveQuota(t *testing.T) {
 	// Zero fields inherit, positive fields override, negative fields
 	// lift the default.
 	got := resolveQuota(def, &WireQuota{OpsPerSec: 5, TuplesPerSec: -1, MaxSubscribers: -1})
-	want := QuotaConfig{OpsPerSec: 5, TuplesPerSec: 0, MaxRelationSize: 1000, MaxSubscribers: 0}
+	want := QuotaConfig{Explicit: true, OpsPerSec: 5, TuplesPerSec: 0, MaxRelationSize: 1000, MaxSubscribers: 0}
 	if got != want {
 		t.Fatalf("resolve = %+v, want %+v", got, want)
 	}
@@ -416,4 +417,58 @@ func TestRetryAfterSeconds(t *testing.T) {
 		t.Fatal("error text must not be empty")
 	}
 	_ = fmt.Sprintf("%v", ErrRelationFull)
+}
+
+// TestQuotaSurvivesReboot: an explicit per-session quota override is
+// durable session state — it rides the snapshot header and comes back
+// on recovery — while a session that merely inherited the server
+// defaults re-resolves against whatever defaults the NEW process was
+// started with.
+func TestQuotaSurvivesReboot(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(Options{DataDir: dir, Quota: QuotaConfig{OpsPerSec: 10}})
+	ts1 := httptest.NewServer(s1.Handler())
+
+	mk := func(name string, q *WireQuota) {
+		resp, body := do(t, "POST", ts1.URL+"/v1/sessions", CreateRequest{
+			Name:   name,
+			Schema: &WireSchema{Name: "orders", Attrs: []string{"AC", "CT"}},
+			CFDs:   tinyCFDs,
+			Quota:  q,
+		})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s: %d: %s", name, resp.StatusCode, body)
+		}
+	}
+	mk("capped", &WireQuota{OpsPerSec: 555, MaxSubscribers: 7})
+	mk("plain", nil)
+	shutdownService(t, s1, ts1)
+
+	// Reboot with different defaults.
+	s2 := New(Options{DataDir: dir, Quota: QuotaConfig{OpsPerSec: 20}})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer shutdownService(t, s2, ts2)
+	if n, err := s2.Recover(); err != nil || n != 2 {
+		t.Fatalf("recover: n=%d err=%v", n, err)
+	}
+
+	get := func(name string) SessionInfo {
+		resp, body := do(t, "GET", ts2.URL+"/v1/sessions/"+name, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("get %s: %d: %s", name, resp.StatusCode, body)
+		}
+		var si SessionInfo
+		if err := json.Unmarshal(body, &si); err != nil {
+			t.Fatal(err)
+		}
+		return si
+	}
+	capped := get("capped")
+	if capped.Quota == nil || capped.Quota.OpsPerSec != 555 || capped.Quota.MaxSubscribers != 7 {
+		t.Fatalf("explicit quota lost across reboot: %+v", capped.Quota)
+	}
+	plain := get("plain")
+	if plain.Quota == nil || plain.Quota.OpsPerSec != 20 {
+		t.Fatalf("inherited quota should re-resolve to the new default: %+v", plain.Quota)
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cfdclean/internal/cluster/ship"
 	"cfdclean/internal/increpair"
 	"cfdclean/internal/metrics"
 	"cfdclean/internal/relation"
@@ -29,6 +30,19 @@ var (
 	// ErrBacklog reports an async ingest rejected because the session's
 	// work queue is full — the wire layer's backpressure signal.
 	ErrBacklog = errors.New("server: session queue is full")
+	// ErrFollower reports a write against a session hosted here as a
+	// replica — mapped to 421 with the primary's address, the redirect
+	// contract of the thin-proxy routing scheme.
+	ErrFollower = errors.New("server: session is a replica on this node")
+)
+
+// A hosted session's replication role. Primaries run the full write
+// pipeline; followers keep their worker idle and advance only by
+// applying batches shipped from the primary (ReplicateBatch), until
+// promotion flips the role and the session resumes the WAL as its own.
+const (
+	rolePrimary int32 = iota
+	roleFollower
 )
 
 const registryShards = 16
@@ -64,6 +78,17 @@ type Registry struct {
 	// a create request may override it per session (see quota.go). The
 	// zero value is fully unlimited.
 	quota QuotaConfig
+
+	// cluster, when non-nil, is this node's replication and routing
+	// state (-peers/-self/-ack; see cluster.go). nil runs single-node,
+	// exactly as before PR 9.
+	cluster *clusterState
+	// installMu serializes replica installs and teardowns so two
+	// concurrent snapshot ships for one name cannot interleave their
+	// deregister/register pairs.
+	installMu sync.Mutex
+	// replicaApplied counts batches applied on this node as a follower.
+	replicaApplied atomic.Uint64
 
 	// Group fsync: committers under the per-batch policy funnel sync
 	// requests through one lazily started goroutine that drains a
@@ -201,6 +226,30 @@ type hosted struct {
 	// views shares pinned read views among this session's streaming
 	// readers (see views.go); cursor tokens name versions in it.
 	views *viewCache
+
+	// role is the session's replication role (rolePrimary/roleFollower);
+	// clustered records whether the hosting registry runs with peers, so
+	// info() knows to render the role at all.
+	role      atomic.Int32
+	clustered bool
+	// replMu serializes replicated applies against each other and
+	// against promotion: a batch in flight when promote lands either
+	// fully applies before the role flips or observes the flip and is
+	// refused — never half of each.
+	replMu sync.Mutex
+	// replSince is the follower-side rotation budget (guarded by
+	// replMu), the replica twin of sinceSnap.
+	replSince int
+	// shipper, when set, streams this primary's committed batches to its
+	// follower. Swapped atomically so the committer reads it without a
+	// lock; the target rides along for listings and rebalance decisions.
+	shipper atomic.Pointer[sessionShipper]
+}
+
+// sessionShipper pairs a live shipping stream with its target address.
+type sessionShipper struct {
+	sp     *ship.Shipper
+	target string
 }
 
 // job is one unit of queued work. Async insert-only jobs (reply == nil,
@@ -245,7 +294,11 @@ type commitItem struct {
 	j        job
 	batches  int // client batches folded into the pass
 	rep      jobReply
-	version  uint64    // journal version after the pass
+	version  uint64 // journal version after the pass
+	// prev is the journal version before the pass — with version it
+	// brackets the batch for the replication stream, whose frames carry
+	// the same (PrevVersion, Version] chain the WAL uses.
+	prev     uint64
 	passDone time.Time // when the engine finished; start of persist stage
 	// rotate / resync are snapshots the WORKER captured at this exact
 	// batch boundary: rotate triggers a routine generation rotation,
@@ -260,26 +313,26 @@ type commitItem struct {
 // increpair.Session (built from the decoded create request) and the
 // schema used for wire encoding and attribute lookup.
 func (r *Registry) Create(name string, sess *increpair.Session, schema *relation.Schema) (*hosted, error) {
-	return r.register(name, sess, schema, nil, r.quota)
+	return r.register(name, sess, schema, nil, r.quota, rolePrimary)
 }
 
 // CreateWithQuota is Create with a per-session quota override layered
 // over the registry defaults (zero fields inherit, negative fields
 // lift the default; see resolveQuota).
 func (r *Registry) CreateWithQuota(name string, sess *increpair.Session, schema *relation.Schema, wq *WireQuota) (*hosted, error) {
-	return r.register(name, sess, schema, nil, resolveQuota(r.quota, wq))
+	return r.register(name, sess, schema, nil, resolveQuota(r.quota, wq), rolePrimary)
 }
 
 // adopt re-hosts a recovered session with its existing persister —
 // Create's boot-time sibling, which must not write a fresh generation 0
-// over the recovered files. Recovered sessions get the registry default
-// quota: per-session overrides are service furniture, not session
-// state, and are not persisted in the WAL or snapshots.
-func (r *Registry) adopt(name string, sess *increpair.Session, schema *relation.Schema, p *persister) (*hosted, error) {
-	return r.register(name, sess, schema, p, r.quota)
+// over the recovered files. quota is the resolved admission state: an
+// explicit override read back from the snapshot header, or the current
+// registry defaults (see Server.Recover).
+func (r *Registry) adopt(name string, sess *increpair.Session, schema *relation.Schema, p *persister, quota QuotaConfig) (*hosted, error) {
+	return r.register(name, sess, schema, p, quota, rolePrimary)
 }
 
-func (r *Registry) register(name string, sess *increpair.Session, schema *relation.Schema, p *persister, quota QuotaConfig) (*hosted, error) {
+func (r *Registry) register(name string, sess *increpair.Session, schema *relation.Schema, p *persister, quota QuotaConfig, role int32) (*hosted, error) {
 	sh := r.shard(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -298,7 +351,7 @@ func (r *Registry) register(name string, sess *increpair.Session, schema *relati
 		// racing create of the same name from touching the same
 		// directory. Creates are rare; the lock is per-shard.
 		var err error
-		if p, err = newPersister(r.persist, name, sess); err != nil {
+		if p, err = newPersister(r.persist, name, sess, walQuota(quota)); err != nil {
 			return nil, fmt.Errorf("server: persist %s: %w", name, err)
 		}
 	}
@@ -325,10 +378,49 @@ func (r *Registry) register(name string, sess *increpair.Session, schema *relati
 		// crash-looping server still rotates (see recoverSession).
 		h.sinceSnap = p.sinceSnap
 	}
+	if c := r.cluster; c != nil {
+		h.clustered = true
+		h.role.Store(role)
+		if role == rolePrimary {
+			if target := c.shipTarget(name); target != "" {
+				h.startShipper(c, target)
+			}
+		}
+	}
 	sh.m[name] = h
 	go h.run(r)
 	go h.committer(r)
 	return h, nil
+}
+
+// captureSnapshot is the one snapshot capture path: a quiescent image of
+// the live session with the quota mark stamped in, so every image that
+// reaches disk or a follower carries the session's explicit override.
+// Caller discipline matters as much as here as for PersistSnapshot
+// itself: rotation/resync images must be captured by the worker at the
+// exact batch boundary.
+func (h *hosted) captureSnapshot() (*wal.Snapshot, error) {
+	snap, err := h.sess.PersistSnapshot(h.name)
+	if err != nil {
+		return nil, err
+	}
+	if h.quota != nil {
+		snap.Quota = walQuota(h.quota.cfg)
+	}
+	return snap, nil
+}
+
+// startShipper hooks the session's committer to a follower on target.
+func (h *hosted) startShipper(c *clusterState, target string) {
+	sp := ship.NewShipper(h.name, c.transport(target), h.captureSnapshot)
+	h.shipper.Store(&sessionShipper{sp: sp, target: target})
+}
+
+// stopShipper tears the current shipping stream down, if any.
+func (h *hosted) stopShipper() {
+	if ref := h.shipper.Swap(nil); ref != nil {
+		ref.sp.Close()
+	}
 }
 
 // Get returns the hosted session or ErrNotFound.
@@ -391,6 +483,9 @@ func (r *Registry) admit(h *hosted, tuples, deletes int) error {
 // could resolve a different session if the name was deleted and
 // re-created mid-request.
 func (r *Registry) Apply(ctx context.Context, h *hosted, deletes []relation.TupleID, sets []increpair.SetOp, inserts []*relation.Tuple) (jobReply, error) {
+	if h.role.Load() == roleFollower {
+		return jobReply{}, ErrFollower
+	}
 	if err := r.admit(h, len(inserts), len(deletes)); err != nil {
 		return jobReply{}, err
 	}
@@ -425,6 +520,9 @@ func (r *Registry) Apply(ctx context.Context, h *hosted, deletes []relation.Tupl
 // it to 429), which is the service's backpressure signal. Like Apply it
 // takes the resolved session so the batch lands where it was decoded.
 func (r *Registry) Ingest(h *hosted, inserts []*relation.Tuple) error {
+	if h.role.Load() == roleFollower {
+		return ErrFollower
+	}
 	if err := r.admit(h, len(inserts), 0); err != nil {
 		return err
 	}
@@ -520,6 +618,9 @@ func (h *hosted) run(r *Registry) {
 	defer h.sess.Close()
 	defer h.views.closeAll()
 	defer h.finishPersist(r)
+	// The shipper stops only after the committer has drained: the last
+	// commits may still ship synchronously under ack=quorum.
+	defer h.stopShipper()
 	defer func() {
 		close(h.commits)
 		<-h.committerDone
@@ -617,6 +718,9 @@ func (h *hosted) apply(r *Registry, j job, batches int) {
 	if !j.enqueued.IsZero() {
 		wait = time.Since(j.enqueued)
 	}
+	// The pre-pass journal version brackets the batch for replication;
+	// worker-only read, so no lock needed.
+	prev := h.sess.Snapshot().Version
 	start := time.Now()
 	res, deleted, err := h.sess.ApplyOps(j.deletes, j.sets, j.inserts)
 	snap := h.sess.Snapshot()
@@ -640,26 +744,32 @@ func (h *hosted) apply(r *Registry, j job, batches int) {
 		}
 	}
 	item := commitItem{
-		j: j, batches: batches, version: snap.Version, passDone: time.Now(),
+		j: j, batches: batches, version: snap.Version, prev: prev, passDone: time.Now(),
 		rep: jobReply{res: res, deleted: deleted, seq: seq, snap: snap, err: err, wait: wait, engine: engine},
 	}
 	// Rotation and resync snapshots must capture THIS batch boundary; by
 	// the time the committer handles the item the worker may be passes
-	// ahead, so the capture cannot be deferred downstream.
-	if h.pers != nil && !h.purge.Load() {
+	// ahead, so the capture cannot be deferred downstream. A failed pass
+	// forces a resync snapshot even for a memory-only session when a
+	// follower is attached: the partial effects no batch frame can
+	// describe must reach the replica as a full image too.
+	needBoundary := (h.pers != nil && !h.purge.Load()) || h.shipper.Load() != nil
+	if needBoundary {
 		if err != nil {
 			// The failed pass may have mutated state no WAL record
 			// describes; re-anchor the on-disk image on a fresh snapshot.
-			if rs, serr := h.sess.PersistSnapshot(h.name); serr != nil {
-				h.pers.markBroken(serr)
+			if rs, serr := h.captureSnapshot(); serr != nil {
+				if h.pers != nil {
+					h.pers.markBroken(serr)
+				}
 			} else {
 				item.resync = rs
 				h.sinceSnap = 0
 			}
-		} else {
+		} else if h.pers != nil && !h.purge.Load() {
 			h.sinceSnap++
 			if h.sinceSnap >= h.pers.cfg.snapEvery {
-				if rs, serr := h.sess.PersistSnapshot(h.name); serr != nil {
+				if rs, serr := h.captureSnapshot(); serr != nil {
 					h.pers.markBroken(serr)
 				} else {
 					item.rotate = rs
@@ -686,11 +796,16 @@ func (h *hosted) apply(r *Registry, j job, batches int) {
 func (h *hosted) committer(r *Registry) {
 	defer close(h.committerDone)
 	for item := range h.commits {
+		// ops is computed at most once per pass and shared by the WAL
+		// append and the replication frame.
+		var ops []relation.Delta
+		if item.rep.err == nil && (h.pers != nil || h.shipper.Load() != nil) {
+			ops = increpair.OpsToDeltas(item.j.deletes, item.j.sets, item.j.inserts)
+		}
 		if h.pers != nil && !h.purge.Load() {
 			if item.resync != nil {
 				h.pers.rotateTo(item.resync)
 			} else if item.rep.err == nil {
-				ops := increpair.OpsToDeltas(item.j.deletes, item.j.sets, item.j.inserts)
 				if aerr := h.pers.appendBatch(ops, item.version); aerr == nil {
 					if h.pers.cfg.policy == FsyncBatch {
 						appended := time.Now()
@@ -705,6 +820,26 @@ func (h *hosted) committer(r *Registry) {
 					if item.rotate != nil {
 						h.pers.rotateTo(item.rotate)
 					}
+				}
+			}
+		}
+		// Replication, strictly after the local fsync: a follower can
+		// never hold a batch the primary's own disk does not. ack=quorum
+		// ships synchronously — the client's reply waits for the
+		// follower's acknowledgement — while ack=leader hands the frame
+		// to the background drain. Ship failures degrade (counted in the
+		// shipper's stats), never fail the write: the primary keeps
+		// serving through a dead follower, and the stream heals by
+		// snapshot once the follower is back.
+		if ref := h.shipper.Load(); ref != nil {
+			if item.resync != nil {
+				ref.sp.EnqueueSnapshot(item.resync)
+			} else if item.rep.err == nil {
+				b := &wal.Batch{PrevVersion: item.prev, Version: item.version, Ops: ops}
+				if r.cluster != nil && r.cluster.ack == AckQuorum {
+					_ = ref.sp.ShipSync(b)
+				} else {
+					ref.sp.EnqueueBatch(b)
 				}
 			}
 		}

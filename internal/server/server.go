@@ -17,6 +17,18 @@
 //	         run the engine pass
 //	committer: delta-encode, WAL append,  (overlaps the next pass)
 //	         group fsync, reply, event
+//	         └─ shipper: frame + forward  (after the local fsync)
+//	              └────────────────────────▶ follower: ReplicateBatch
+//
+// The shipping arm exists only on clustered nodes (Options.Peers): the
+// committer hands each fsynced batch to a per-session Shipper, which
+// frames it (CRC-32C, version-bracketed) and forwards it to the ring
+// follower, where ReplicateBatch replays it onto a standby session and
+// appends it to the replica's own WAL — so a promoted follower resumes
+// the journal as its own. Under Options.Ack == AckQuorum the committer
+// waits for the follower's acknowledgement before replying; under
+// AckLeader shipping is asynchronous and lost frames heal via the
+// follower's gap detection plus a snapshot resync.
 //
 // The worker is the session's single writer by construction, which is
 // what keeps service results byte-identical to driving the in-process
@@ -111,6 +123,19 @@ type Options struct {
 	// many logged batches, bounding replay time and WAL growth.
 	// Default 64.
 	SnapshotEvery int
+
+	// Peers is the cluster's static node list (host:port each); Self is
+	// this node's own entry in it. With both set the server runs
+	// clustered: session names hash consistently across the peers, every
+	// node routes requests it does not own to the owner, and each
+	// primary ships its WAL to the session's ring follower (see
+	// cluster.go and internal/cluster/ship). Empty runs single-node.
+	Peers []string
+	Self  string
+	// Ack selects what a write waits for: AckLeader (default) answers
+	// after the primary's fsync, AckQuorum also waits for the follower's
+	// acknowledgement.
+	Ack AckMode
 }
 
 func (o Options) withDefaults() Options {
@@ -159,6 +184,9 @@ func New(opts Options) *Server {
 			snapEvery: s.opts.SnapshotEvery,
 		}
 	}
+	if len(s.opts.Peers) > 0 && s.opts.Self != "" {
+		s.reg.cluster = newClusterState(s.opts.Peers, s.opts.Self, s.opts.Ack)
+	}
 	m := http.NewServeMux()
 	m.HandleFunc("GET /healthz", s.handleHealth)
 	m.HandleFunc("GET /metrics", s.handlePrometheus)
@@ -172,12 +200,25 @@ func New(opts Options) *Server {
 	m.HandleFunc("GET /v1/sessions/{name}/violations", s.handleViolations)
 	m.HandleFunc("GET /v1/sessions/{name}/dump", s.handleDump)
 	m.HandleFunc("GET /v1/sessions/{name}/events", s.handleEvents)
+	m.HandleFunc("POST /v1/sessions/{name}/promote", s.handlePromote)
+	m.HandleFunc("PUT /v1/replica/{name}", s.handleReplicaInstall)
+	m.HandleFunc("POST /v1/replica/{name}/batch", s.handleReplicaBatch)
+	m.HandleFunc("DELETE /v1/replica/{name}", s.handleReplicaDrop)
+	m.HandleFunc("GET /v1/cluster", s.handleCluster)
+	m.HandleFunc("PUT /v1/cluster/peers", s.handlePeers)
 	s.mux = m
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler. Clustered nodes wrap the
+// mux in the routing layer (serve locally / 421 to the primary / proxy
+// to the owner); single-node servers expose the mux directly.
+func (s *Server) Handler() http.Handler {
+	if s.reg.cluster != nil {
+		return http.HandlerFunc(s.route)
+	}
+	return s.mux
+}
 
 // Registry exposes the session registry (the load driver and tests talk
 // to it directly).
@@ -324,6 +365,18 @@ func (h *hosted) info() SessionInfo {
 	}
 	if h.quota != nil {
 		si.Quota = h.quota.cfg.wire()
+	}
+	// Replication fields render only on clustered nodes, so single-node
+	// listings stay byte-stable.
+	if h.clustered {
+		si.Role = h.roleString()
+		if ref := h.shipper.Load(); ref != nil {
+			st := ref.sp.Stats()
+			si.Replication = fmt.Sprintf("%s@%d", ref.target, st.LastShipped)
+			if st.Degraded > 0 {
+				si.Replication += " (degraded)"
+			}
+		}
 	}
 	return si
 }
@@ -601,14 +654,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	hs := s.reg.List()
 	var all []time.Duration
 	ops := &OpsMetrics{
-		PassSeconds: s.reg.passLat.Snapshot(),
-		FsyncLag:    s.reg.walLag.Snapshot(),
-		FoldBatches: s.reg.foldSize.Snapshot(),
-		SSEDropped:  s.reg.sseDrops.Load(),
+		PassSeconds:    s.reg.passLat.Snapshot(),
+		FsyncLag:       s.reg.walLag.Snapshot(),
+		FoldBatches:    s.reg.foldSize.Snapshot(),
+		SSEDropped:     s.reg.sseDrops.Load(),
+		ReplicaApplied: s.reg.replicaApplied.Load(),
 	}
 	for _, h := range hs {
 		all = append(all, h.lat.window()...)
 		ops.Queues = append(ops.Queues, QueueGauge{Session: h.name, Depth: len(h.queue), Cap: cap(h.queue)})
+		if ref := h.shipper.Load(); ref != nil {
+			st := ref.sp.Stats()
+			ops.ShipBatches += st.Batches
+			ops.ShipSnapshots += st.Snapshots
+			ops.ShipDegraded += st.Degraded
+			ops.ShipDropped += st.Dropped
+		}
 	}
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
@@ -676,6 +737,11 @@ func writeError(w http.ResponseWriter, err error) {
 		writeStatus(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrBacklog):
 		writeStatus(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrFollower):
+		// Reached only when the routing layer is bypassed (direct or
+		// forwarded requests); routed writes get the 421 with X-Primary
+		// from writeMisdirected.
+		writeStatus(w, http.StatusMisdirectedRequest, err.Error())
 	default:
 		writeStatus(w, http.StatusBadRequest, err.Error())
 	}

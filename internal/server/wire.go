@@ -191,13 +191,18 @@ type ViolationsResponse struct {
 // advancing, and "error: ..." once persistence broke (the session keeps
 // serving; its durable image stops advancing).
 type SessionInfo struct {
-	Name     string       `json:"name"`
-	Attrs    []string     `json:"attrs"`
-	Queue    int          `json:"queue"`
-	QueueCap int          `json:"queue_cap"`
-	Persist  string       `json:"persist,omitempty"`
-	Quota    *WireQuota   `json:"quota,omitempty"`
-	Snapshot WireSnapshot `json:"snapshot"`
+	Name     string     `json:"name"`
+	Attrs    []string   `json:"attrs"`
+	Queue    int        `json:"queue"`
+	QueueCap int        `json:"queue_cap"`
+	Persist  string     `json:"persist,omitempty"`
+	Quota    *WireQuota `json:"quota,omitempty"`
+	// Role ("primary"/"follower") and Replication ("target@version",
+	// the follower's acknowledged journal version) render only on
+	// clustered nodes; single-node listings stay byte-stable.
+	Role        string       `json:"role,omitempty"`
+	Replication string       `json:"replication,omitempty"`
+	Snapshot    WireSnapshot `json:"snapshot"`
 }
 
 // ListResponse enumerates hosted sessions in name order.
@@ -232,6 +237,14 @@ type OpsMetrics struct {
 	FsyncLag    *metrics.Snapshot `json:"fsync_lag_seconds,omitempty"`
 	FoldBatches *metrics.Snapshot `json:"fold_batches,omitempty"`
 	SSEDropped  uint64            `json:"sse_dropped,omitempty"`
+	// Replication counters, summed over this node's shipping streams
+	// (primary side) plus the batches it applied as a follower. All
+	// omitted while zero so single-node bodies are unchanged.
+	ShipBatches    uint64 `json:"ship_batches,omitempty"`
+	ShipSnapshots  uint64 `json:"ship_snapshots,omitempty"`
+	ShipDegraded   uint64 `json:"ship_degraded,omitempty"`
+	ShipDropped    uint64 `json:"ship_dropped,omitempty"`
+	ReplicaApplied uint64 `json:"replica_applied,omitempty"`
 }
 
 // QueueGauge is one session's work-queue occupancy at scrape time.
@@ -271,6 +284,58 @@ type Event struct {
 // errorResponse is the uniform error body.
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// misdirectedResponse is the 421 body a replica answers writes with: the
+// primary's address rides in the body and the X-Primary header.
+type misdirectedResponse struct {
+	Error   string `json:"error"`
+	Primary string `json:"primary,omitempty"`
+}
+
+// PromoteResponse reports a promotion's outcome (idempotent: promoting
+// a primary reports its current state).
+type PromoteResponse struct {
+	Session string `json:"session"`
+	Role    string `json:"role"`
+	Version uint64 `json:"version"`
+}
+
+// ClusterInfo is this node's view of the cluster: its identity, the
+// ring membership, and every session it hosts with ownership and
+// shipping state. Served by GET /v1/cluster on any node (clustered or
+// not — a single-node server reports just its sessions).
+type ClusterInfo struct {
+	Self     string           `json:"self,omitempty"`
+	Peers    []string         `json:"peers,omitempty"`
+	Ack      string           `json:"ack,omitempty"`
+	Sessions []ClusterSession `json:"sessions"`
+}
+
+// ClusterSession is one hosted session's replication placement: its
+// role here, the ring owner, and — for shipping primaries — the
+// follower's address and acknowledged journal version.
+type ClusterSession struct {
+	Name     string `json:"name"`
+	Role     string `json:"role"`
+	Version  uint64 `json:"version"`
+	Owner    string `json:"owner,omitempty"`
+	Follower string `json:"follower,omitempty"`
+	Shipped  uint64 `json:"shipped,omitempty"`
+}
+
+// PeersRequest swaps the cluster's peer list (PUT /v1/cluster/peers).
+type PeersRequest struct {
+	Peers []string `json:"peers"`
+}
+
+// PeersResponse reports the rebalance a peer-list change triggered:
+// sessions transferred to their new owners, and per-session transfer
+// failures (those sessions keep serving on this node).
+type PeersResponse struct {
+	Peers  []string `json:"peers"`
+	Moved  []string `json:"moved,omitempty"`
+	Errors []string `json:"errors,omitempty"`
 }
 
 func encodeValue(v relation.Value) *string {

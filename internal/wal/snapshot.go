@@ -72,6 +72,23 @@ func DecodeBatch(p []byte) (*Batch, error) {
 	return b, nil
 }
 
+// Quota is the hosting service's per-session admission policy as
+// recorded in a snapshot, so that an explicitly configured tenant quota
+// survives recovery and ships to replicas instead of resetting to
+// whatever defaults the restoring process was booted with. Set
+// distinguishes "this session was created with an explicit quota"
+// (restore exactly these values — all-zero means explicitly unlimited)
+// from "the session inherited service defaults" (restore whatever the
+// restoring server's defaults are). The engine itself never reads this;
+// it is carried for the server layer.
+type Quota struct {
+	Set             bool
+	OpsPerSec       float64
+	TuplesPerSec    float64
+	MaxRelationSize int
+	MaxSubscribers  int
+}
+
 // SnapTuple is one relation row inside a snapshot, in the relation's
 // physical order. Ids are explicit — the physical slot order and the id
 // assignment both matter for byte-identical recovery (Delete compacts by
@@ -118,6 +135,10 @@ type Snapshot struct {
 	NextID  relation.TupleID
 	Version uint64
 
+	// Quota is the hosting service's admission policy for the session
+	// (zero value when the session inherits service defaults).
+	Quota Quota
+
 	// Tuples is the relation content in physical row order.
 	Tuples []SnapTuple
 }
@@ -142,6 +163,15 @@ func (s *Snapshot) Encode() []byte {
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.Cost))
 	out = binary.AppendVarint(out, int64(s.NextID))
 	out = binary.AppendUvarint(out, s.Version)
+	if s.Quota.Set {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.Quota.OpsPerSec))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.Quota.TuplesPerSec))
+	out = binary.AppendVarint(out, int64(s.Quota.MaxRelationSize))
+	out = binary.AppendVarint(out, int64(s.Quota.MaxSubscribers))
 	out = binary.AppendUvarint(out, uint64(len(s.Tuples)))
 	arity := len(s.Attrs)
 	for _, t := range s.Tuples {
@@ -186,6 +216,19 @@ func DecodeSnapshot(p []byte) (*Snapshot, error) {
 	s.Cost = math.Float64frombits(d.u64("cost"))
 	s.NextID = relation.TupleID(d.varint("next id"))
 	s.Version = d.uvarint("version")
+	switch d.byte("quota flag") {
+	case 0:
+	case 1:
+		s.Quota.Set = true
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: snapshot: bad quota flag", ErrCorrupt)
+		}
+	}
+	s.Quota.OpsPerSec = math.Float64frombits(d.u64("quota ops/sec"))
+	s.Quota.TuplesPerSec = math.Float64frombits(d.u64("quota tuples/sec"))
+	s.Quota.MaxRelationSize = int(d.varint("quota max relation size"))
+	s.Quota.MaxSubscribers = int(d.varint("quota max subscribers"))
 	ntuples := d.uvarint("tuple count")
 	arity := len(s.Attrs)
 	for i := uint64(0); i < ntuples && d.err == nil; i++ {

@@ -46,8 +46,9 @@ import (
 
 // Version is the on-disk format version byte shared by WAL and snapshot
 // files. Bump it on any incompatible codec change; readers reject files
-// carrying any other value.
-const Version = 1
+// carrying any other value. Version 2 added the quota block to the
+// snapshot payload (see Snapshot.Quota).
+const Version = 2
 
 const (
 	walMagic  = "CFDWAL"

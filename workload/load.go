@@ -9,8 +9,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	neturl "net/url"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -624,26 +626,59 @@ func postJSON(client *http.Client, url string, v any, wantStatus int, out any) (
 
 // postJSONStatus posts v and returns the response status alongside the
 // headers; a non-2xx response is reported as an error carrying the body
-// text, with the status still returned so callers can branch on 429.
+// text, with the status still returned so callers can branch on 429. A
+// 421 carrying X-Primary — a clustered node answering for a session it
+// only replicates — is followed once to the named primary, which is the
+// client half of the cluster's redirect contract.
 func postJSONStatus(client *http.Client, url string, v any, out any) (http.Header, int, error) {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return nil, 0, err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return nil, 0, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return resp.Header, resp.StatusCode, err
+		}
+		if resp.StatusCode == http.StatusMisdirectedRequest && attempt == 0 {
+			if redirected := redirectToPrimary(url, resp.Header.Get("X-Primary")); redirected != "" {
+				url = redirected
+				continue
+			}
+		}
+		if resp.StatusCode >= 300 {
+			return resp.Header, resp.StatusCode, fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+		}
+		if out != nil {
+			return resp.Header, resp.StatusCode, json.Unmarshal(body, out)
+		}
+		return resp.Header, resp.StatusCode, nil
+	}
+}
+
+// redirectToPrimary rewrites rawURL's host to the primary address a 421
+// response named; "" when there is nothing to follow.
+func redirectToPrimary(rawURL, primary string) string {
+	if primary == "" {
+		return ""
+	}
+	u, err := neturl.Parse(rawURL)
 	if err != nil {
-		return nil, 0, err
+		return ""
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return resp.Header, resp.StatusCode, err
+	if strings.Contains(primary, "://") {
+		p, err := neturl.Parse(primary)
+		if err != nil {
+			return ""
+		}
+		u.Scheme, u.Host = p.Scheme, p.Host
+	} else {
+		u.Host = primary
 	}
-	if resp.StatusCode >= 300 {
-		return resp.Header, resp.StatusCode, fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
-	}
-	if out != nil {
-		return resp.Header, resp.StatusCode, json.Unmarshal(body, out)
-	}
-	return resp.Header, resp.StatusCode, nil
+	return u.String()
 }
