@@ -233,6 +233,125 @@ type deadTransport struct{}
 func (deadTransport) ShipSnapshot(string, *wal.Snapshot) error { return fmt.Errorf("conn refused") }
 func (deadTransport) ShipBatch(string, *wal.Batch) error       { return fmt.Errorf("conn refused") }
 
+// blackholeTransport delivers normally until failing is set, then
+// errors every send — the follower that was healthy and went dark.
+// attempts counts transport calls made while failing: the cost a
+// black-holed follower imposes on the primary's write path.
+type blackholeTransport struct {
+	inner    *ship.LocalTransport
+	failing  atomic.Bool
+	attempts atomic.Int64
+}
+
+func (b *blackholeTransport) ShipSnapshot(name string, snap *wal.Snapshot) error {
+	if b.failing.Load() {
+		b.attempts.Add(1)
+		return fmt.Errorf("no route to host")
+	}
+	return b.inner.ShipSnapshot(name, snap)
+}
+
+func (b *blackholeTransport) ShipBatch(name string, batch *wal.Batch) error {
+	if b.failing.Load() {
+		b.attempts.Add(1)
+		return fmt.Errorf("no route to host")
+	}
+	return b.inner.ShipBatch(name, batch)
+}
+
+// TestShipperBlackholedFollowerBatchBackoff: a follower that was healthy
+// (bootstrap installed, batches flowing) and then goes dark must not
+// cost the primary one transport attempt — under ack=quorum, one full
+// transport timeout — per committed write. The first batch failure
+// flags the stream for snapshot healing, which puts every subsequent
+// send behind the exponential failStreak backoff: transport attempts
+// grow ~log2 in the number of writes, the rest are fast local drops.
+// When the follower returns, the stream heals with a snapshot resync
+// and converges, and the LastError surface clears.
+func TestShipperBlackholedFollowerBatchBackoff(t *testing.T) {
+	const name = "darkened"
+	live, err := increpair.NewSession(batteryBase(t, true), batteryCFDs(t, batterySchema()),
+		&increpair.Options{Ordering: increpair.Linear, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	lt := ship.NewLocalTransport(2)
+	defer lt.Close()
+	bt := &blackholeTransport{inner: lt}
+	sp := ship.NewShipper(name, bt, func() (*wal.Snapshot, error) {
+		return live.PersistSnapshot(name)
+	})
+	defer sp.Close()
+
+	rng := rand.New(rand.NewSource(83))
+	shipOne := func() error {
+		deletes, sets, inserts := randomOps(rng, live.Current())
+		prev := live.Snapshot().Version
+		if _, _, err := live.ApplyOps(deletes, sets, inserts); err != nil {
+			t.Fatal(err)
+		}
+		return sp.ShipSync(&wal.Batch{
+			PrevVersion: prev,
+			Version:     live.Snapshot().Version,
+			Ops:         increpair.OpsToDeltas(deletes, sets, inserts),
+		})
+	}
+
+	// Healthy phase: bootstrap plus acknowledged batches.
+	for i := 0; i < 2; i++ {
+		if err := shipOne(); err != nil {
+			t.Fatalf("healthy ship failed: %v", err)
+		}
+	}
+	if st := sp.Stats(); st.LastError != "" {
+		t.Fatalf("healthy stream reports an error: %q", st.LastError)
+	}
+
+	// Follower goes dark: every write degrades, few reach the wire.
+	bt.failing.Store(true)
+	const sends = 64
+	var errs int
+	for i := 0; i < sends; i++ {
+		if shipOne() != nil {
+			errs++
+		}
+	}
+	if errs != sends {
+		t.Fatalf("black-holed follower absorbed %d/%d sends silently", sends-errs, sends)
+	}
+	if n := bt.attempts.Load(); n >= sends/4 {
+		t.Fatalf("black-holed follower cost %d transport attempts over %d sends — batch path has no backoff", n, sends)
+	}
+	st := sp.Stats()
+	if st.Dropped == 0 {
+		t.Fatalf("no frames reported dropped under backoff: %+v", st)
+	}
+	if st.LastError == "" {
+		t.Fatalf("failing stream reports no LastError: %+v", st)
+	}
+
+	// Follower returns: the stream heals (a snapshot resync at the next
+	// retry point), the error surface clears, and the replica converges.
+	bt.failing.Store(false)
+	healed := false
+	for i := 0; i < 2*sends && !healed; i++ {
+		healed = shipOne() == nil
+	}
+	if !healed {
+		t.Fatal("stream never healed after the follower returned")
+	}
+	if st := sp.Stats(); st.LastError != "" {
+		t.Fatalf("healed stream still reports an error: %q", st.LastError)
+	}
+	rep := lt.Replica(name)
+	if rep == nil {
+		t.Fatal("follower never bootstrapped")
+	}
+	requireEqual(t, "healed state", capture(t, live), capture(t, rep.Session()))
+}
+
 func sampleSnapshot(t testing.TB, name string) (*wal.Snapshot, error) {
 	t.Helper()
 	sess, err := increpair.NewSession(batteryBase(t, false), batteryCFDs(t, batterySchema()),

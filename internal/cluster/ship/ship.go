@@ -55,9 +55,13 @@ const (
 
 const (
 	frameHeaderLen = 9 // kind(u8) + length(u32) + crc(u32)
-	// maxFrameLen rejects absurd lengths decoded from a corrupted
-	// header before they drive a huge allocation.
-	maxFrameLen = 1 << 28 // 256 MiB
+	// MaxFrameLen rejects absurd lengths decoded from a corrupted
+	// header before they drive a huge allocation. It is exported so the
+	// HTTP endpoints that receive frames can bound request bodies to
+	// exactly what the codec accepts — capping them lower (e.g. at a
+	// generic API body limit) would strand sessions whose snapshot
+	// outgrew the cap with no way to ever bootstrap a follower.
+	MaxFrameLen = 1 << 28 // 256 MiB
 )
 
 var (
@@ -131,7 +135,7 @@ func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("%w: unknown kind %d", ErrFrame, kind)
 	}
 	ln := binary.LittleEndian.Uint32(hdr[1:5])
-	if ln > maxFrameLen {
+	if ln > MaxFrameLen {
 		return 0, nil, fmt.Errorf("%w: implausible length %d", ErrFrame, ln)
 	}
 	payload = make([]byte, ln)

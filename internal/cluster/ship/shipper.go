@@ -51,6 +51,19 @@ type Shipper struct {
 	degraded    atomic.Uint64
 	dropped     atomic.Uint64
 	lastShipped atomic.Uint64
+	// lastErr holds the most recent delivery failure as a string (""
+	// when the last delivery succeeded): the loud, human-readable signal
+	// for a stream that is persistently failing — e.g. a snapshot the
+	// receiver keeps refusing — which a bare Degraded counter buries.
+	lastErr atomic.Value
+}
+
+func (s *Shipper) noteErr(err error) {
+	s.lastErr.Store(err.Error())
+}
+
+func (s *Shipper) noteOK() {
+	s.lastErr.Store("")
 }
 
 type shipItem struct {
@@ -63,8 +76,9 @@ type ShipStats struct {
 	Batches     uint64 // batches acknowledged by the follower
 	Snapshots   uint64 // snapshot installs (bootstrap + resyncs)
 	Degraded    uint64 // delivery failures absorbed
-	Dropped     uint64 // frames dropped on a full backlog
+	Dropped     uint64 // frames dropped on a full backlog or backoff
 	LastShipped uint64 // journal version the follower has acknowledged
+	LastError   string // most recent delivery failure; "" when healthy
 }
 
 // NewShipper starts a shipping stream for the named session. snapFn
@@ -143,8 +157,9 @@ func (s *Shipper) send(it shipItem) error {
 	}
 	if s.needSnap {
 		if !retryAt(s.failStreak) {
-			// The follower has been refusing snapshots; back off
-			// instead of capturing a full image per batch.
+			// The follower has been refusing deliveries; back off
+			// instead of eating a transport timeout (or capturing a
+			// full image) per committed batch.
 			s.failStreak++
 			s.dropped.Add(1)
 			return errors.New("ship: follower unavailable, frame dropped")
@@ -165,6 +180,7 @@ func (s *Shipper) send(it shipItem) error {
 		s.failStreak = 0
 		s.batches.Add(1)
 		s.lastShipped.Store(it.batch.Version)
+		s.noteOK()
 		return nil
 	case errors.Is(err, ErrGap), errors.Is(err, ErrUnknownReplica):
 		// The follower can't chain this batch (lost frames, or it's
@@ -174,10 +190,20 @@ func (s *Shipper) send(it shipItem) error {
 		// The target believes it is the primary. Resyncing would split
 		// the brain; stop and surface through Stats.
 		s.degraded.Add(1)
+		s.noteErr(err)
 		return err
 	default:
+		// A failed batch leaves a hole the follower will refuse anyway:
+		// mark the stream for snapshot healing, which also routes every
+		// subsequent send through the failStreak backoff above. A
+		// black-holed follower then costs one transport timeout per
+		// power-of-two streak, not one per committed write — without
+		// this, every ack=quorum write blocks for the full transport
+		// timeout until the follower returns.
+		s.needSnap = true
 		s.failStreak++
 		s.degraded.Add(1)
+		s.noteErr(err)
 		return err
 	}
 }
@@ -187,6 +213,7 @@ func (s *Shipper) resyncLocked() error {
 	if err != nil {
 		s.failStreak++
 		s.degraded.Add(1)
+		s.noteErr(err)
 		return err
 	}
 	return s.shipSnapLocked(snap)
@@ -197,6 +224,7 @@ func (s *Shipper) shipSnapLocked(snap *wal.Snapshot) error {
 		s.needSnap = true
 		s.failStreak++
 		s.degraded.Add(1)
+		s.noteErr(err)
 		return err
 	}
 	s.needSnap = false
@@ -205,6 +233,7 @@ func (s *Shipper) shipSnapLocked(snap *wal.Snapshot) error {
 	if v := snap.Version; v > s.lastShipped.Load() {
 		s.lastShipped.Store(v)
 	}
+	s.noteOK()
 	return nil
 }
 
@@ -217,12 +246,14 @@ func retryAt(streak int) bool {
 
 // Stats reports the stream's delivery counters.
 func (s *Shipper) Stats() ShipStats {
+	le, _ := s.lastErr.Load().(string)
 	return ShipStats{
 		Batches:     s.batches.Load(),
 		Snapshots:   s.snapshots.Load(),
 		Degraded:    s.degraded.Load(),
 		Dropped:     s.dropped.Load(),
 		LastShipped: s.lastShipped.Load(),
+		LastError:   le,
 	}
 }
 

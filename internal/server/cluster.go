@@ -281,10 +281,17 @@ func writeMisdirected(w http.ResponseWriter, primary string) {
 	})
 }
 
+// replicaBodyLimit bounds replication request bodies by what the frame
+// codec itself accepts (payload + frame header), not by MaxBodyBytes:
+// the generic API cap is sized for client JSON, and applying it here
+// would make any session whose snapshot outgrew it permanently unable
+// to bootstrap or heal a follower.
+const replicaBodyLimit = ship.MaxFrameLen + 64
+
 // handleReplicaInstall receives a snapshot frame: PUT /v1/replica/{name}.
 func (s *Server) handleReplicaInstall(w http.ResponseWriter, req *http.Request) {
 	name := req.PathValue("name")
-	kind, payload, err := ship.ReadFrame(http.MaxBytesReader(w, req.Body, s.opts.MaxBodyBytes))
+	kind, payload, err := ship.ReadFrame(http.MaxBytesReader(w, req.Body, replicaBodyLimit))
 	if err != nil || kind != ship.KindSnapshot {
 		writeStatus(w, http.StatusBadRequest, fmt.Sprintf("bad snapshot frame: kind=%d err=%v", kind, err))
 		return
@@ -304,7 +311,7 @@ func (s *Server) handleReplicaInstall(w http.ResponseWriter, req *http.Request) 
 // handleReplicaBatch receives a batch frame: POST /v1/replica/{name}/batch.
 func (s *Server) handleReplicaBatch(w http.ResponseWriter, req *http.Request) {
 	name := req.PathValue("name")
-	kind, payload, err := ship.ReadFrame(http.MaxBytesReader(w, req.Body, s.opts.MaxBodyBytes))
+	kind, payload, err := ship.ReadFrame(http.MaxBytesReader(w, req.Body, replicaBodyLimit))
 	if err != nil || kind != ship.KindBatch {
 		writeStatus(w, http.StatusBadRequest, fmt.Sprintf("bad batch frame: kind=%d err=%v", kind, err))
 		return
@@ -363,6 +370,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, req *http.Request) {
 			st := ref.sp.Stats()
 			cs.Follower = ref.target
 			cs.Shipped = st.LastShipped
+			cs.LastError = st.LastError
 		}
 		info.Sessions = append(info.Sessions, cs)
 	}

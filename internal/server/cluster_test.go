@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -444,5 +445,174 @@ func TestClusterRebalance(t *testing.T) {
 		if cs.Name == name {
 			t.Fatalf("old owner still hosts %q as %s", name, cs.Role)
 		}
+	}
+}
+
+// TestClusterFollowerRestartStaysFollower: the split-brain regression.
+// A node hosting replicas goes down and comes back — the most ordinary
+// cluster event there is — and must re-host them as FOLLOWERS: the
+// durable role marker survives the restart, writes stay fenced with
+// 421, the read plane serves the recovered replica, and the primary's
+// shipping stream resumes instead of hitting a phantom primary and
+// stopping. Promotion then clears the durable role.
+func TestClusterFollowerRestartStaysFollower(t *testing.T) {
+	dirs := map[string]string{}
+	durable := func(self string, peers []string) Options {
+		d, ok := dirs[self]
+		if !ok {
+			d = t.TempDir()
+			dirs[self] = d
+		}
+		return Options{QueueDepth: 16, Peers: peers, Self: self, Ack: AckQuorum, DataDir: d}
+	}
+	a, b := newClusterPair(t, durable)
+	const name = "restarted"
+	owner, follower := ownerAndFollower(a, b, name)
+	createTiny(t, owner.url, name)
+	waitFollower(t, follower, name)
+	for i := 0; i < 3; i++ {
+		applyDirty(t, owner.url, name, i)
+	}
+	wantDump, wantVios := readState(t, owner.url, name)
+
+	if !readRoleMarker(filepath.Join(dirs[follower.addr], name)) {
+		t.Fatal("replica session directory carries no follower marker")
+	}
+	if readRoleMarker(filepath.Join(dirs[owner.addr], name)) {
+		t.Fatal("primary session directory carries a follower marker")
+	}
+
+	// Stop the follower node and boot a fresh server on its data dir,
+	// address and identity — an ordinary follower restart.
+	follower.hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err := follower.srv.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("follower shutdown: %v", err)
+	}
+	ln, err := net.Listen("tcp", follower.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(durable(follower.addr, []string{a.addr, b.addr}))
+	if _, err := s2.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	hs2 := &http.Server{Handler: s2.Handler()}
+	go hs2.Serve(ln)
+	t.Cleanup(func() {
+		hs2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx)
+	})
+
+	// Drop keep-alive connections pooled against the dead server: a
+	// non-replayable POST reusing one would surface EOF instead of
+	// reaching the restarted node.
+	http.DefaultClient.CloseIdleConnections()
+
+	h, err := s2.reg.Get(name)
+	if err != nil {
+		t.Fatalf("recovered node lost the session: %v", err)
+	}
+	if h.roleString() != "follower" {
+		t.Fatalf("recovered role = %s, want follower", h.roleString())
+	}
+
+	// Writes are still fenced toward the true primary.
+	resp, body := do(t, "POST", follower.url+"/v1/sessions/"+name+"/apply", ApplyRequest{
+		Inserts: []WireTuple{{Vals: []*string{strp("212"), strp("NYC")}}},
+	})
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("restarted follower write: %d (want 421): %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Primary"); got != owner.addr {
+		t.Fatalf("X-Primary = %q, want %q", got, owner.addr)
+	}
+
+	// The read plane serves the recovered replica byte-identically.
+	gotDump, gotVios := readState(t, follower.url, name)
+	if !bytes.Equal(wantDump, gotDump) {
+		t.Fatalf("recovered replica dump differs:\nwant:\n%s\ngot:\n%s", wantDump, gotDump)
+	}
+	if wantVios.Total != gotVios.Total {
+		t.Fatalf("recovered replica violations differ: %+v vs %+v", wantVios, gotVios)
+	}
+
+	// The primary's shipping stream resumes: a post-restart quorum write
+	// reaches the restarted replica (healing by resync if need be).
+	applyDirty(t, owner.url, name, 9)
+	wantDump, wantVios = readState(t, owner.url, name)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		gotDump, gotVios = readState(t, follower.url, name)
+		if bytes.Equal(wantDump, gotDump) && wantVios.Total == gotVios.Total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted follower never caught up:\nwant:\n%s\ngot:\n%s", wantDump, gotDump)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Promotion flips the durable role with the live one.
+	resp, body = do(t, "POST", follower.url+"/v1/sessions/"+name+"/promote", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: %d: %s", resp.StatusCode, body)
+	}
+	if readRoleMarker(filepath.Join(dirs[follower.addr], name)) {
+		t.Fatal("promotion left the durable follower marker in place")
+	}
+}
+
+// TestClusterRebalanceDrainsCoalesceLinger: an accepted (202) ingest
+// the worker is holding in the coalesce linger sits in neither the
+// queue nor the commits channel — invisible to any len() poll — when a
+// rebalance transfer starts. The positive quiesce sentinel must flush
+// it through the pipeline before the transfer snapshot is captured;
+// with inferred quiescence the batch would apply locally after the
+// snapshot shipped and vanish when the local session is purged.
+func TestClusterRebalanceDrainsCoalesceLinger(t *testing.T) {
+	linger := func(self string, peers []string) Options {
+		return Options{QueueDepth: 16, Peers: peers, Self: self, Ack: AckLeader,
+			CoalesceDelay: 400 * time.Millisecond}
+	}
+	a, b := newClusterPair(t, linger)
+	const name = "lingering"
+	owner, other := ownerAndFollower(a, b, name)
+	createTiny(t, owner.url, name)
+
+	// Accept one async batch and give the worker a moment to dequeue it
+	// into the linger window.
+	resp, body := do(t, "POST", owner.url+"/v1/sessions/"+name+"/ingest", ApplyRequest{
+		Inserts: []WireTuple{{Vals: []*string{strp("646"), strp("SFO")}}},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: %d: %s", resp.StatusCode, body)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	// Shrink the ring to the other node while the batch is parked: the
+	// session must transfer WITH the accepted batch.
+	resp, body = do(t, "PUT", owner.url+"/v1/cluster/peers", PeersRequest{Peers: []string{other.addr}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peers: %d: %s", resp.StatusCode, body)
+	}
+	var pr PeersResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Errors) > 0 {
+		t.Fatalf("transfer errors: %v", pr.Errors)
+	}
+	if len(pr.Moved) != 1 || pr.Moved[0] != name {
+		t.Fatalf("moved = %v, want [%s]", pr.Moved, name)
+	}
+
+	dump, _ := readState(t, other.url, name)
+	if !strings.Contains(string(dump), "646,SFO") {
+		t.Fatalf("transferred session lost the lingering ingest:\n%s", dump)
 	}
 }

@@ -98,6 +98,42 @@ type persistConfig struct {
 	snapEvery int
 }
 
+// roleMarkerName is the follower-role marker inside a session's
+// directory: present means the durable state belongs to a replica,
+// absent means primary. The marker records the STEADY-STATE role only —
+// transient flips (the quiesce window of a rebalance transfer) never
+// touch it — so a restarted node re-hosts each session in the role it
+// was really serving. Without it a rebooted follower would come back as
+// a primary: the true primary's shipper then hits 421 and stops
+// (split-brain guard), while the stale copy silently serves — the
+// split brain the marker exists to prevent.
+const roleMarkerName = "follower.role"
+
+// writeRoleMarker syncs the on-disk role marker to the given role.
+// Written via tmp+rename so a crash can only leave the old role or the
+// new one, never a torn marker.
+func writeRoleMarker(dir string, follower bool) error {
+	path := filepath.Join(dir, roleMarkerName)
+	if !follower {
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		return nil
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte("follower\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readRoleMarker reports whether dir is marked as holding a follower
+// replica's state.
+func readRoleMarker(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, roleMarkerName))
+	return err == nil
+}
+
 func snapPath(dir string, gen uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("snap-%010d.snap", gen))
 }
@@ -600,7 +636,18 @@ func (s *Server) Recover() (restored int, err error) {
 		if wq.Set {
 			quota = quotaFromWAL(wq)
 		}
-		if _, cerr := s.reg.adopt(name, sess, sess.Current().Schema(), p, quota); cerr != nil {
+		// A session whose directory carries the follower marker was a
+		// replica when this node went down; re-host it as one, so the
+		// true primary's shipping stream resumes (healing any missed
+		// batches by gap-detected resync) instead of hitting a phantom
+		// primary and stopping. On a node rebooted WITHOUT peers the
+		// marker is ignored — and cleared by adopt — because a follower
+		// with no cluster would refuse writes forever.
+		role := rolePrimary
+		if s.reg.cluster != nil && readRoleMarker(filepath.Join(cfg.dir, name)) {
+			role = roleFollower
+		}
+		if _, cerr := s.reg.adopt(name, sess, sess.Current().Schema(), p, quota, role); cerr != nil {
 			p.close()
 			sess.Close()
 			errs = append(errs, fmt.Errorf("server: recover %s: %w", name, cerr))

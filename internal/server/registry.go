@@ -261,6 +261,13 @@ type job struct {
 	sets        []increpair.SetOp
 	inserts     []*relation.Tuple
 	coalescable bool
+	// quiesce marks a sentinel with no engine pass of its own: it rides
+	// the queue and the commits channel like any batch, and its reply
+	// therefore PROVES every job enqueued before it has been applied and
+	// committed — including a 202-accepted ingest the worker was holding
+	// in the coalesce linger, which no amount of len(queue) polling can
+	// see. Rebalance transfers use it as the positive quiescence signal.
+	quiesce bool
 	// enqueued is when the job entered the queue (zero for tests that
 	// drive dispatch directly); the reply reports the queue wait.
 	enqueued time.Time
@@ -291,10 +298,10 @@ type jobReply struct {
 // (TUPLERESOLVE clones arriving tuples before insertion), and res/snap
 // are immutable after the pass.
 type commitItem struct {
-	j        job
-	batches  int // client batches folded into the pass
-	rep      jobReply
-	version  uint64 // journal version after the pass
+	j       job
+	batches int // client batches folded into the pass
+	rep     jobReply
+	version uint64 // journal version after the pass
 	// prev is the journal version before the pass — with version it
 	// brackets the batch for the replication stream, whose frames carry
 	// the same (PrevVersion, Version] chain the WAL uses.
@@ -327,9 +334,10 @@ func (r *Registry) CreateWithQuota(name string, sess *increpair.Session, schema 
 // Create's boot-time sibling, which must not write a fresh generation 0
 // over the recovered files. quota is the resolved admission state: an
 // explicit override read back from the snapshot header, or the current
-// registry defaults (see Server.Recover).
-func (r *Registry) adopt(name string, sess *increpair.Session, schema *relation.Schema, p *persister, quota QuotaConfig) (*hosted, error) {
-	return r.register(name, sess, schema, p, quota, rolePrimary)
+// registry defaults; role is the replication role read back from the
+// directory's marker (see Server.Recover).
+func (r *Registry) adopt(name string, sess *increpair.Session, schema *relation.Schema, p *persister, quota QuotaConfig, role int32) (*hosted, error) {
+	return r.register(name, sess, schema, p, quota, role)
 }
 
 func (r *Registry) register(name string, sess *increpair.Session, schema *relation.Schema, p *persister, quota QuotaConfig, role int32) (*hosted, error) {
@@ -377,6 +385,13 @@ func (r *Registry) register(name string, sess *increpair.Session, schema *relati
 		// Carry recovery's replay count into the rotation budget so a
 		// crash-looping server still rotates (see recoverSession).
 		h.sinceSnap = p.sinceSnap
+		// Record the steady-state role on disk so a restart re-hosts the
+		// session as what it really was (see roleMarkerName). Failing to
+		// record it risks a phantom primary after the next crash, which
+		// is a persistence failure like any other.
+		if err := writeRoleMarker(p.dir, role == roleFollower); err != nil {
+			p.markBroken(err)
+		}
 	}
 	if c := r.cluster; c != nil {
 		h.clustered = true
@@ -714,6 +729,12 @@ func (h *hosted) dispatch(r *Registry, j job) {
 // Pass order fixes seq and the journal-version order, and the commits
 // channel is FIFO, so the committer observes them in the same order.
 func (h *hosted) apply(r *Registry, j job, batches int) {
+	if j.quiesce {
+		// No pass, no WAL record, no event: the sentinel only carries
+		// its reply through the pipeline in order.
+		h.commits <- commitItem{j: j}
+		return
+	}
 	var wait time.Duration
 	if !j.enqueued.IsZero() {
 		wait = time.Since(j.enqueued)
@@ -796,6 +817,16 @@ func (h *hosted) apply(r *Registry, j job, batches int) {
 func (h *hosted) committer(r *Registry) {
 	defer close(h.committerDone)
 	for item := range h.commits {
+		if item.j.quiesce {
+			// The quiesce sentinel: everything before it in the pipeline
+			// is applied AND committed; answer and move on. It must not
+			// touch the WAL, the shipper or the event stream — its
+			// version fields are zero.
+			if item.j.reply != nil {
+				item.j.reply <- item.rep
+			}
+			continue
+		}
 		// ops is computed at most once per pass and shared by the WAL
 		// append and the replication frame.
 		var ops []relation.Delta

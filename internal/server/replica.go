@@ -154,6 +154,13 @@ func (r *Registry) Promote(name string) (*hosted, error) {
 	h.replMu.Lock()
 	defer h.replMu.Unlock()
 	if h.role.CompareAndSwap(roleFollower, rolePrimary) {
+		// The durable role flips with the live one: a promoted session
+		// restarting must come back a primary, not re-demote itself.
+		if h.pers != nil {
+			if err := writeRoleMarker(h.pers.dir, false); err != nil {
+				h.pers.markBroken(err)
+			}
+		}
 		if c := r.cluster; c != nil {
 			// Ship onward only when the ring says this node owns the
 			// session (a rebalance transfer): the target is then the
@@ -183,26 +190,47 @@ func (r *Registry) DropReplica(ctx context.Context, name string) error {
 	return r.Remove(ctx, name)
 }
 
-// waitQuiesce blocks until h's pipeline is empty — no queued jobs, no
-// in-flight pass, no pending commits — or the deadline passes. Used by
-// rebalance after flipping a primary to follower: new writes are already
-// refused, and once the pipeline drains the session is quiescent, so the
-// transfer snapshot captured next misses nothing acknowledged.
+// waitQuiesce blocks until h's pipeline is provably empty — every job
+// accepted before the call is applied AND committed — or the deadline
+// passes. Used by rebalance after flipping a primary to follower: new
+// writes are already refused, so once the pipeline drains the session
+// is quiescent and the transfer snapshot captured next misses nothing
+// acknowledged.
+//
+// Quiescence is positive, not inferred: a quiesce sentinel job rides
+// the FIFO queue and the FIFO commits channel, so its reply proves the
+// drain. Polling len(queue)+len(commits) cannot — a 202-accepted ingest
+// the worker dequeued and parked in the coalesce linger (configurable
+// far beyond any settle delay) is in neither channel, and a snapshot
+// captured across it would silently lose the batch when the local
+// session is purged after transfer. The sentinel, being non-coalescable,
+// also flushes any lingering fold before it is answered. A straggler
+// write that slipped past the role flip re-arms the loop: the sentinel
+// is resent until both channels are empty at acknowledgement time.
 func (h *hosted) waitQuiesce(d time.Duration) bool {
 	deadline := time.Now().Add(d)
 	for {
+		j := job{quiesce: true, reply: make(chan jobReply, 1)}
+		select {
+		case h.queue <- j:
+		case <-h.quit:
+			return false
+		case <-time.After(time.Until(deadline)):
+			return false
+		}
+		select {
+		case <-j.reply:
+		case <-h.done:
+			return false
+		case <-time.After(time.Until(deadline)):
+			return false
+		}
 		if len(h.queue) == 0 && len(h.commits) == 0 {
-			// Empty twice with a stable pass counter and a settle delay
-			// in between means no pass was in flight between the checks.
-			seq := h.seq.Load()
-			time.Sleep(10 * time.Millisecond)
-			if len(h.queue) == 0 && len(h.commits) == 0 && h.seq.Load() == seq {
-				return true
-			}
+			return true
 		}
 		if time.Now().After(deadline) {
 			return false
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond)
 	}
 }

@@ -373,7 +373,9 @@ func (h *hosted) info() SessionInfo {
 		if ref := h.shipper.Load(); ref != nil {
 			st := ref.sp.Stats()
 			si.Replication = fmt.Sprintf("%s@%d", ref.target, st.LastShipped)
-			if st.Degraded > 0 {
+			if st.LastError != "" {
+				si.Replication += fmt.Sprintf(" (failing: %s)", st.LastError)
+			} else if st.Degraded > 0 {
 				si.Replication += " (degraded)"
 			}
 		}

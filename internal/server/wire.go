@@ -322,6 +322,10 @@ type ClusterSession struct {
 	Owner    string `json:"owner,omitempty"`
 	Follower string `json:"follower,omitempty"`
 	Shipped  uint64 `json:"shipped,omitempty"`
+	// LastError is the stream's most recent delivery failure, empty when
+	// the last delivery succeeded — the operator-visible reason a
+	// follower is lagging (e.g. a snapshot install the receiver refused).
+	LastError string `json:"last_error,omitempty"`
 }
 
 // PeersRequest swaps the cluster's peer list (PUT /v1/cluster/peers).

@@ -191,8 +191,20 @@ func (s *Snapshot) Encode() []byte {
 	return out
 }
 
-// DecodeSnapshot parses a snapshot payload.
+// DecodeSnapshot parses a snapshot payload in the current format.
+// File readers go through decodeSnapshotVersion instead, keyed on the
+// file header's version byte; this entry point is for the replication
+// wire, whose frames are always produced by the running build.
 func DecodeSnapshot(p []byte) (*Snapshot, error) {
+	return decodeSnapshotVersion(p, Version)
+}
+
+// decodeSnapshotVersion parses a snapshot payload written under format
+// version ver. Version 1 predates the quota block: the block is simply
+// absent, and the snapshot reads back with a zero Quota — the session
+// inherits the restoring service's defaults, exactly what v1 deployments
+// got.
+func decodeSnapshotVersion(p []byte, ver byte) (*Snapshot, error) {
 	d := &decoder{b: p}
 	s := &Snapshot{}
 	s.Name = d.str("name")
@@ -216,19 +228,21 @@ func DecodeSnapshot(p []byte) (*Snapshot, error) {
 	s.Cost = math.Float64frombits(d.u64("cost"))
 	s.NextID = relation.TupleID(d.varint("next id"))
 	s.Version = d.uvarint("version")
-	switch d.byte("quota flag") {
-	case 0:
-	case 1:
-		s.Quota.Set = true
-	default:
-		if d.err == nil {
-			d.err = fmt.Errorf("%w: snapshot: bad quota flag", ErrCorrupt)
+	if ver >= 2 {
+		switch d.byte("quota flag") {
+		case 0:
+		case 1:
+			s.Quota.Set = true
+		default:
+			if d.err == nil {
+				d.err = fmt.Errorf("%w: snapshot: bad quota flag", ErrCorrupt)
+			}
 		}
+		s.Quota.OpsPerSec = math.Float64frombits(d.u64("quota ops/sec"))
+		s.Quota.TuplesPerSec = math.Float64frombits(d.u64("quota tuples/sec"))
+		s.Quota.MaxRelationSize = int(d.varint("quota max relation size"))
+		s.Quota.MaxSubscribers = int(d.varint("quota max subscribers"))
 	}
-	s.Quota.OpsPerSec = math.Float64frombits(d.u64("quota ops/sec"))
-	s.Quota.TuplesPerSec = math.Float64frombits(d.u64("quota tuples/sec"))
-	s.Quota.MaxRelationSize = int(d.varint("quota max relation size"))
-	s.Quota.MaxSubscribers = int(d.varint("quota max subscribers"))
 	ntuples := d.uvarint("tuple count")
 	arity := len(s.Attrs)
 	for i := uint64(0); i < ntuples && d.err == nil; i++ {
@@ -278,14 +292,14 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	payloads, good, err := scanFrames(b, snapMagic)
+	payloads, ver, good, err := scanFrames(b, snapMagic)
 	if err != nil {
 		return nil, err
 	}
 	if len(payloads) != 1 || good != int64(len(b)) {
 		return nil, fmt.Errorf("%w: snapshot stream is torn or trailed by garbage", ErrCorrupt)
 	}
-	return DecodeSnapshot(payloads[0])
+	return decodeSnapshotVersion(payloads[0], ver)
 }
 
 // decoder is a cursor over a snapshot payload that latches the first

@@ -11,9 +11,11 @@
 // # File formats
 //
 // Both file kinds open with a magic string and a single format version
-// byte; Version is the only value current readers accept, and any codec
-// change that breaks old logs must bump it (the golden fixture under
-// testdata/golden/wal-session fails loudly when this is forgotten).
+// byte; writers stamp Version, readers accept minVersion..Version and
+// decode version-gated blocks per the header byte, so old data dirs
+// survive an upgrade. Any codec change that breaks old logs must bump
+// Version (the golden fixture under testdata/golden/wal-session fails
+// loudly when this is forgotten).
 //
 //	wal file      = "CFDWAL"  version(u8) record*
 //	snapshot file = "CFDSNAP" version(u8) record      (exactly one)
@@ -45,10 +47,18 @@ import (
 )
 
 // Version is the on-disk format version byte shared by WAL and snapshot
-// files. Bump it on any incompatible codec change; readers reject files
-// carrying any other value. Version 2 added the quota block to the
-// snapshot payload (see Snapshot.Quota).
+// files; writers always stamp it. Bump it on any incompatible codec
+// change. Readers accept every version back to minVersion — a durable
+// deployment's existing files must stay readable across an upgrade —
+// and decode version-gated blocks per the file's own header byte.
+// Version 2 added the quota block to the snapshot payload (see
+// Snapshot.Quota); a v1 snapshot reads back with a zero Quota
+// (= inherit service defaults). The WAL record codec is unchanged
+// between 1 and 2.
 const Version = 2
+
+// minVersion is the oldest format version readers still decode.
+const minVersion = 1
 
 const (
 	walMagic  = "CFDWAL"
@@ -107,7 +117,7 @@ func Open(path string) (l *Log, payloads [][]byte, discarded int64, err error) {
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	payloads, good, scanErr := scanFrames(b, walMagic)
+	payloads, _, good, scanErr := scanFrames(b, walMagic)
 	if scanErr != nil {
 		return nil, nil, 0, scanErr
 	}
@@ -134,34 +144,36 @@ func Open(path string) (l *Log, payloads [][]byte, discarded int64, err error) {
 }
 
 // scanFrames walks the framed records after a magic+version header,
-// returning the intact payloads and the offset just past the last intact
-// record. A torn or checksum-failing record ends the scan without error
-// (tail damage is the expected crash artifact); a bad header is
-// ErrCorrupt — nothing in the file can be trusted.
-func scanFrames(b []byte, magic string) (payloads [][]byte, good int64, err error) {
+// returning the intact payloads, the file's format version, and the
+// offset just past the last intact record. A torn or checksum-failing
+// record ends the scan without error (tail damage is the expected crash
+// artifact); a bad header is ErrCorrupt — nothing in the file can be
+// trusted.
+func scanFrames(b []byte, magic string) (payloads [][]byte, ver byte, good int64, err error) {
 	hdr := len(magic) + 1
 	if len(b) < hdr || string(b[:len(magic)]) != magic {
-		return nil, 0, fmt.Errorf("%w: bad %s header", ErrCorrupt, magic)
+		return nil, 0, 0, fmt.Errorf("%w: bad %s header", ErrCorrupt, magic)
 	}
-	if b[len(magic)] != Version {
-		return nil, 0, fmt.Errorf("%w: format version %d, reader supports %d", ErrCorrupt, b[len(magic)], Version)
+	ver = b[len(magic)]
+	if ver < minVersion || ver > Version {
+		return nil, 0, 0, fmt.Errorf("%w: format version %d, reader supports %d..%d", ErrCorrupt, ver, minVersion, Version)
 	}
 	pos := hdr
 	for {
 		if pos == len(b) {
-			return payloads, int64(pos), nil // clean end
+			return payloads, ver, int64(pos), nil // clean end
 		}
 		if pos+frameHeaderLen > len(b) {
-			return payloads, int64(pos), nil // torn frame header
+			return payloads, ver, int64(pos), nil // torn frame header
 		}
 		ln := binary.LittleEndian.Uint32(b[pos:])
 		crc := binary.LittleEndian.Uint32(b[pos+4:])
 		if ln > maxRecordLen || pos+frameHeaderLen+int(ln) > len(b) {
-			return payloads, int64(pos), nil // torn or garbage payload length
+			return payloads, ver, int64(pos), nil // torn or garbage payload length
 		}
 		payload := b[pos+frameHeaderLen : pos+frameHeaderLen+int(ln)]
 		if crc32.Checksum(payload, castagnoli) != crc {
-			return payloads, int64(pos), nil // checksum mismatch
+			return payloads, ver, int64(pos), nil // checksum mismatch
 		}
 		payloads = append(payloads, payload)
 		pos += frameHeaderLen + int(ln)
@@ -250,7 +262,7 @@ func ReadSnapshotFile(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	payloads, good, err := scanFrames(b, snapMagic)
+	payloads, ver, good, err := scanFrames(b, snapMagic)
 	if err != nil {
 		return nil, err
 	}
@@ -260,7 +272,7 @@ func ReadSnapshotFile(path string) (*Snapshot, error) {
 	if len(payloads) != 1 || good != int64(len(b)) {
 		return nil, fmt.Errorf("%w: snapshot %s is torn or trailed by garbage", ErrCorrupt, filepath.Base(path))
 	}
-	return DecodeSnapshot(payloads[0])
+	return decodeSnapshotVersion(payloads[0], ver)
 }
 
 func syncDir(dir string) error {

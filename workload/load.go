@@ -132,20 +132,20 @@ func (c LoadConfig) withDefaults() LoadConfig {
 // silently. Durable reports whether the measured server persisted every
 // batch (DataDir set).
 type LoadResult struct {
-	Sessions      int     `json:"sessions"`
-	Batches       int     `json:"batches_per_session"`
-	MeanBatch     float64 `json:"mean_batch_tuples"`
-	BaseSize      int     `json:"base_size"`
-	Gomaxprocs    int     `json:"gomaxprocs"`
-	Durable       bool    `json:"durable"`
-	Fsync         string  `json:"fsync,omitempty"`
-	TotalBatches  int     `json:"total_batches"`
-	TotalTuples   int     `json:"total_tuples"`
-	ErrorBatches  int     `json:"error_batches"`
+	Sessions     int     `json:"sessions"`
+	Batches      int     `json:"batches_per_session"`
+	MeanBatch    float64 `json:"mean_batch_tuples"`
+	BaseSize     int     `json:"base_size"`
+	Gomaxprocs   int     `json:"gomaxprocs"`
+	Durable      bool    `json:"durable"`
+	Fsync        string  `json:"fsync,omitempty"`
+	TotalBatches int     `json:"total_batches"`
+	TotalTuples  int     `json:"total_tuples"`
+	ErrorBatches int     `json:"error_batches"`
 	// RateLimited counts 429 rate-limit rejections the clients absorbed
 	// by backing off per Retry-After and retrying; the retried batches
 	// still land, so these are not errors.
-	RateLimited int `json:"rate_limited,omitempty"`
+	RateLimited   int     `json:"rate_limited,omitempty"`
 	WallSeconds   float64 `json:"wall_seconds"`
 	BatchesPerSec float64 `json:"batches_per_sec"`
 	TuplesPerSec  float64 `json:"tuples_per_sec"`
@@ -305,8 +305,8 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	// and the session moves on to its next batch — per-batch errors are
 	// part of the report, not a silent abort.
 	var (
-		wg        sync.WaitGroup
-		mu        sync.Mutex
+		wg          sync.WaitGroup
+		mu          sync.Mutex
 		lats        []time.Duration
 		stageLats   [3][]time.Duration // queue, engine, persist
 		okTuples    int
