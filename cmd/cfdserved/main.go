@@ -9,6 +9,7 @@
 //	cfdserved [-addr :8344] [-queue 32] [-drain 10s] [-pprof ADDR]
 //	          [-data-dir DIR] [-fsync batch|interval|off]
 //	          [-fsync-interval 100ms] [-snap-every 64]
+//	          [-store mem|disk] [-store-page 16384] [-store-cache 256]
 //	          [-coalesce-tuples 0] [-coalesce-delay 0]
 //	          [-max-read-limit 1000]
 //	          [-quota-ops 0] [-quota-tuples 0]
@@ -30,6 +31,16 @@
 // syncs before every acknowledgement, "interval" syncs on a timer,
 // "off" leaves flushing to the OS. In -loadtest mode -data-dir makes
 // the driver measure durable and in-memory throughput side by side.
+//
+// -store picks the default tuple storage backend for durable sessions:
+// "mem" (the default) writes full inline snapshots, "disk" spills
+// tuples into generation-numbered page files under DIR/<session>/store/
+// with a slim snapshot header, so rotation writes only dirty pages and
+// recovery opens pages lazily instead of decoding the whole relation.
+// A create request may override per session via its "store" field.
+// -store-page and -store-cache tune the page size and the hot-set page
+// cache. Recovered sessions keep the backend their snapshot was written
+// with — restarting with -store disk does not convert existing tenants.
 //
 // With -peers (a static comma-separated node list including this node's
 // -self address) the service runs clustered: session names hash
@@ -123,6 +134,7 @@ import (
 	"time"
 
 	"cfdclean/internal/server"
+	"cfdclean/internal/store"
 )
 
 func main() {
@@ -133,6 +145,9 @@ func main() {
 	fsyncMode := flag.String("fsync", "batch", "WAL fsync policy: batch (sync before every ack), interval, or off")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "sync timer for -fsync interval")
 	snapEvery := flag.Int("snap-every", 64, "rotate to a fresh snapshot after this many logged batches")
+	storeKind := flag.String("store", "", "default tuple storage backend for durable sessions: mem (inline snapshots) or disk (page-file spill store; requires -data-dir)")
+	storePage := flag.Int("store-page", 0, "disk store page size in bytes, 4096-65536 power of two (0: store default)")
+	storeCache := flag.Int("store-cache", 0, "disk store hot-set cache size in pages (0: store default)")
 	coalesceTuples := flag.Int("coalesce-tuples", 0, "cap on tuples folded into one ingest pass (0: unbounded)")
 	coalesceDelay := flag.Duration("coalesce-delay", 0, "linger window for folding more ingest batches into a pass (0: fold queued work only)")
 	maxReadLimit := flag.Int("max-read-limit", 1000, "cap on ?limit= for paginated violation reads")
@@ -170,6 +185,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cfdserved: -ack: %v\n", err)
 		os.Exit(2)
 	}
+	kind, err := store.ParseKind(*storeKind)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfdserved: -store: %v\n", err)
+		os.Exit(2)
+	}
+	if kind == store.KindDisk && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "cfdserved: -store disk requires -data-dir (the page files live under it)")
+		os.Exit(2)
+	}
 	var peerList []string
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {
@@ -199,6 +223,9 @@ func main() {
 		Fsync:             policy,
 		FsyncInterval:     *fsyncEvery,
 		SnapshotEvery:     *snapEvery,
+		Store:             kind,
+		StorePageSize:     *storePage,
+		StoreCachePages:   *storeCache,
 		CoalesceMaxTuples: *coalesceTuples,
 		CoalesceDelay:     *coalesceDelay,
 		MaxReadLimit:      *maxReadLimit,

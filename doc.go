@@ -98,12 +98,25 @@
 //	                           rotating snapshots      slow consumers
 //	                           under -data-dir/        drop + resync)
 //	                           <session>/
+//	                                │
+//	                                ├── -store disk: internal/store
+//	                                │   subscribes to the same journal
+//	                                │   and write-throughs dirty pages;
+//	                                │   rotation flushes only those into
+//	                                │   generation-numbered page files
+//	                                │   (fixed-width interned rows,
+//	                                │   persistent dict, LRU page cache)
+//	                                │   and the snapshot shrinks to a
+//	                                │   slim header naming StoreGen —
+//	                                │   O(dirty) per rotation, not O(|D|)
 //	                                │ on boot
 //	                                ▼
 //	                           RestoreSession + ReplayBatch: newest
 //	                           valid snapshot, then WAL replay through
 //	                           the same ApplyOps path (torn tails
-//	                           discarded; byte-identical recovery)
+//	                           discarded; byte-identical recovery);
+//	                           paged snapshots stream rows back from
+//	                           the store, opening pages lazily
 //	                ▼
 //	        cmd/cfdserved (HTTP/JSON service, -data-dir durability)
 //

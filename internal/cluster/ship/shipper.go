@@ -2,6 +2,7 @@ package ship
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -220,6 +221,20 @@ func (s *Shipper) resyncLocked() error {
 }
 
 func (s *Shipper) shipSnapLocked(snap *wal.Snapshot) error {
+	// A snapshot whose frame cannot fit under MaxFrameLen will fail on
+	// every attempt until the session shrinks — encoding and sending it
+	// anyway would burn a relation-sized allocation per retry and bury
+	// the cause in generic delivery errors. Detect it from the exact
+	// pre-computed size, fail loudly through LastError, and let the
+	// failure streak's exponential backoff bound the recheck cadence.
+	if size := snap.EncodedSize(); size+frameHeaderLen > MaxFrameLen {
+		s.needSnap = true
+		s.failStreak++
+		s.degraded.Add(1)
+		err := fmt.Errorf("ship: session %s snapshot (%d bytes) exceeds the %d-byte frame cap; the follower cannot be bootstrapped or resynced until the session shrinks", s.name, size, MaxFrameLen)
+		s.noteErr(err)
+		return err
+	}
 	if err := s.tr.ShipSnapshot(s.name, snap); err != nil {
 		s.needSnap = true
 		s.failStreak++

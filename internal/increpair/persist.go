@@ -82,7 +82,7 @@ func (s *Session) Persist(name string, w io.Writer) error {
 	if s.closed {
 		return errClosed
 	}
-	snap, err := s.walSnapshotLocked(name)
+	snap, err := s.walSnapshotLocked(name, true)
 	if err != nil {
 		return err
 	}
@@ -100,10 +100,14 @@ func (s *Session) PersistSnapshot(name string) (*wal.Snapshot, error) {
 	if s.closed {
 		return nil, errClosed
 	}
-	return s.walSnapshotLocked(name)
+	return s.walSnapshotLocked(name, true)
 }
 
-func (s *Session) walSnapshotLocked(name string) (*wal.Snapshot, error) {
+// walSnapshotLocked builds the session's snapshot header; withTuples
+// additionally copies every tuple inline (the memory-backend format).
+// A store-backed boundary passes false — its rows live in the page
+// files, and the slim header only references their generation.
+func (s *Session) walSnapshotLocked(name string, withTuples bool) (*wal.Snapshot, error) {
 	if s.sigmaText == "" {
 		text, err := formatSigma(s.e.det.Sigma())
 		if err != nil {
@@ -130,12 +134,14 @@ func (s *Session) walSnapshotLocked(name string) (*wal.Snapshot, error) {
 		NextID:   repr.NextID(),
 		Version:  repr.Version(),
 	}
-	for _, t := range repr.Tuples() {
-		st := wal.SnapTuple{ID: t.ID, Vals: append([]relation.Value(nil), t.Vals...)}
-		if t.W != nil {
-			st.W = append([]float64(nil), t.W...)
+	if withTuples {
+		for _, t := range repr.Tuples() {
+			st := wal.SnapTuple{ID: t.ID, Vals: append([]relation.Value(nil), t.Vals...)}
+			if t.W != nil {
+				st.W = append([]float64(nil), t.W...)
+			}
+			snap.Tuples = append(snap.Tuples, st)
 		}
-		snap.Tuples = append(snap.Tuples, st)
 	}
 	return snap, nil
 }
@@ -224,22 +230,13 @@ func RestoreSession(r io.Reader, workers int) (*Session, error) {
 // snapshot; the server's recovery path uses it after choosing the
 // newest valid snapshot generation itself.
 func RestoreFromSnapshot(snap *wal.Snapshot, workers int) (*Session, error) {
-	if snap.Ordering > uint8(ByWeight) {
-		return nil, fmt.Errorf("increpair: restore: unknown ordering %d", snap.Ordering)
-	}
-	sch, err := relation.NewSchema(snap.Relname, snap.Attrs...)
-	if err != nil {
-		return nil, fmt.Errorf("increpair: restore: %w", err)
-	}
-	rel := relation.New(sch)
-	for i, st := range snap.Tuples {
-		if st.ID == 0 {
-			return nil, fmt.Errorf("increpair: restore: snapshot tuple %d has no id", i)
-		}
-		if err := rel.Insert(&relation.Tuple{ID: st.ID, Vals: st.Vals, W: st.W}); err != nil {
-			return nil, fmt.Errorf("increpair: restore: %w", err)
-		}
-	}
+	return RestoreFromSnapshotSource(snap, &sliceSource{ts: snap.Tuples}, workers, nil)
+}
+
+// restoreTail finishes a restore once the relation is rebuilt: journal
+// marks, constraint re-parse, one deterministic detection pass via
+// newEngine, and the persisted session counters.
+func restoreTail(snap *wal.Snapshot, sch *relation.Schema, rel *relation.Relation, workers int) (*Session, error) {
 	if snap.NextID < rel.NextID() {
 		return nil, fmt.Errorf("increpair: restore: snapshot watermark %d below the rebuilt relation's %d", snap.NextID, rel.NextID())
 	}

@@ -9,6 +9,7 @@ import (
 
 	"cfdclean/internal/cfd"
 	"cfdclean/internal/relation"
+	"cfdclean/internal/store"
 )
 
 var errClosed = errors.New("increpair: session is closed")
@@ -68,6 +69,11 @@ type Session struct {
 	// verification behind it is too expensive to repeat on every
 	// snapshot rotation. Guarded by mu.
 	sigmaText string
+
+	// st is the attached disk store, nil for memory-backed sessions (see
+	// AttachStore). The session does not own its lifecycle — the hosting
+	// persister creates, opens and closes it. Guarded by mu.
+	st *store.Disk
 }
 
 // Snapshot is an immutable, atomically published view of a Session's

@@ -1,0 +1,238 @@
+package increpair_test
+
+// The out-of-core bench harness behind BENCH_PR10.json: one process =
+// one (backend, size) cell, because the headline metric is peak RSS
+// (VmHWM) and a high-water mark cannot be reset between in-process
+// runs. The driver is EXPERIMENTS.md's loop:
+//
+//	CFD_SPILL_BENCH=mem:1000000 go test -run TestSpillBench -count=1 \
+//	    ./internal/increpair/
+//
+// Each run ingests N clean tuples in 10k batches through a live
+// session, performs ~8 durability rotations spread over the run (mem:
+// full inline snapshot encode + write; disk: slim header + dirty-page
+// flush), then recovers the final image in-process and reports one
+// JSON object on stdout: ingest throughput, mean/max rotation time,
+// recovery time, bytes on disk, and VmHWM.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/increpair"
+	"cfdclean/internal/relation"
+	"cfdclean/internal/store"
+	"cfdclean/internal/wal"
+)
+
+const spillCFDs = "cfd phi1: [AC] -> [CT]\n(212 || NYC)\n(610 || PHI)\n"
+
+func spillSession(t *testing.T) *increpair.Session {
+	t.Helper()
+	sch := relation.MustSchema("orders", "AC", "CT", "zip")
+	rel := relation.New(sch)
+	parsed, err := cfd.Parse(sch, strings.NewReader(spillCFDs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := increpair.NewSession(rel, cfd.NormalizeAll(parsed), &increpair.Options{Ordering: increpair.Linear, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// vmHWMKiB reads the process's peak resident set from /proc (Linux
+// only; 0 elsewhere, which the report marks as unavailable).
+func vmHWMKiB(t *testing.T) int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			kb, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimSpace(rest), " kB"), 10, 64)
+			if err != nil {
+				t.Fatalf("VmHWM parse: %v", err)
+			}
+			return kb
+		}
+	}
+	return 0
+}
+
+func dirBytes(t *testing.T, dir string) int64 {
+	var n int64
+	err := filepath.Walk(dir, func(_ string, fi os.FileInfo, err error) error {
+		if err == nil && !fi.IsDir() {
+			n += fi.Size()
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSpillBench(t *testing.T) {
+	cfg := os.Getenv("CFD_SPILL_BENCH")
+	if cfg == "" {
+		t.Skip("set CFD_SPILL_BENCH=mem:100000 or disk:100000 (one process per cell: VmHWM cannot reset)")
+	}
+	kindStr, countStr, ok := strings.Cut(cfg, ":")
+	if !ok {
+		t.Fatalf("CFD_SPILL_BENCH=%q, want kind:count", cfg)
+	}
+	total, err := strconv.Atoi(countStr)
+	if err != nil || total <= 0 {
+		t.Fatalf("CFD_SPILL_BENCH count %q", countStr)
+	}
+	disk := kindStr == "disk"
+	if !disk && kindStr != "mem" {
+		t.Fatalf("CFD_SPILL_BENCH kind %q, want mem or disk", kindStr)
+	}
+
+	dir := t.TempDir()
+	sess := spillSession(t)
+	defer sess.Close()
+	var st *store.Disk
+	if disk {
+		st, err = store.Create(filepath.Join(dir, "store"), 3, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.AttachStore(st, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// rotate performs one durability boundary the way the server's
+	// committer does: inline encode + snapshot write for mem, slim
+	// header + dirty-page flush for disk.
+	gen := uint64(0)
+	rotate := func() {
+		gen++
+		path := filepath.Join(dir, fmt.Sprintf("snap-%010d.snap", gen))
+		if disk {
+			snap, fl, err := sess.PersistBoundary("bench")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fl.Commit(gen); err != nil {
+				t.Fatal(err)
+			}
+			snap.StoreGen = gen
+			if err := wal.WriteSnapshotFile(path, snap); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			snap, err := sess.PersistSnapshot("bench")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wal.WriteSnapshotFile(path, snap); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if gen > 1 {
+			os.Remove(filepath.Join(dir, fmt.Sprintf("snap-%010d.snap", gen-1)))
+		}
+	}
+
+	// Ingest: clean tuples (no repairs — the cell measures storage, not
+	// the engine), 10k per batch, ~8 rotations spread over the run so
+	// every cell pays the same number of boundaries regardless of size.
+	const batchSize = 10_000
+	every := max(4, total/batchSize/8)
+	var rotations []time.Duration
+	start := time.Now()
+	for done, batch := 0, 0; done < total; batch++ {
+		n := min(batchSize, total-done)
+		delta := make([]*relation.Tuple, n)
+		for i := range delta {
+			delta[i] = relation.NewTuple(0, "212", "NYC", strconv.Itoa(100000+(done+i)%9000))
+		}
+		if _, err := sess.ApplyDelta(delta); err != nil {
+			t.Fatal(err)
+		}
+		done += n
+		if batch%every == every-1 {
+			r0 := time.Now()
+			rotate()
+			rotations = append(rotations, time.Since(r0))
+		}
+	}
+	rotate() // final boundary: the image recovery will open
+	ingest := time.Since(start)
+
+	// Recovery of the final generation, through the exact server path.
+	path := filepath.Join(dir, fmt.Sprintf("snap-%010d.snap", gen))
+	r0 := time.Now()
+	snap, err := wal.ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec *increpair.Session
+	if disk {
+		st2, err := store.Open(filepath.Join(dir, "store"), snap.StoreGen, 3, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st2.Close()
+		src, err := st2.Source()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err = increpair.RestoreFromSnapshotSource(snap, src, 0, st2.Strings())
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		rec, err = increpair.RestoreFromSnapshot(snap, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	recovery := time.Since(r0)
+	if got := rec.Current().Size(); got != total {
+		t.Fatalf("recovered %d tuples, want %d", got, total)
+	}
+	rec.Close()
+
+	var rotMean, rotMax time.Duration
+	for _, d := range rotations {
+		rotMean += d
+		if d > rotMax {
+			rotMax = d
+		}
+	}
+	if len(rotations) > 0 {
+		rotMean /= time.Duration(len(rotations))
+	}
+	report := map[string]any{
+		"backend":        kindStr,
+		"tuples":         total,
+		"ingest_s":       ingest.Seconds(),
+		"tuples_per_sec": float64(total) / ingest.Seconds(),
+		"rotations":      len(rotations) + 1,
+		"rotate_mean_ms": float64(rotMean.Microseconds()) / 1e3,
+		"rotate_max_ms":  float64(rotMax.Microseconds()) / 1e3,
+		"recovery_ms":    float64(recovery.Microseconds()) / 1e3,
+		"disk_bytes":     dirBytes(t, dir),
+		"peak_rss_kb":    vmHWMKiB(t),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	_ = st
+}

@@ -1,0 +1,132 @@
+package increpair
+
+import (
+	"errors"
+	"fmt"
+
+	"cfdclean/internal/relation"
+	"cfdclean/internal/store"
+	"cfdclean/internal/wal"
+)
+
+// Disk-store integration: a session whose tuples are mirrored into a
+// write-through page store (internal/store). The engine itself is
+// untouched — it operates on the in-memory relation either way — but the
+// durability boundary changes shape: PersistBoundary captures a slim
+// snapshot header plus a page flush instead of re-encoding every tuple,
+// and RestoreFromSnapshotSource streams rows back from the store's page
+// files instead of a snapshot record.
+
+// AttachStore subscribes st to the session's live relation, so every
+// mutation from now on writes through to the store's dirty page image.
+// With seed set, the relation's current rows are written into the image
+// first (the bootstrap for a brand-new store; a store reopened by crash
+// recovery already holds them). A session can hold at most one store.
+func (s *Session) AttachStore(st *store.Disk, seed bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if s.st != nil {
+		return errors.New("increpair: session already has a store attached")
+	}
+	st.Attach(s.e.repr)
+	if seed {
+		st.SeedAll(s.e.repr)
+	}
+	s.st = st
+	return nil
+}
+
+// Store returns the attached disk store, or nil.
+func (s *Session) Store() *store.Disk {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
+}
+
+// PersistBoundary captures the session's durability boundary for a
+// store-backed rotation: a slim snapshot header (StoreKind=StorePaged,
+// no inline tuples — the caller stamps StoreGen once it assigns the
+// generation) and a Flush holding the dirty pages, dictionary watermark
+// and pinned physical order. Both are taken under the session lock, so
+// they describe the same quiescent point; the caller must resolve the
+// flush with exactly one Commit or Abort.
+func (s *Session) PersistBoundary(name string) (*wal.Snapshot, *store.Flush, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, errClosed
+	}
+	if s.st == nil {
+		return nil, nil, errors.New("increpair: no store attached")
+	}
+	snap, err := s.walSnapshotLocked(name, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap.StoreKind = wal.StorePaged
+	fl := s.st.BeginFlush(s.e.repr.Pin(), s.e.repr.Size())
+	return snap, fl, nil
+}
+
+// TupleSource streams snapshot rows in physical order. Next returns
+// ok=false at clean exhaustion; an error poisons the restore (the
+// caller falls back to an older generation). store.Iterator implements
+// it over page files; sliceSource adapts a snapshot's inline tuples.
+type TupleSource interface {
+	Next() (wal.SnapTuple, bool, error)
+}
+
+type sliceSource struct {
+	ts []wal.SnapTuple
+	i  int
+}
+
+func (s *sliceSource) Next() (wal.SnapTuple, bool, error) {
+	if s.i >= len(s.ts) {
+		return wal.SnapTuple{}, false, nil
+	}
+	t := s.ts[s.i]
+	s.i++
+	return t, true, nil
+}
+
+// RestoreFromSnapshotSource is RestoreFromSnapshot with the rows
+// supplied by src instead of snap.Tuples — the disk-backed recovery
+// path, where snap is a slim header and src streams the page store.
+// preloadDict, when non-nil, is interned into the fresh relation's
+// dictionary in order before any row is inserted: a relation Dict
+// assigns dense ids in intern order, so preloading the store's
+// persisted dictionary reproduces the persisted ValueIDs exactly and
+// the reopened store's rows stay valid against the restored relation.
+func RestoreFromSnapshotSource(snap *wal.Snapshot, src TupleSource, workers int, preloadDict []string) (*Session, error) {
+	if snap.Ordering > uint8(ByWeight) {
+		return nil, fmt.Errorf("increpair: restore: unknown ordering %d", snap.Ordering)
+	}
+	sch, err := relation.NewSchema(snap.Relname, snap.Attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("increpair: restore: %w", err)
+	}
+	rel := relation.New(sch)
+	for _, v := range preloadDict {
+		rel.Dict().InternStr(v)
+	}
+	for i := 0; ; i++ {
+		st, ok, err := src.Next()
+		if err != nil {
+			return nil, fmt.Errorf("increpair: restore: %w", err)
+		}
+		if !ok {
+			break
+		}
+		if st.ID == 0 {
+			return nil, fmt.Errorf("increpair: restore: snapshot tuple %d has no id", i)
+		}
+		if err := rel.Insert(&relation.Tuple{ID: st.ID, Vals: st.Vals, W: st.W}); err != nil {
+			return nil, fmt.Errorf("increpair: restore: %w", err)
+		}
+	}
+	return restoreTail(snap, sch, rel, workers)
+}

@@ -110,6 +110,27 @@ func (d *Dict) Str(id ValueID) string {
 	return s
 }
 
+// StringsFrom returns the constants with non-null ordinal in [start, end):
+// ordinal 0 is the first interned constant (ValueID 1). The slice is a
+// copy, safe to hold while the dictionary keeps growing. Used by the disk
+// store to flush dictionary deltas: because a Dict only grows and assigns
+// ids densely in intern order, persisting the entries in ordinal order is
+// enough to reproduce identical ids on reload.
+func (d *Dict) StringsFrom(start, end int) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if start < 0 {
+		start = 0
+	}
+	if end > len(d.strs)-1 {
+		end = len(d.strs) - 1
+	}
+	if start >= end {
+		return nil
+	}
+	return append([]string(nil), d.strs[1+start:1+end]...)
+}
+
 // Len returns the number of distinct constants interned (null excluded).
 func (d *Dict) Len() int {
 	d.mu.RLock()

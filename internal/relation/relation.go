@@ -102,13 +102,19 @@ func (r *Relation) Insert(t *Tuple) error {
 		r.tuples = append(r.tuples, t)
 	}
 	// (Re-)intern the tuple's values against this relation's dictionary;
-	// ids from a previous owner are meaningless here.
+	// ids from a previous owner are meaningless here. The stored Value is
+	// canonicalized to the dictionary's copy of the string, so a constant
+	// appearing in a million cells pins one backing array, not a million
+	// parser-owned copies.
 	t.ids = make([]ValueID, len(t.Vals))
 	for a, v := range t.Vals {
 		id := r.dict.Intern(v)
 		t.ids[a] = id
 		if id != NullID {
+			t.Vals[a] = Value{Str: r.dict.Str(id)}
 			r.adom[a][id]++
+		} else {
+			t.Vals[a] = NullValue
 		}
 	}
 	r.version++
@@ -181,7 +187,11 @@ func (r *Relation) Set(id TupleID, a int, v Value) (Value, error) {
 	}
 	vid := r.dict.Intern(v)
 	if vid != NullID {
+		// Canonicalize to the dictionary's backing string (see Insert).
+		v = Value{Str: r.dict.Str(vid)}
 		r.adom[a][vid]++
+	} else {
+		v = NullValue
 	}
 	if r.activeGens.Load() != 0 {
 		// Tuples reachable from pinned views are immutable: update via

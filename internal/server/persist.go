@@ -13,6 +13,7 @@ import (
 
 	"cfdclean/internal/increpair"
 	"cfdclean/internal/relation"
+	"cfdclean/internal/store"
 	"cfdclean/internal/wal"
 )
 
@@ -96,7 +97,19 @@ type persistConfig struct {
 	policy    FsyncPolicy
 	interval  time.Duration
 	snapEvery int
+	// kind is the node's default tuple-storage backend for new sessions
+	// (-store); KindDefault/KindMem write full inline snapshots, KindDisk
+	// gives each session a write-through page store whose snapshots are
+	// slim headers. A create request may override per session.
+	kind store.Kind
+	// storeOpts tunes disk-backed sessions (-store-page, -store-cache).
+	storeOpts store.Options
 }
+
+// storeDirName is the page store's subdirectory inside a session's data
+// directory. It never collides with the generation files (snap-*/wal-*)
+// and is pruned with the directory on destroy.
+const storeDirName = "store"
 
 // roleMarkerName is the follower-role marker inside a session's
 // directory: present means the durable state belongs to a replica,
@@ -165,6 +178,12 @@ type persister struct {
 	sinceSnap int
 	broken    error // first unrecoverable persistence failure; sticky
 
+	// st is the session's disk page store, nil for memory-backed
+	// sessions. The persister owns its lifecycle: created or reopened
+	// alongside the snapshot/WAL pair, closed on close(), removed with
+	// the directory on destroy().
+	st *store.Disk
+
 	tick chan struct{} // closed to stop the interval-sync goroutine
 }
 
@@ -175,7 +194,13 @@ type persister struct {
 // not be recovered — is replaced. quota is the session's quota mark
 // (wal.Quota{} for inherited defaults); it rides in every snapshot
 // header so explicit overrides survive recovery and ship to replicas.
-func newPersister(cfg *persistConfig, name string, sess *increpair.Session, quota wal.Quota) (*persister, error) {
+//
+// kind picks the tuple-storage backend: KindDefault inherits the node's
+// -store configuration. A disk-backed session gets a page store seeded
+// from the live relation, and its generation-0 snapshot is a slim
+// header referencing store generation 0 instead of carrying every tuple
+// inline.
+func newPersister(cfg *persistConfig, name string, sess *increpair.Session, quota wal.Quota, kind store.Kind) (*persister, error) {
 	dir := filepath.Join(cfg.dir, name)
 	if err := os.RemoveAll(dir); err != nil {
 		return nil, err
@@ -183,20 +208,55 @@ func newPersister(cfg *persistConfig, name string, sess *increpair.Session, quot
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	snap, err := sess.PersistSnapshot(name)
-	if err != nil {
-		return nil, err
+	if kind == store.KindDefault {
+		kind = cfg.kind
 	}
-	snap.Quota = quota
+	var (
+		st   *store.Disk
+		snap *wal.Snapshot
+		err  error
+	)
+	if kind == store.KindDisk {
+		arity := sess.Current().Schema().Arity()
+		st, err = store.Create(filepath.Join(dir, storeDirName), arity, cfg.storeOpts)
+		if err != nil {
+			return nil, err
+		}
+		if err = sess.AttachStore(st, true); err != nil {
+			st.Close()
+			return nil, err
+		}
+		var fl *store.Flush
+		if snap, fl, err = sess.PersistBoundary(name); err != nil {
+			st.Close()
+			return nil, err
+		}
+		snap.Quota = quota
+		if err = fl.Commit(0); err != nil {
+			st.Close()
+			return nil, err
+		}
+	} else {
+		if snap, err = sess.PersistSnapshot(name); err != nil {
+			return nil, err
+		}
+		snap.Quota = quota
+	}
 	if err := wal.WriteSnapshotFile(snapPath(dir, 0), snap); err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, err
 	}
 	log, err := wal.Create(walPath(dir, 0))
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, err
 	}
 	p := &persister{
-		cfg: cfg, dir: dir, name: name, log: log,
+		cfg: cfg, dir: dir, name: name, log: log, st: st,
 		last: snap.Version, appended: snap.Version, synced: snap.Version,
 	}
 	p.startTicker()
@@ -338,6 +398,52 @@ func (p *persister) rotateTo(snap *wal.Snapshot) {
 	}
 }
 
+// rotationCapture is one rotation's boundary image, captured by the
+// session worker at the exact batch boundary that triggered it. For a
+// memory-backed session it is just the full snapshot; for a disk-backed
+// session the snapshot is a slim header and flush holds the dirty pages
+// to commit under the new generation. Exactly one of rotate/abort must
+// consume it.
+type rotationCapture struct {
+	snap  *wal.Snapshot
+	flush *store.Flush
+}
+
+// abort releases an unconsumed capture (purge raced in, the WAL append
+// failed, the persister broke): the flush's pinned view and pages are
+// handed back so the next rotation carries them.
+func (rc *rotationCapture) abort() {
+	if rc != nil && rc.flush != nil {
+		rc.flush.Abort()
+	}
+}
+
+// rotateCapture advances to the next generation from a worker-captured
+// boundary. Disk-backed sessions commit the page flush first — the
+// store's manifest for generation N is durable before the slim snapshot
+// that references it — so a crash between the two leaves a readable
+// previous generation, never a snapshot pointing at missing pages.
+func (p *persister) rotateCapture(rc *rotationCapture) {
+	p.mu.Lock()
+	if p.broken != nil {
+		p.mu.Unlock()
+		rc.abort()
+		return
+	}
+	next := p.gen + 1
+	p.mu.Unlock()
+	if rc.flush != nil {
+		// Store generations track snapshot generations one-to-one; the
+		// flush commit is the store's own atomic step (manifest rename).
+		if err := rc.flush.Commit(next); err != nil {
+			p.markBroken(err)
+			return
+		}
+		rc.snap.StoreGen = next
+	}
+	p.rotateTo(rc.snap)
+}
+
 // pruneGenerations removes snapshot and WAL files of generations <= max.
 func pruneGenerations(dir string, max uint64) {
 	ents, err := os.ReadDir(dir)
@@ -385,6 +491,10 @@ func (p *persister) close() {
 		}
 		p.log = nil
 	}
+	if p.st != nil {
+		p.st.Close()
+		p.st = nil
+	}
 }
 
 // destroy ends persistence and deletes the session's directory — the
@@ -398,6 +508,10 @@ func (p *persister) destroy() {
 		p.log.Close()
 		p.log = nil
 	}
+	if p.st != nil {
+		p.st.Close()
+		p.st = nil
+	}
 	os.RemoveAll(p.dir)
 }
 
@@ -406,6 +520,22 @@ func (p *persister) stopTicker() {
 		close(p.tick)
 		p.tick = nil
 	}
+}
+
+// storeStats reports the page store's stats, or nil for memory-backed
+// (or closed) sessions; session listings and /metrics render it.
+func (p *persister) storeStats() *store.Stats {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	st := p.st
+	p.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	s := st.Stats()
+	return &s
 }
 
 // status renders the persistence state for session listings.
@@ -419,6 +549,37 @@ func (p *persister) status() string {
 		return "error: " + p.broken.Error()
 	}
 	return "ok"
+}
+
+// restorePaged rebuilds a disk-backed session from a slim snapshot
+// header: open the page store at the referenced generation, stream its
+// rows in the persisted physical order (with the persisted intern
+// dictionary preloaded so every ValueID reproduces exactly), and
+// re-attach the store so the WAL replay that follows writes through
+// again. No relation-sized snapshot record is ever decoded — recovery
+// reads the order file once and only the pages it names.
+func restorePaged(cfg *persistConfig, dir, name string, snap *wal.Snapshot, workers int) (*increpair.Session, error) {
+	st, err := store.Open(filepath.Join(dir, storeDirName), snap.StoreGen, len(snap.Attrs), cfg.storeOpts)
+	if err != nil {
+		return nil, fmt.Errorf("server: recover %s: store gen %d: %w", name, snap.StoreGen, err)
+	}
+	src, err := st.Source()
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("server: recover %s: store gen %d: %w", name, snap.StoreGen, err)
+	}
+	sess, err := increpair.RestoreFromSnapshotSource(snap, src, workers, st.Strings())
+	src.Close()
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("server: recover %s: store gen %d: %w", name, snap.StoreGen, err)
+	}
+	if err := sess.AttachStore(st, false); err != nil {
+		sess.Close()
+		st.Close()
+		return nil, err
+	}
+	return sess, nil
 }
 
 // recoverSession rebuilds one session from its directory: newest
@@ -474,7 +635,16 @@ func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Se
 			lastErr = fmt.Errorf("server: recover %s: snapshot names session %q", name, snap.Name)
 			continue
 		}
-		s, err := increpair.RestoreFromSnapshot(snap, workers)
+		var s *increpair.Session
+		if snap.StoreKind == wal.StorePaged {
+			// Slim header: the rows live in the page store at the
+			// referenced generation. Any store damage fails THIS
+			// generation only — the loop falls back to the previous
+			// snapshot, exactly as for a corrupt snapshot file.
+			s, err = restorePaged(cfg, dir, name, snap, workers)
+		} else {
+			s, err = increpair.RestoreFromSnapshot(snap, workers)
+		}
 		if err != nil {
 			lastErr = err
 			continue
@@ -548,7 +718,7 @@ func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Se
 	}
 
 	v := sess.Snapshot().Version
-	p := &persister{cfg: cfg, dir: dir, name: name, last: v, appended: v, synced: v}
+	p := &persister{cfg: cfg, dir: dir, name: name, st: sess.Store(), last: v, appended: v, synced: v}
 	if tip != nil {
 		p.gen = walGens[len(walGens)-1]
 		p.log = tip
@@ -568,19 +738,44 @@ func recoverSession(cfg *persistConfig, name string, workers int) (*increpair.Se
 	} else {
 		next = snapGens[0] + 1
 	}
-	snap, err := sess.PersistSnapshot(name)
-	if err != nil {
+	// closeRecovered releases everything the failed re-anchor opened:
+	// the session, and the page store it may have re-attached.
+	closeRecovered := func() {
 		sess.Close()
-		return nil, nil, wal.Quota{}, nil, err
+		if st := sess.Store(); st != nil {
+			st.Close()
+		}
+	}
+	var snap *wal.Snapshot
+	if sess.Store() != nil {
+		// Disk-backed re-anchor: commit the replay's dirty pages as store
+		// generation next, then write the slim snapshot referencing it.
+		snap2, fl, berr := sess.PersistBoundary(name)
+		if berr == nil {
+			if berr = fl.Commit(next); berr == nil {
+				snap2.StoreGen = next
+			}
+		}
+		if berr != nil {
+			closeRecovered()
+			return nil, nil, wal.Quota{}, nil, berr
+		}
+		snap = snap2
+	} else {
+		var perr error
+		if snap, perr = sess.PersistSnapshot(name); perr != nil {
+			closeRecovered()
+			return nil, nil, wal.Quota{}, nil, perr
+		}
 	}
 	snap.Quota = quota // the override survives the re-anchoring rotation
 	if err := wal.WriteSnapshotFile(snapPath(dir, next), snap); err != nil {
-		sess.Close()
+		closeRecovered()
 		return nil, nil, wal.Quota{}, nil, err
 	}
 	log, err := wal.Create(walPath(dir, next))
 	if err != nil {
-		sess.Close()
+		closeRecovered()
 		return nil, nil, wal.Quota{}, nil, err
 	}
 	p.gen = next

@@ -23,6 +23,7 @@ import (
 
 	"cfdclean/internal/cfd"
 	"cfdclean/internal/increpair"
+	"cfdclean/internal/store"
 	"cfdclean/internal/relation"
 	"cfdclean/internal/wal"
 )
@@ -563,7 +564,7 @@ func TestFinishPersistSupersededKeepsData(t *testing.T) {
 
 	// Not superseded: purge removes the directory.
 	s1 := newSess()
-	p1, err := newPersister(reg.persist, "x", s1, wal.Quota{})
+	p1, err := newPersister(reg.persist, "x", s1, wal.Quota{}, store.KindDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -577,7 +578,7 @@ func TestFinishPersistSupersededKeepsData(t *testing.T) {
 	// Superseded: a new hosted session owns the name (and a rebuilt
 	// directory); the stale worker's purge must keep its hands off.
 	s2 := newSess()
-	pOld, err := newPersister(reg.persist, "x", s2, wal.Quota{})
+	pOld, err := newPersister(reg.persist, "x", s2, wal.Quota{}, store.KindDefault)
 	if err != nil {
 		t.Fatal(err)
 	}

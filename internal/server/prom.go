@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cfdclean/internal/metrics"
+	"cfdclean/internal/store"
 )
 
 // Prometheus text exposition (GET /metrics). The JSON report at
@@ -156,6 +157,44 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, req *http.Request) {
 	p.header("cfdserved_session_relation_size", "Tuples currently in the session's relation.", "gauge")
 	for _, h := range hs {
 		p.sample("cfdserved_session_relation_size", []string{"session", h.name}, strconv.Itoa(h.sess.Snapshot().Size))
+	}
+
+	// Per-session store gauges render only for disk-backed sessions; a
+	// memory-only node emits the headers with no series, which parsers
+	// accept and keeps the document shape stable.
+	type storeSample struct {
+		session string
+		st      *store.Stats
+	}
+	var stores []storeSample
+	for _, h := range hs {
+		if st := h.pers.storeStats(); st != nil {
+			stores = append(stores, storeSample{h.name, st})
+		}
+	}
+	p.header("cfdserved_session_store_gen", "Committed page-store manifest generation per disk-backed session.", "gauge")
+	for _, s := range stores {
+		p.sample("cfdserved_session_store_gen", []string{"session", s.session}, strconv.FormatUint(s.st.Gen, 10))
+	}
+	p.header("cfdserved_session_store_pages", "Committed pages in the session's page store.", "gauge")
+	for _, s := range stores {
+		p.sample("cfdserved_session_store_pages", []string{"session", s.session}, strconv.Itoa(s.st.Pages))
+	}
+	p.header("cfdserved_session_store_dirty_pages", "Dirty pages awaiting the session's next store flush.", "gauge")
+	for _, s := range stores {
+		p.sample("cfdserved_session_store_dirty_pages", []string{"session", s.session}, strconv.Itoa(s.st.DirtyPages))
+	}
+	p.header("cfdserved_session_store_cached_pages", "Clean pages held by the session store's LRU cache.", "gauge")
+	for _, s := range stores {
+		p.sample("cfdserved_session_store_cached_pages", []string{"session", s.session}, strconv.Itoa(s.st.CachedPages))
+	}
+	p.header("cfdserved_session_store_dict_entries", "Persisted intern-dictionary entries in the session's page store.", "gauge")
+	for _, s := range stores {
+		p.sample("cfdserved_session_store_dict_entries", []string{"session", s.session}, strconv.Itoa(s.st.DictEntries))
+	}
+	p.header("cfdserved_session_store_disk_bytes", "On-disk footprint of the session's page store.", "gauge")
+	for _, s := range stores {
+		p.sample("cfdserved_session_store_disk_bytes", []string{"session", s.session}, strconv.FormatInt(s.st.DiskBytes, 10))
 	}
 
 	// Per-session histograms: one family per instrument, one series set

@@ -15,6 +15,7 @@ import (
 	"cfdclean/internal/increpair"
 	"cfdclean/internal/metrics"
 	"cfdclean/internal/relation"
+	"cfdclean/internal/store"
 	"cfdclean/internal/wal"
 )
 
@@ -307,11 +308,13 @@ type commitItem struct {
 	// the same (PrevVersion, Version] chain the WAL uses.
 	prev     uint64
 	passDone time.Time // when the engine finished; start of persist stage
-	// rotate / resync are snapshots the WORKER captured at this exact
-	// batch boundary: rotate triggers a routine generation rotation,
-	// resync re-anchors the on-disk image after a failed pass whose
-	// partial effects no WAL record can describe.
-	rotate *wal.Snapshot
+	// rotate / resync are boundary images the WORKER captured at this
+	// exact batch boundary: rotate advances the persister's generation
+	// (a routine rotation, or the re-anchor after a failed pass whose
+	// partial effects no WAL record can describe); resync is the full
+	// inline snapshot the shipper sends a follower after a failed pass —
+	// always inline, since a slim disk-backed header carries no rows.
+	rotate *rotationCapture
 	resync *wal.Snapshot
 }
 
@@ -320,14 +323,22 @@ type commitItem struct {
 // increpair.Session (built from the decoded create request) and the
 // schema used for wire encoding and attribute lookup.
 func (r *Registry) Create(name string, sess *increpair.Session, schema *relation.Schema) (*hosted, error) {
-	return r.register(name, sess, schema, nil, r.quota, rolePrimary)
+	return r.register(name, sess, schema, nil, r.quota, rolePrimary, store.KindDefault)
 }
 
 // CreateWithQuota is Create with a per-session quota override layered
 // over the registry defaults (zero fields inherit, negative fields
 // lift the default; see resolveQuota).
 func (r *Registry) CreateWithQuota(name string, sess *increpair.Session, schema *relation.Schema, wq *WireQuota) (*hosted, error) {
-	return r.register(name, sess, schema, nil, resolveQuota(r.quota, wq), rolePrimary)
+	return r.register(name, sess, schema, nil, resolveQuota(r.quota, wq), rolePrimary, store.KindDefault)
+}
+
+// CreateWithStore is CreateWithQuota plus an explicit tuple-storage
+// backend for the session; KindDefault inherits the node's -store
+// configuration. kind only matters on durable registries — an in-memory
+// registry has no persister to host the page store.
+func (r *Registry) CreateWithStore(name string, sess *increpair.Session, schema *relation.Schema, wq *WireQuota, kind store.Kind) (*hosted, error) {
+	return r.register(name, sess, schema, nil, resolveQuota(r.quota, wq), rolePrimary, kind)
 }
 
 // adopt re-hosts a recovered session with its existing persister —
@@ -337,10 +348,10 @@ func (r *Registry) CreateWithQuota(name string, sess *increpair.Session, schema 
 // registry defaults; role is the replication role read back from the
 // directory's marker (see Server.Recover).
 func (r *Registry) adopt(name string, sess *increpair.Session, schema *relation.Schema, p *persister, quota QuotaConfig, role int32) (*hosted, error) {
-	return r.register(name, sess, schema, p, quota, role)
+	return r.register(name, sess, schema, p, quota, role, store.KindDefault)
 }
 
-func (r *Registry) register(name string, sess *increpair.Session, schema *relation.Schema, p *persister, quota QuotaConfig, role int32) (*hosted, error) {
+func (r *Registry) register(name string, sess *increpair.Session, schema *relation.Schema, p *persister, quota QuotaConfig, role int32, kind store.Kind) (*hosted, error) {
 	sh := r.shard(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -359,7 +370,7 @@ func (r *Registry) register(name string, sess *increpair.Session, schema *relati
 		// racing create of the same name from touching the same
 		// directory. Creates are rare; the lock is per-shard.
 		var err error
-		if p, err = newPersister(r.persist, name, sess, walQuota(quota)); err != nil {
+		if p, err = newPersister(r.persist, name, sess, walQuota(quota), kind); err != nil {
 			return nil, fmt.Errorf("server: persist %s: %w", name, err)
 		}
 	}
@@ -423,6 +434,30 @@ func (h *hosted) captureSnapshot() (*wal.Snapshot, error) {
 		snap.Quota = walQuota(h.quota.cfg)
 	}
 	return snap, nil
+}
+
+// captureRotation captures the persister's rotation boundary under the
+// same caller discipline as captureSnapshot (worker, exact batch
+// boundary). For a store-backed session it is a slim snapshot header
+// plus the store's dirty-page flush — the committer resolves the pair
+// through rotateCapture or abort — while a memory-backed session gets a
+// plain full inline snapshot wrapped with no flush.
+func (h *hosted) captureRotation() (*rotationCapture, error) {
+	if h.sess.Store() != nil {
+		snap, fl, err := h.sess.PersistBoundary(h.name)
+		if err != nil {
+			return nil, err
+		}
+		if h.quota != nil {
+			snap.Quota = walQuota(h.quota.cfg)
+		}
+		return &rotationCapture{snap: snap, flush: fl}, nil
+	}
+	snap, err := h.captureSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &rotationCapture{snap: snap}, nil
 }
 
 // startShipper hooks the session's committer to a follower on target.
@@ -774,28 +809,41 @@ func (h *hosted) apply(r *Registry, j job, batches int) {
 	// forces a resync snapshot even for a memory-only session when a
 	// follower is attached: the partial effects no batch frame can
 	// describe must reach the replica as a full image too.
-	needBoundary := (h.pers != nil && !h.purge.Load()) || h.shipper.Load() != nil
-	if needBoundary {
-		if err != nil {
-			// The failed pass may have mutated state no WAL record
-			// describes; re-anchor the on-disk image on a fresh snapshot.
-			if rs, serr := h.captureSnapshot(); serr != nil {
-				if h.pers != nil {
-					h.pers.markBroken(serr)
-				}
+	needPersist := h.pers != nil && !h.purge.Load()
+	needShip := h.shipper.Load() != nil
+	if err != nil {
+		// The failed pass may have mutated state no WAL record
+		// describes; re-anchor the on-disk image on a fresh boundary
+		// capture, and hand the follower a full inline image too.
+		if needPersist {
+			if rc, serr := h.captureRotation(); serr != nil {
+				h.pers.markBroken(serr)
 			} else {
-				item.resync = rs
+				item.rotate = rc
 				h.sinceSnap = 0
 			}
-		} else if h.pers != nil && !h.purge.Load() {
-			h.sinceSnap++
-			if h.sinceSnap >= h.pers.cfg.snapEvery {
-				if rs, serr := h.captureSnapshot(); serr != nil {
-					h.pers.markBroken(serr)
-				} else {
-					item.rotate = rs
-					h.sinceSnap = 0
-				}
+		}
+		if needShip {
+			if item.rotate != nil && item.rotate.flush == nil {
+				// The memory-backed capture is already a full inline
+				// snapshot; share it with the shipper.
+				item.resync = item.rotate.snap
+			} else if rs, serr := h.captureSnapshot(); serr == nil {
+				// A store-backed capture is a slim header with no rows —
+				// the follower needs its own inline image. A capture
+				// failure here only degrades replication; the follower
+				// heals by snapshot on the next gap it refuses.
+				item.resync = rs
+			}
+		}
+	} else if needPersist {
+		h.sinceSnap++
+		if h.sinceSnap >= h.pers.cfg.snapEvery {
+			if rc, serr := h.captureRotation(); serr != nil {
+				h.pers.markBroken(serr)
+			} else {
+				item.rotate = rc
+				h.sinceSnap = 0
 			}
 		}
 	}
@@ -834,9 +882,14 @@ func (h *hosted) committer(r *Registry) {
 			ops = increpair.OpsToDeltas(item.j.deletes, item.j.sets, item.j.inserts)
 		}
 		if h.pers != nil && !h.purge.Load() {
-			if item.resync != nil {
-				h.pers.rotateTo(item.resync)
-			} else if item.rep.err == nil {
+			if item.rep.err != nil {
+				// Failed pass: the capture is a re-anchor, applied without
+				// (and instead of) a WAL append.
+				if item.rotate != nil {
+					h.pers.rotateCapture(item.rotate)
+					item.rotate = nil
+				}
+			} else {
 				if aerr := h.pers.appendBatch(ops, item.version); aerr == nil {
 					if h.pers.cfg.policy == FsyncBatch {
 						appended := time.Now()
@@ -849,10 +902,18 @@ func (h *hosted) committer(r *Registry) {
 						}
 					}
 					if item.rotate != nil {
-						h.pers.rotateTo(item.rotate)
+						h.pers.rotateCapture(item.rotate)
+						item.rotate = nil
 					}
 				}
 			}
+		}
+		if item.rotate != nil {
+			// Unconsumed capture — a purge raced in, or the append failed
+			// before the rotation point. Release the store's flush lease so
+			// the next boundary can begin one.
+			item.rotate.abort()
+			item.rotate = nil
 		}
 		// Replication, strictly after the local fsync: a follower can
 		// never hold a batch the primary's own disk does not. ack=quorum

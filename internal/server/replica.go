@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cfdclean/internal/increpair"
+	"cfdclean/internal/store"
 	"cfdclean/internal/wal"
 )
 
@@ -70,7 +71,7 @@ func (r *Registry) InstallReplica(name string, snap *wal.Snapshot) error {
 	if snap.Quota.Set {
 		quota = quotaFromWAL(snap.Quota)
 	}
-	if _, err := r.register(name, sess, sess.Current().Schema(), nil, quota, roleFollower); err != nil {
+	if _, err := r.register(name, sess, sess.Current().Schema(), nil, quota, roleFollower, store.KindDefault); err != nil {
 		sess.Close()
 		return err
 	}
@@ -113,10 +114,10 @@ func (r *Registry) ReplicateBatch(name string, b *wal.Batch) error {
 			}
 			h.replSince++
 			if h.replSince >= h.pers.cfg.snapEvery {
-				if rs, serr := h.captureSnapshot(); serr != nil {
+				if rc, serr := h.captureRotation(); serr != nil {
 					h.pers.markBroken(serr)
 				} else {
-					h.pers.rotateTo(rs)
+					h.pers.rotateCapture(rc)
 					h.replSince = 0
 				}
 			}

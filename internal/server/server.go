@@ -77,6 +77,7 @@ import (
 	"cfdclean/internal/cfd"
 	"cfdclean/internal/increpair"
 	"cfdclean/internal/relation"
+	"cfdclean/internal/store"
 )
 
 // Options configures a Server.
@@ -123,6 +124,20 @@ type Options struct {
 	// many logged batches, bounding replay time and WAL growth.
 	// Default 64.
 	SnapshotEvery int
+
+	// Store selects the node-default tuple storage backend for durable
+	// sessions: store.KindMem (the default) keeps full inline snapshots,
+	// store.KindDisk spills tuples into generation-numbered page files
+	// with a slim snapshot header (see internal/store). A create request
+	// may override per session (CreateRequest.Store). Ignored without
+	// DataDir.
+	Store store.Kind
+	// StorePageSize is the disk store's page size in bytes (4–64 KiB,
+	// power of two). 0 takes the store default.
+	StorePageSize int
+	// StoreCachePages bounds the disk store's hot-set page cache. 0
+	// takes the store default.
+	StoreCachePages int
 
 	// Peers is the cluster's static node list (host:port each); Self is
 	// this node's own entry in it. With both set the server runs
@@ -182,6 +197,8 @@ func New(opts Options) *Server {
 			policy:    s.opts.Fsync,
 			interval:  s.opts.FsyncInterval,
 			snapEvery: s.opts.SnapshotEvery,
+			kind:      s.opts.Store,
+			storeOpts: store.Options{PageSize: s.opts.StorePageSize, CachePages: s.opts.StoreCachePages},
 		}
 	}
 	if len(s.opts.Peers) > 0 && s.opts.Self != "" {
@@ -313,12 +330,22 @@ func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	kind, err := store.ParseKind(cr.Store)
+	if err != nil {
+		writeStatus(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if kind == store.KindDisk && s.reg.persist == nil {
+		writeStatus(w, http.StatusBadRequest, "store \"disk\" requires a durable server (-data-dir)")
+		return
+	}
+
 	sess, err := increpair.NewSession(rel, sigma, opts)
 	if err != nil {
 		writeStatus(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	h, err := s.reg.CreateWithQuota(cr.Name, sess, rel.Schema(), cr.Quota)
+	h, err := s.reg.CreateWithStore(cr.Name, sess, rel.Schema(), cr.Quota, kind)
 	if err != nil {
 		sess.Close()
 		writeError(w, err)
@@ -365,6 +392,20 @@ func (h *hosted) info() SessionInfo {
 	}
 	if h.quota != nil {
 		si.Quota = h.quota.cfg.wire()
+	}
+	// Store renders only for disk-backed sessions, so memory-backed
+	// listings stay byte-stable.
+	if st := h.pers.storeStats(); st != nil {
+		si.Store = &WireStore{
+			Kind:        "disk",
+			Gen:         st.Gen,
+			Pages:       st.Pages,
+			DirtyPages:  st.DirtyPages,
+			CachedPages: st.CachedPages,
+			Tuples:      st.Tuples,
+			DictEntries: st.DictEntries,
+			DiskBytes:   st.DiskBytes,
+		}
 	}
 	// Replication fields render only on clustered nodes, so single-node
 	// listings stay byte-stable.

@@ -24,11 +24,14 @@ import (
 // version has been evicted — or was never pinned here — gets 410 Gone:
 // the client restarts from a fresh first page.
 //
-// Retention is deliberately small and opportunistic: at most
-// maxCachedViews idle views, dropped by LRU and by TTL on every cache
-// touch. A retained view costs the pre-images of pages the writer has
-// dirtied since the pin (see relation.View), so the cap bounds read
-// amplification on the write path no matter how many clients paginate.
+// Retention is deliberately small: at most maxCachedViews idle views,
+// dropped by LRU and by TTL. A retained view costs the pre-images of
+// pages the writer has dirtied since the pin (see relation.View), so
+// the cap bounds read amplification on the write path no matter how
+// many clients paginate. TTL expiry is enforced by a timer armed
+// whenever idle views exist — not only on cache touches — so a view
+// abandoned mid-pagination releases its pin one sweep after the TTL
+// even if no reader ever comes back.
 
 const (
 	// maxCachedViews bounds idle (refcount zero) views retained for
@@ -62,10 +65,14 @@ type viewCache struct {
 	sess   *increpair.Session
 	views  map[uint64]*pinnedView
 	closed bool
+	// ttl is viewTTL, overridable by tests; timer runs the idle sweep,
+	// armed (at most one outstanding) whenever idle views remain.
+	ttl   time.Duration
+	timer *time.Timer
 }
 
 func newViewCache(sess *increpair.Session) *viewCache {
-	return &viewCache{sess: sess, views: make(map[uint64]*pinnedView)}
+	return &viewCache{sess: sess, views: make(map[uint64]*pinnedView), ttl: viewTTL}
 }
 
 // acquireCurrent pins the session's current state (or shares an already
@@ -143,28 +150,57 @@ func (c *viewCache) releaser(pv *pinnedView) func() {
 }
 
 // pruneLocked drops idle views past the TTL, then the least recently
-// used beyond the cap. Views with readers are never touched.
+// used beyond the cap, and re-arms the sweep timer while any idle view
+// remains — so expiry does not depend on a future cache touch. Views
+// with readers are never touched.
 func (c *viewCache) pruneLocked() {
 	var idle []*pinnedView
 	for v, pv := range c.views {
 		if pv.refs != 0 {
 			continue
 		}
-		if time.Since(pv.lastUse) > viewTTL {
+		if time.Since(pv.lastUse) > c.ttl {
 			pv.rv.Release()
 			delete(c.views, v)
 			continue
 		}
 		idle = append(idle, pv)
 	}
-	if len(idle) <= maxCachedViews {
+	if len(idle) > maxCachedViews {
+		sort.Slice(idle, func(i, j int) bool { return idle[i].lastUse.Before(idle[j].lastUse) })
+		for _, pv := range idle[:len(idle)-maxCachedViews] {
+			pv.rv.Release()
+			delete(c.views, pv.rv.Version())
+		}
+		idle = idle[len(idle)-maxCachedViews:]
+	}
+	if len(idle) > 0 {
+		c.armSweepLocked()
+	}
+}
+
+// armSweepLocked schedules one future sweep if none is pending. The
+// interval is the full TTL: a view surviving this prune has at most a
+// TTL to live, so the next sweep catches it within 2x the TTL — a
+// bound, not a deadline, which keeps the timer churn at one reset per
+// sweep instead of one per touch.
+func (c *viewCache) armSweepLocked() {
+	if c.closed || c.timer != nil {
 		return
 	}
-	sort.Slice(idle, func(i, j int) bool { return idle[i].lastUse.Before(idle[j].lastUse) })
-	for _, pv := range idle[:len(idle)-maxCachedViews] {
-		pv.rv.Release()
-		delete(c.views, pv.rv.Version())
+	c.timer = time.AfterFunc(c.ttl, c.sweep)
+}
+
+// sweep is the timer's pass: prune, which re-arms while idle views
+// remain.
+func (c *viewCache) sweep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timer = nil
+	if c.closed {
+		return
 	}
+	c.pruneLocked()
 }
 
 // closeAll empties the table on session shutdown. Views still held by
@@ -174,6 +210,10 @@ func (c *viewCache) closeAll() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
 	for v, pv := range c.views {
 		delete(c.views, v)
 		if pv.refs == 0 {

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cfdclean/internal/cfd"
+	"cfdclean/internal/increpair"
+	"cfdclean/internal/relation"
+)
+
+func newViewTestSession(t *testing.T) *increpair.Session {
+	t.Helper()
+	sch := relation.MustSchema("orders", "AC", "CT")
+	rel := relation.New(sch)
+	rel.MustInsert(relation.NewTuple(0, "212", "NYC"))
+	parsed, err := cfd.Parse(sch, strings.NewReader(tinyCFDs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := increpair.NewSession(rel, cfd.NormalizeAll(parsed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sess.Close)
+	return sess
+}
+
+// A view abandoned after its last release must expire by TTL with NO
+// further cache traffic: the sweep timer, not the next reader, releases
+// the pin. Before the timer existed, pruneLocked only ran on cache
+// touches, so an idle service retained the view's COW pre-images
+// forever — viewTTL was only nominally enforced.
+func TestViewTTLSweepsWithoutTraffic(t *testing.T) {
+	sess := newViewTestSession(t)
+	c := newViewCache(sess)
+	c.ttl = 20 * time.Millisecond
+	t.Cleanup(c.closeAll)
+
+	_, release, err := c.acquireCurrent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sess.Current().ActiveViews(); n != 1 {
+		t.Fatalf("ActiveViews = %d while acquired, want 1", n)
+	}
+	release()
+	// The released view is idle but cached for cursor continuation; it
+	// must still be pinned right now (that retention is the feature).
+	if n := sess.Current().ActiveViews(); n != 1 {
+		t.Fatalf("ActiveViews = %d just after release, want 1 (cached for cursors)", n)
+	}
+
+	// No acquire, no release, no prune from here on: only the sweep
+	// timer can drop the pin.
+	deadline := time.Now().Add(5 * time.Second)
+	for sess.Current().ActiveViews() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ActiveViews = %d long past the TTL with no further reads: idle view never swept",
+				sess.Current().ActiveViews())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	c.mu.Lock()
+	cached := len(c.views)
+	c.mu.Unlock()
+	if cached != 0 {
+		t.Fatalf("view table holds %d entries after sweep, want 0", cached)
+	}
+}
+
+// An in-use view must survive every sweep — TTL applies to idle views
+// only — and the timer must shut down with closeAll.
+func TestViewTTLSweepSkipsHeldViews(t *testing.T) {
+	sess := newViewTestSession(t)
+	c := newViewCache(sess)
+	c.ttl = 10 * time.Millisecond
+	t.Cleanup(c.closeAll)
+
+	_, release, err := c.acquireCurrent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance the session so a second, idle view at a newer version can
+	// arm the sweep alongside the held one.
+	if _, err := sess.ApplyDelta([]*relation.Tuple{relation.NewTuple(0, "212", "NYC")}); err != nil {
+		t.Fatal(err)
+	}
+	_, release2, err := c.acquireCurrent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for sess.Current().ActiveViews() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ActiveViews = %d: sweep did not drop the idle view (or dropped the held one)",
+				sess.Current().ActiveViews())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(5 * c.ttl) // more sweeps fire; the held view must survive them
+	if n := sess.Current().ActiveViews(); n != 1 {
+		t.Fatalf("ActiveViews = %d after sweeps with one reader still holding, want 1", n)
+	}
+	release()
+}

@@ -77,6 +77,10 @@ type CreateRequest struct {
 	// this session: zero fields inherit the -quota-* defaults, negative
 	// fields mean explicitly unlimited.
 	Quota *WireQuota `json:"quota,omitempty"`
+	// Store selects this session's tuple storage backend: "mem" (full
+	// inline snapshots), "disk" (page-file spill store; requires a
+	// durable server), or "" to inherit the node's -store default.
+	Store string `json:"store,omitempty"`
 }
 
 // WireQuota is a session's admission-control configuration on the wire:
@@ -202,7 +206,25 @@ type SessionInfo struct {
 	// clustered nodes; single-node listings stay byte-stable.
 	Role        string       `json:"role,omitempty"`
 	Replication string       `json:"replication,omitempty"`
-	Snapshot    WireSnapshot `json:"snapshot"`
+	// Store reports the disk-backed page store's state; absent for
+	// memory-backed sessions, so their listings stay byte-stable.
+	Store    *WireStore   `json:"store,omitempty"`
+	Snapshot WireSnapshot `json:"snapshot"`
+}
+
+// WireStore reports a session's disk-backed tuple store in listings:
+// the committed manifest generation, page counts (committed / dirty in
+// memory / clean cached), row and dictionary sizes at the last flush,
+// and the store's total on-disk footprint.
+type WireStore struct {
+	Kind        string `json:"kind"`
+	Gen         uint64 `json:"gen"`
+	Pages       int    `json:"pages"`
+	DirtyPages  int    `json:"dirty_pages"`
+	CachedPages int    `json:"cached_pages"`
+	Tuples      int    `json:"tuples"`
+	DictEntries int    `json:"dict_entries"`
+	DiskBytes   int64  `json:"disk_bytes"`
 }
 
 // ListResponse enumerates hosted sessions in name order.

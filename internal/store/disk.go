@@ -1,0 +1,1199 @@
+package store
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"cfdclean/internal/relation"
+	"cfdclean/internal/wal"
+)
+
+// On-disk layout of one Disk store directory:
+//
+//	pages-<gen>.dat    page records written by flush <gen>
+//	order-<gen>.dat    physical row order at flush <gen>
+//	manifest-<gen>.mft page table + geometry at flush <gen>
+//	dict.log           append-only intern dictionary (shared by all gens)
+//
+// All files open with a magic string and a version byte. Records are
+// CRC-32C framed like the WAL's. A page file holds full page images:
+//
+//	page record  = pageNo(u64 LE) length(u32 LE) crc(u32 LE) payload
+//
+// and is written once per flush, then never modified — a later flush
+// that re-dirties a page writes the page's new image into its own
+// generation's file and repoints the page table. The manifest is the
+// atomic commit point (tmp + fsync + rename + dirsync): it names, for
+// every page, the generation file and offset holding its newest image.
+// Because old page files are immutable, the previous manifest remains a
+// consistent fallback, which is exactly what snapshot-generation pruning
+// (keep the newest two) requires.
+//
+// Rows are fixed-width and addressed by TupleID:
+//
+//	row  = used(u8) wflag(u8) id(i64 LE) valueID(u32 LE)×arity weight(f64 LE)×arity
+//	page(id) = id / rowsPerPage,  slot(id) = id % rowsPerPage
+//
+// Values are the relation Dict's dense uint32 ids; dict.log persists the
+// dictionary as length-prefixed strings in intern order, so ordinal i
+// reproduces ValueID i+1 on reload. The dictionary delta is fsynced
+// before the pages that reference it.
+
+const (
+	storeVersion  = 1
+	pageMagic     = "CFDPAGE"
+	orderMagic    = "CFDORDR"
+	manifestMagic = "CFDSTOR"
+	dictMagic     = "CFDDICT"
+
+	// orderChunkIDs bounds the row ids per order-file record.
+	orderChunkIDs = 1 << 16
+)
+
+var storeCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed reports use of a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// errCorrupt reports structural damage in a store file; recovery treats
+// it like a damaged snapshot and falls back to an older generation.
+var errCorrupt = errors.New("store: corrupt")
+
+func pagesName(gen uint64) string    { return fmt.Sprintf("pages-%010d.dat", gen) }
+func orderName(gen uint64) string    { return fmt.Sprintf("order-%010d.dat", gen) }
+func manifestName(gen uint64) string { return fmt.Sprintf("manifest-%010d.mft", gen) }
+
+const dictName = "dict.log"
+
+// pageLoc locates a page's newest committed image.
+type pageLoc struct {
+	gen uint64
+	off int64 // record start within pages-<gen>.dat
+}
+
+// Disk is the disk-backed tuple store for one session. It subscribes to
+// the live relation's mutation journal and maintains, write-through, a
+// dirty in-memory image of every page touched since the last flush;
+// BeginFlush/Commit move that image into a new file generation at
+// snapshot-rotation boundaries. All methods are safe for the session
+// pipeline's concurrency: the worker writes through observe while the
+// committer commits a prior flush.
+type Disk struct {
+	dir         string
+	arity       int
+	rowWidth    int
+	rowsPerPage uint64
+	pageBytes   int
+	cacheCap    int
+
+	mu    sync.Mutex
+	dict  *relation.Dict
+	unsub func()
+
+	// dictNext counts non-null dictionary ordinals already persisted;
+	// dictOff is the append offset in dict.log.
+	dictNext int
+	dictFile *os.File
+	dictOff  int64
+
+	// Committed state: the newest manifest and its page table, plus the
+	// previous manifest's file references for prune safety.
+	gen         uint64
+	hasManifest bool
+	table       map[uint64]pageLoc
+	tupleCount  int
+	prevGen     uint64
+	prevRefs    map[uint64]bool
+	hasPrev     bool
+
+	// strs resolves persisted ValueIDs on the read path (ordinal i ->
+	// ValueID i+1); populated by Open, extended on dict flush.
+	strs []string
+
+	dirty   map[uint64][]byte
+	pending []*Flush
+	cache   *pageLRU
+	files   map[uint64]*os.File // read handles, keyed by generation
+
+	err    error
+	closed bool
+}
+
+// Create initializes an empty store directory for a relation of the
+// given arity. Any previous contents are removed.
+func Create(dir string, arity int, opts Options) (*Disk, error) {
+	opts = opts.withDefaults()
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := newDisk(dir, arity, opts.PageSize, opts.CachePages)
+	f, err := os.OpenFile(filepath.Join(dir, dictName), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := append([]byte(dictMagic), storeVersion)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	d.dictFile = f
+	d.dictOff = int64(len(hdr))
+	return d, nil
+}
+
+func newDisk(dir string, arity, pageSize, cachePages int) *Disk {
+	rowWidth := 2 + 8 + 4*arity + 8*arity
+	rpp := pageSize / rowWidth
+	if rpp < 1 {
+		rpp = 1
+	}
+	return &Disk{
+		dir:         dir,
+		arity:       arity,
+		rowWidth:    rowWidth,
+		rowsPerPage: uint64(rpp),
+		pageBytes:   rpp * rowWidth,
+		cacheCap:    cachePages,
+		table:       make(map[uint64]pageLoc),
+		dirty:       make(map[uint64][]byte),
+		cache:       newPageLRU(cachePages),
+		files:       make(map[uint64]*os.File),
+	}
+}
+
+// Attach subscribes the store to rel's mutation journal, write-through
+// from the next mutation on. Must be called from the relation's writer
+// serialization context (increpair.Session holds its lock).
+func (d *Disk) Attach(rel *relation.Relation) {
+	d.mu.Lock()
+	d.dict = rel.Dict()
+	d.mu.Unlock()
+	d.unsub = rel.Subscribe(d.observe)
+}
+
+// SeedAll writes every current row of rel into the dirty image — the
+// bootstrap for a freshly created store under a live relation. Must be
+// called from the writer context, after Attach.
+func (d *Disk) SeedAll(rel *relation.Relation) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, t := range rel.Tuples() {
+		d.writeRowLocked(t)
+	}
+}
+
+func (d *Disk) observe(dl relation.Delta) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || d.err != nil {
+		return
+	}
+	switch dl.Kind {
+	case relation.DeltaInsert, relation.DeltaUpdate:
+		d.writeRowLocked(dl.T)
+	case relation.DeltaDelete:
+		d.clearRowLocked(dl.T.ID)
+	}
+}
+
+func (d *Disk) writeRowLocked(t *relation.Tuple) {
+	page, off := d.slotLocked(t.ID)
+	if page == nil {
+		return
+	}
+	row := page[off : off+d.rowWidth]
+	row[0] = 1
+	if t.W != nil {
+		row[1] = 1
+	} else {
+		row[1] = 0
+	}
+	binary.LittleEndian.PutUint64(row[2:], uint64(t.ID))
+	p := 10
+	for a := 0; a < d.arity; a++ {
+		binary.LittleEndian.PutUint32(row[p:], uint32(t.IDAt(a)))
+		p += 4
+	}
+	for a := 0; a < d.arity; a++ {
+		var w float64
+		if t.W != nil {
+			w = t.W[a]
+		}
+		binary.LittleEndian.PutUint64(row[p:], math.Float64bits(w))
+		p += 8
+	}
+}
+
+func (d *Disk) clearRowLocked(id relation.TupleID) {
+	page, off := d.slotLocked(id)
+	if page == nil {
+		return
+	}
+	clear(page[off : off+d.rowWidth])
+}
+
+// slotLocked returns the dirty page holding id's row and the row's byte
+// offset, materializing the page copy-on-write from the newest prior
+// image (pending flush, clean cache, or committed file).
+func (d *Disk) slotLocked(id relation.TupleID) ([]byte, int) {
+	if d.err != nil {
+		return nil, 0
+	}
+	no := uint64(id) / d.rowsPerPage
+	off := int(uint64(id)%d.rowsPerPage) * d.rowWidth
+	if b, ok := d.dirty[no]; ok {
+		return b, off
+	}
+	b := make([]byte, d.pageBytes)
+	if src := d.findPageLocked(no); src != nil {
+		copy(b, src)
+	} else if d.err != nil {
+		return nil, 0 // read failure latched; stop advancing the image
+	}
+	d.dirty[no] = b
+	return b, off
+}
+
+// findPageLocked returns the newest non-dirty image of page no: an
+// in-flight flush (newest first), the clean LRU, or the committed file.
+// A missing page (never written) returns nil with no error; a failing
+// disk read latches d.err and returns nil.
+func (d *Disk) findPageLocked(no uint64) []byte {
+	for i := len(d.pending) - 1; i >= 0; i-- {
+		if b, ok := d.pending[i].pages[no]; ok {
+			return b
+		}
+	}
+	if b, ok := d.cache.get(no); ok {
+		return b
+	}
+	loc, ok := d.table[no]
+	if !ok {
+		return nil
+	}
+	b, err := d.readPageLocked(no, loc)
+	if err != nil {
+		d.err = err
+		return nil
+	}
+	d.cache.put(no, b)
+	return b
+}
+
+// readPageLocked reads and verifies one committed page image.
+func (d *Disk) readPageLocked(no uint64, loc pageLoc) ([]byte, error) {
+	f, ok := d.files[loc.gen]
+	if !ok {
+		var err error
+		f, err = os.Open(filepath.Join(d.dir, pagesName(loc.gen)))
+		if err != nil {
+			return nil, err
+		}
+		d.files[loc.gen] = f
+	}
+	hdr := make([]byte, 16)
+	if _, err := f.ReadAt(hdr, loc.off); err != nil {
+		return nil, fmt.Errorf("%w: page %d record header: %v", errCorrupt, no, err)
+	}
+	gotNo := binary.LittleEndian.Uint64(hdr)
+	ln := binary.LittleEndian.Uint32(hdr[8:])
+	crc := binary.LittleEndian.Uint32(hdr[12:])
+	if gotNo != no || int(ln) != d.pageBytes {
+		return nil, fmt.Errorf("%w: page %d record mismatch (no=%d len=%d)", errCorrupt, no, gotNo, ln)
+	}
+	b := make([]byte, d.pageBytes)
+	if _, err := f.ReadAt(b, loc.off+16); err != nil {
+		return nil, fmt.Errorf("%w: page %d payload: %v", errCorrupt, no, err)
+	}
+	if crc32.Checksum(b, storeCastagnoli) != crc {
+		return nil, fmt.Errorf("%w: page %d checksum mismatch", errCorrupt, no)
+	}
+	return b, nil
+}
+
+// Flush is the dirty image captured at one snapshot-rotation boundary,
+// between BeginFlush (worker, at the boundary) and Commit or Abort
+// (committer, in commit order).
+type Flush struct {
+	d       *Disk
+	pages   map[uint64][]byte
+	view    *relation.View
+	dictLen int
+	rows    int
+	done    bool
+}
+
+// BeginFlush captures the dirty image, the physical row order (via the
+// pinned view) and the dictionary watermark at a quiescent boundary.
+// Must be called from the writer context. The returned Flush must be
+// resolved with exactly one Commit or Abort, in FIFO order relative to
+// other flushes of the same store.
+func (d *Disk) BeginFlush(v *relation.View, rows int) *Flush {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := &Flush{d: d, pages: d.dirty, view: v, rows: rows}
+	if d.dict != nil {
+		f.dictLen = d.dict.Len()
+	}
+	d.dirty = make(map[uint64][]byte)
+	d.pending = append(d.pending, f)
+	return f
+}
+
+// Abort releases the flush without committing: its pages merge back
+// into the newer image (only where a newer copy does not supersede
+// them) and the pinned view is released.
+func (f *Flush) Abort() {
+	if f.done {
+		return
+	}
+	f.done = true
+	d := f.d
+	d.mu.Lock()
+	idx := -1
+	for i, p := range d.pending {
+		if p == f {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		d.pending = append(d.pending[:idx], d.pending[idx+1:]...)
+		// Re-home pages that nothing newer has copied forward. Newer
+		// images (later pending flushes, the dirty map) were CoW'd from
+		// this one, so where they exist they strictly supersede it.
+	merge:
+		for no, b := range f.pages {
+			if _, ok := d.dirty[no]; ok {
+				continue
+			}
+			for i := idx; i < len(d.pending); i++ {
+				if _, ok := d.pending[i].pages[no]; ok {
+					continue merge
+				}
+			}
+			if idx < len(d.pending) {
+				d.pending[idx].pages[no] = b
+			} else {
+				d.dirty[no] = b
+			}
+		}
+	}
+	d.mu.Unlock()
+	f.view.Release()
+}
+
+// Commit durably writes the flush as generation gen: dictionary delta
+// first (fsync), then the page images and the row order (fsync), then
+// the manifest (tmp + rename + dirsync) as the atomic commit point. On
+// success the store's committed state advances and files no manifest of
+// the two newest generations references are pruned. On failure the
+// flush is aborted and the error is latched — the caller (the
+// persister) marks the session's durability broken, exactly as for a
+// failed snapshot write.
+func (f *Flush) Commit(gen uint64) error {
+	d := f.d
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		f.Abort()
+		return ErrClosed
+	}
+	if d.err != nil {
+		err := d.err
+		d.mu.Unlock()
+		f.Abort()
+		return err
+	}
+	dictStart := d.dictNext
+	d.mu.Unlock()
+
+	err := d.commitFiles(f, gen, dictStart)
+	if err != nil {
+		d.fail(err)
+		f.Abort()
+		return err
+	}
+	return nil
+}
+
+func (d *Disk) commitFiles(f *Flush, gen uint64, dictStart int) error {
+	// 1. Dictionary delta, fsynced before any page referencing it.
+	delta := d.dict.StringsFrom(dictStart, f.dictLen)
+	if len(delta) > 0 {
+		var buf []byte
+		for _, s := range delta {
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+		if _, err := d.dictFile.WriteAt(buf, d.dictOff); err != nil {
+			return err
+		}
+		if err := d.dictFile.Sync(); err != nil {
+			return err
+		}
+		d.mu.Lock()
+		d.dictOff += int64(len(buf))
+		d.strs = append(d.strs, delta...)
+		d.mu.Unlock()
+	}
+
+	// 2. Page images.
+	locs := make(map[uint64]pageLoc, len(f.pages))
+	if len(f.pages) > 0 {
+		if err := d.writePages(gen, f.pages, locs); err != nil {
+			return err
+		}
+	}
+
+	// 3. Physical row order, streamed from the pinned view.
+	if err := d.writeOrder(gen, f.view, f.rows); err != nil {
+		return err
+	}
+
+	// 4. Manifest: the commit point.
+	d.mu.Lock()
+	newTable := make(map[uint64]pageLoc, len(d.table)+len(locs))
+	for no, loc := range d.table {
+		newTable[no] = loc
+	}
+	oldGen, oldTable, hadManifest := d.gen, d.table, d.hasManifest
+	d.mu.Unlock()
+	for no, loc := range locs {
+		newTable[no] = loc
+	}
+	if err := d.writeManifest(gen, newTable, f.dictLen, f.rows); err != nil {
+		return err
+	}
+
+	// 5. Advance committed state and prune.
+	d.mu.Lock()
+	if hadManifest {
+		d.prevGen, d.prevRefs, d.hasPrev = oldGen, tableRefs(oldTable, oldGen), true
+	}
+	d.gen, d.table, d.hasManifest = gen, newTable, true
+	d.tupleCount = f.rows
+	d.dictNext = f.dictLen
+	if idx := pendingIndex(d.pending, f); idx >= 0 {
+		d.pending = append(d.pending[:idx], d.pending[idx+1:]...)
+	}
+	for no, b := range f.pages {
+		if _, ok := d.dirty[no]; !ok {
+			d.cache.put(no, b)
+		}
+	}
+	keep := tableRefs(newTable, gen)
+	if d.hasPrev {
+		for g := range d.prevRefs {
+			keep[g] = true
+		}
+		keep[d.prevGen] = true
+	}
+	d.pruneLocked(keep)
+	d.mu.Unlock()
+
+	f.done = true
+	f.view.Release()
+	return nil
+}
+
+func pendingIndex(pending []*Flush, f *Flush) int {
+	for i, p := range pending {
+		if p == f {
+			return i
+		}
+	}
+	return -1
+}
+
+func tableRefs(table map[uint64]pageLoc, gen uint64) map[uint64]bool {
+	refs := make(map[uint64]bool, 4)
+	for _, loc := range table {
+		refs[loc.gen] = true
+	}
+	refs[gen] = true
+	return refs
+}
+
+func (d *Disk) writePages(gen uint64, pages map[uint64][]byte, locs map[uint64]pageLoc) error {
+	nos := make([]uint64, 0, len(pages))
+	for no := range pages {
+		nos = append(nos, no)
+	}
+	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
+	f, err := os.OpenFile(filepath.Join(d.dir, pagesName(gen)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if _, err := w.Write(append([]byte(pageMagic), storeVersion)); err != nil {
+		f.Close()
+		return err
+	}
+	off := int64(len(pageMagic) + 1)
+	hdr := make([]byte, 16)
+	for _, no := range nos {
+		b := pages[no]
+		binary.LittleEndian.PutUint64(hdr, no)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(b)))
+		binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(b, storeCastagnoli))
+		if _, err := w.Write(hdr); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			f.Close()
+			return err
+		}
+		locs[no] = pageLoc{gen: gen, off: off}
+		off += 16 + int64(len(b))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (d *Disk) writeOrder(gen uint64, v *relation.View, rows int) error {
+	f, err := os.OpenFile(filepath.Join(d.dir, orderName(gen)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if _, err := w.Write(append([]byte(orderMagic), storeVersion)); err != nil {
+		f.Close()
+		return err
+	}
+	var chunk, frame []byte
+	var ids, total, n int
+	var prev int64
+	body := make([]byte, 0, orderChunkIDs*2)
+	flushChunk := func() error {
+		if n == 0 {
+			return nil
+		}
+		chunk = binary.AppendUvarint(chunk[:0], uint64(n))
+		chunk = append(chunk, body...)
+		frame = frame[:0]
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(chunk)))
+		frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(chunk, storeCastagnoli))
+		frame = append(frame, chunk...)
+		body, n = body[:0], 0
+		_, err := w.Write(frame)
+		return err
+	}
+	_ = ids
+	for cur := v.Rows(); ; {
+		t := cur.Next()
+		if t == nil {
+			break
+		}
+		body = binary.AppendVarint(body, int64(t.ID)-prev)
+		prev = int64(t.ID)
+		n++
+		total++
+		if n == orderChunkIDs {
+			if err := flushChunk(); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := flushChunk(); err != nil {
+		f.Close()
+		return err
+	}
+	if total != rows {
+		f.Close()
+		return fmt.Errorf("store: order stream saw %d rows, boundary captured %d", total, rows)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (d *Disk) writeManifest(gen uint64, table map[uint64]pageLoc, dictLen, rows int) error {
+	payload := binary.AppendUvarint(nil, uint64(d.arity))
+	payload = binary.AppendUvarint(payload, uint64(d.rowWidth))
+	payload = binary.AppendUvarint(payload, d.rowsPerPage)
+	payload = binary.AppendUvarint(payload, uint64(d.pageBytes))
+	payload = binary.AppendUvarint(payload, uint64(dictLen))
+	payload = binary.AppendUvarint(payload, uint64(rows))
+	payload = binary.AppendUvarint(payload, uint64(len(table)))
+	nos := make([]uint64, 0, len(table))
+	for no := range table {
+		nos = append(nos, no)
+	}
+	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
+	for _, no := range nos {
+		loc := table[no]
+		payload = binary.AppendUvarint(payload, no)
+		payload = binary.AppendUvarint(payload, loc.gen)
+		payload = binary.AppendUvarint(payload, uint64(loc.off))
+	}
+	buf := append([]byte(manifestMagic), storeVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, storeCastagnoli))
+	buf = append(buf, payload...)
+
+	path := filepath.Join(d.dir, manifestName(gen))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	dh, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	defer dh.Close()
+	return dh.Sync()
+}
+
+// pruneLocked removes generation files not in keep, closing any cached
+// read handle first. Best-effort: a leftover file is garbage collected
+// at the next commit.
+func (d *Disk) pruneLocked(keep map[uint64]bool) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		var gen uint64
+		name := e.Name()
+		switch {
+		case scanGenName(name, "pages-", ".dat", &gen),
+			scanGenName(name, "order-", ".dat", &gen),
+			scanGenName(name, "manifest-", ".mft", &gen):
+			if !keep[gen] {
+				if f, ok := d.files[gen]; ok {
+					f.Close()
+					delete(d.files, gen)
+				}
+				os.Remove(filepath.Join(d.dir, name))
+			}
+		}
+	}
+}
+
+func scanGenName(name, prefix, suffix string, gen *uint64) bool {
+	if len(name) != len(prefix)+10+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return false
+	}
+	var g uint64
+	for _, c := range name[len(prefix) : len(prefix)+10] {
+		if c < '0' || c > '9' {
+			return false
+		}
+		g = g*10 + uint64(c-'0')
+	}
+	*gen = g
+	return true
+}
+
+// fail latches the first error; every later write path refuses.
+func (d *Disk) fail(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.mu.Unlock()
+}
+
+// Err returns the latched error, if any.
+func (d *Disk) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+// Gen returns the last committed manifest generation.
+func (d *Disk) Gen() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gen
+}
+
+// Stats summarizes the store for listings and metrics.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	dirtyPages := len(d.dirty)
+	for _, f := range d.pending {
+		dirtyPages += len(f.pages)
+	}
+	s := Stats{
+		Gen:         d.gen,
+		Pages:       len(d.table),
+		DirtyPages:  dirtyPages,
+		CachedPages: d.cache.len(),
+		Tuples:      d.tupleCount,
+		DictEntries: d.dictNext,
+	}
+	d.mu.Unlock()
+	if ents, err := os.ReadDir(d.dir); err == nil {
+		for _, e := range ents {
+			if info, err := e.Info(); err == nil {
+				s.DiskBytes += info.Size()
+			}
+		}
+	}
+	return s
+}
+
+// Close detaches from the relation's journal and closes every file.
+// Idempotent. It does not remove the directory; the owner decides
+// whether the store outlives the process (crash recovery reopens it) or
+// dies with the session (Destroy).
+func (d *Disk) Close() {
+	if d.unsub != nil {
+		d.unsub()
+		d.unsub = nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for gen, f := range d.files {
+		f.Close()
+		delete(d.files, gen)
+	}
+	if d.dictFile != nil {
+		d.dictFile.Close()
+		d.dictFile = nil
+	}
+}
+
+// Open loads the store at manifest generation gen, reading the
+// dictionary prefix the manifest covers and truncating any orphan tail
+// dict.log carries past it (a crash between dict append and manifest
+// commit leaves entries no manifest references; a fresh append would
+// otherwise land them at wrong ordinals). Pages open lazily as rows are
+// read — this is what makes recovery ~O(dirty) instead of O(relation).
+func Open(dir string, gen uint64, arity int, opts Options) (*Disk, error) {
+	opts = opts.withDefaults()
+	b, err := os.ReadFile(filepath.Join(dir, manifestName(gen)))
+	if err != nil {
+		return nil, err
+	}
+	geom, table, dictLen, rows, err := decodeManifest(b)
+	if err != nil {
+		return nil, err
+	}
+	if geom.arity != arity {
+		return nil, fmt.Errorf("%w: manifest arity %d, relation has %d", errCorrupt, geom.arity, arity)
+	}
+	d := newDisk(dir, arity, opts.PageSize, opts.CachePages)
+	// The persisted geometry wins: row addressing must stay stable.
+	d.rowWidth = geom.rowWidth
+	d.rowsPerPage = geom.rowsPerPage
+	d.pageBytes = geom.pageBytes
+	d.gen, d.hasManifest = gen, true
+	d.table = table
+	d.tupleCount = rows
+	d.dictNext = dictLen
+
+	if err := d.openDict(dictLen); err != nil {
+		return nil, err
+	}
+	// The previous manifest's references guard pruning: the persister
+	// keeps two snapshot generations, so their page files must survive.
+	if gen > 0 {
+		if pb, err := os.ReadFile(filepath.Join(dir, manifestName(gen-1))); err == nil {
+			if _, pt, _, _, err := decodeManifest(pb); err == nil {
+				d.prevGen, d.prevRefs, d.hasPrev = gen-1, tableRefs(pt, gen-1), true
+			}
+		}
+	}
+	return d, nil
+}
+
+type manifestGeom struct {
+	arity       int
+	rowWidth    int
+	rowsPerPage uint64
+	pageBytes   int
+}
+
+func decodeManifest(b []byte) (geom manifestGeom, table map[uint64]pageLoc, dictLen, rows int, err error) {
+	hdr := len(manifestMagic) + 1
+	if len(b) < hdr+8 || string(b[:len(manifestMagic)]) != manifestMagic {
+		return geom, nil, 0, 0, fmt.Errorf("%w: bad manifest header", errCorrupt)
+	}
+	if b[len(manifestMagic)] != storeVersion {
+		return geom, nil, 0, 0, fmt.Errorf("%w: manifest version %d, reader supports %d", errCorrupt, b[len(manifestMagic)], storeVersion)
+	}
+	ln := binary.LittleEndian.Uint32(b[hdr:])
+	crc := binary.LittleEndian.Uint32(b[hdr+4:])
+	payload := b[hdr+8:]
+	if int(ln) != len(payload) || crc32.Checksum(payload, storeCastagnoli) != crc {
+		return geom, nil, 0, 0, fmt.Errorf("%w: manifest torn or checksum mismatch", errCorrupt)
+	}
+	u := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		v, n := binary.Uvarint(payload)
+		if n <= 0 {
+			err = fmt.Errorf("%w: manifest truncated", errCorrupt)
+			return 0
+		}
+		payload = payload[n:]
+		return v
+	}
+	geom.arity = int(u())
+	geom.rowWidth = int(u())
+	geom.rowsPerPage = u()
+	geom.pageBytes = int(u())
+	dictLen = int(u())
+	rows = int(u())
+	n := u()
+	if err != nil {
+		return geom, nil, 0, 0, err
+	}
+	if geom.rowsPerPage == 0 || geom.rowWidth <= 0 || geom.pageBytes != int(geom.rowsPerPage)*geom.rowWidth {
+		return geom, nil, 0, 0, fmt.Errorf("%w: manifest geometry inconsistent", errCorrupt)
+	}
+	table = make(map[uint64]pageLoc, n)
+	for i := uint64(0); i < n; i++ {
+		no := u()
+		g := u()
+		off := u()
+		if err != nil {
+			return geom, nil, 0, 0, err
+		}
+		table[no] = pageLoc{gen: g, off: int64(off)}
+	}
+	if len(payload) != 0 {
+		return geom, nil, 0, 0, fmt.Errorf("%w: manifest carries %d trailing bytes", errCorrupt, len(payload))
+	}
+	return geom, table, dictLen, rows, nil
+}
+
+// openDict reads exactly dictLen entries from dict.log, truncates any
+// orphan tail, and positions the append cursor.
+func (d *Disk) openDict(dictLen int) error {
+	f, err := os.OpenFile(filepath.Join(d.dir, dictName), os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, len(dictMagic)+1)
+	if _, err := io.ReadFull(br, hdr); err != nil || string(hdr[:len(dictMagic)]) != dictMagic || hdr[len(dictMagic)] != storeVersion {
+		f.Close()
+		return fmt.Errorf("%w: bad dict.log header", errCorrupt)
+	}
+	off := int64(len(hdr))
+	strs := make([]string, 0, dictLen)
+	buf := make([]byte, 0, 256)
+	for i := 0; i < dictLen; i++ {
+		ln, err := binary.ReadUvarint(br)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("%w: dict.log truncated at entry %d of %d", errCorrupt, i, dictLen)
+		}
+		if cap(buf) < int(ln) {
+			buf = make([]byte, ln)
+		}
+		buf = buf[:ln]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			f.Close()
+			return fmt.Errorf("%w: dict.log truncated at entry %d of %d", errCorrupt, i, dictLen)
+		}
+		strs = append(strs, string(buf))
+		off += int64(uvarintSize(ln)) + int64(ln)
+	}
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	d.dictFile = f
+	d.dictOff = off
+	d.strs = strs
+	return nil
+}
+
+func uvarintSize(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Iterator streams the store's committed rows in physical order as
+// snapshot tuples — the recovery-time replacement for a snapshot file's
+// inline tuple records. It holds one page buffer and reads page files
+// lazily; Close releases the order-file handle (Next does so on
+// exhaustion or error as well).
+type Iterator struct {
+	d         *Disk
+	f         *os.File
+	br        *bufio.Reader
+	remaining int
+	chunk     []byte
+	inChunk   uint64
+	prev      int64
+	pageNo    uint64
+	page      []byte
+	hasPage   bool
+	err       error
+}
+
+// Source opens an iterator over the last committed generation's rows.
+func (d *Disk) Source() (*Iterator, error) {
+	d.mu.Lock()
+	gen, rows := d.gen, d.tupleCount
+	d.mu.Unlock()
+	f, err := os.Open(filepath.Join(d.dir, orderName(gen)))
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, len(orderMagic)+1)
+	if _, err := io.ReadFull(br, hdr); err != nil || string(hdr[:len(orderMagic)]) != orderMagic || hdr[len(orderMagic)] != storeVersion {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad order file header", errCorrupt)
+	}
+	return &Iterator{d: d, f: f, br: br, remaining: rows}, nil
+}
+
+// Strings returns the persisted dictionary in intern order. Restoring
+// interns these into the fresh relation's dictionary first, which
+// reproduces the persisted ValueIDs exactly (a Dict assigns dense ids
+// in intern order and only grows).
+func (d *Disk) Strings() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.strs
+}
+
+// Next returns the next row. ok is false at clean exhaustion; a damaged
+// order record, page or row returns an error (the caller falls back to
+// an older snapshot generation, like any torn snapshot).
+func (it *Iterator) Next() (wal.SnapTuple, bool, error) {
+	if it.err != nil {
+		return wal.SnapTuple{}, false, it.err
+	}
+	if it.remaining == 0 {
+		it.Close()
+		return wal.SnapTuple{}, false, nil
+	}
+	if it.inChunk == 0 {
+		if err := it.readChunk(); err != nil {
+			return wal.SnapTuple{}, false, it.fail(err)
+		}
+	}
+	delta, n := binary.Varint(it.chunk)
+	if n <= 0 {
+		return wal.SnapTuple{}, false, it.fail(fmt.Errorf("%w: order chunk truncated", errCorrupt))
+	}
+	it.chunk = it.chunk[n:]
+	it.inChunk--
+	it.remaining--
+	id := it.prev + delta
+	it.prev = id
+	if id <= 0 {
+		return wal.SnapTuple{}, false, it.fail(fmt.Errorf("%w: order stream yields row id %d", errCorrupt, id))
+	}
+	t, err := it.row(relation.TupleID(id))
+	if err != nil {
+		return wal.SnapTuple{}, false, it.fail(err)
+	}
+	return t, true, nil
+}
+
+func (it *Iterator) fail(err error) error {
+	it.err = err
+	it.Close()
+	return err
+}
+
+func (it *Iterator) readChunk() error {
+	var h [8]byte
+	if _, err := io.ReadFull(it.br, h[:]); err != nil {
+		return fmt.Errorf("%w: order record torn: %v", errCorrupt, err)
+	}
+	ln := binary.LittleEndian.Uint32(h[:4])
+	crc := binary.LittleEndian.Uint32(h[4:])
+	if ln > 1<<24 {
+		return fmt.Errorf("%w: order record of implausible length %d", errCorrupt, ln)
+	}
+	if cap(it.chunk) < int(ln) {
+		it.chunk = make([]byte, ln)
+	}
+	it.chunk = it.chunk[:ln]
+	if _, err := io.ReadFull(it.br, it.chunk); err != nil {
+		return fmt.Errorf("%w: order record torn: %v", errCorrupt, err)
+	}
+	if crc32.Checksum(it.chunk, storeCastagnoli) != crc {
+		return fmt.Errorf("%w: order record checksum mismatch", errCorrupt)
+	}
+	n, sz := binary.Uvarint(it.chunk)
+	if sz <= 0 || n == 0 {
+		return fmt.Errorf("%w: order record with bad row count", errCorrupt)
+	}
+	it.chunk = it.chunk[sz:]
+	it.inChunk = n
+	return nil
+}
+
+func (it *Iterator) row(id relation.TupleID) (wal.SnapTuple, error) {
+	d := it.d
+	no := uint64(id) / d.rowsPerPage
+	if !it.hasPage || it.pageNo != no {
+		d.mu.Lock()
+		var b []byte
+		if cb, ok := d.cache.get(no); ok {
+			b = cb
+		} else if loc, ok := d.table[no]; ok {
+			var err error
+			b, err = d.readPageLocked(no, loc)
+			if err != nil {
+				d.mu.Unlock()
+				return wal.SnapTuple{}, err
+			}
+			d.cache.put(no, b)
+		}
+		d.mu.Unlock()
+		if b == nil {
+			return wal.SnapTuple{}, fmt.Errorf("%w: row %d points at missing page %d", errCorrupt, id, no)
+		}
+		it.page, it.pageNo, it.hasPage = b, no, true
+	}
+	off := int(uint64(id)%d.rowsPerPage) * d.rowWidth
+	row := it.page[off : off+d.rowWidth]
+	if row[0] != 1 {
+		return wal.SnapTuple{}, fmt.Errorf("%w: row %d slot is empty", errCorrupt, id)
+	}
+	if got := relation.TupleID(binary.LittleEndian.Uint64(row[2:])); got != id {
+		return wal.SnapTuple{}, fmt.Errorf("%w: row slot for %d holds id %d", errCorrupt, id, got)
+	}
+	t := wal.SnapTuple{ID: id, Vals: make([]relation.Value, d.arity)}
+	p := 10
+	for a := 0; a < d.arity; a++ {
+		vid := binary.LittleEndian.Uint32(row[p:])
+		p += 4
+		if vid == 0 {
+			t.Vals[a] = relation.NullValue
+			continue
+		}
+		if int(vid) > len(d.strs) {
+			return wal.SnapTuple{}, fmt.Errorf("%w: row %d references value id %d beyond dictionary (%d entries)", errCorrupt, id, vid, len(d.strs))
+		}
+		t.Vals[a] = relation.Value{Str: d.strs[vid-1]}
+	}
+	if row[1] == 1 {
+		t.W = make([]float64, d.arity)
+		for a := 0; a < d.arity; a++ {
+			t.W[a] = math.Float64frombits(binary.LittleEndian.Uint64(row[p:]))
+			p += 8
+		}
+	}
+	return t, nil
+}
+
+// Close releases the iterator's order-file handle. Idempotent.
+func (it *Iterator) Close() {
+	if it.f != nil {
+		it.f.Close()
+		it.f = nil
+	}
+}
+
+// pageLRU is a minimal LRU over clean page images.
+type pageLRU struct {
+	cap int
+	m   map[uint64]*list.Element
+	l   *list.List
+}
+
+type lruEntry struct {
+	no uint64
+	b  []byte
+}
+
+func newPageLRU(cap int) *pageLRU {
+	return &pageLRU{cap: cap, m: make(map[uint64]*list.Element), l: list.New()}
+}
+
+func (c *pageLRU) get(no uint64) ([]byte, bool) {
+	e, ok := c.m[no]
+	if !ok {
+		return nil, false
+	}
+	c.l.MoveToFront(e)
+	return e.Value.(*lruEntry).b, true
+}
+
+func (c *pageLRU) put(no uint64, b []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	if e, ok := c.m[no]; ok {
+		e.Value.(*lruEntry).b = b
+		c.l.MoveToFront(e)
+		return
+	}
+	c.m[no] = c.l.PushFront(&lruEntry{no: no, b: b})
+	for c.l.Len() > c.cap {
+		e := c.l.Back()
+		c.l.Remove(e)
+		delete(c.m, e.Value.(*lruEntry).no)
+	}
+}
+
+func (c *pageLRU) len() int { return c.l.Len() }

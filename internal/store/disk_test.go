@@ -1,0 +1,226 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cfdclean/internal/relation"
+	"cfdclean/internal/wal"
+)
+
+func testRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	s, err := relation.NewSchema("r", "a", "b", "c")
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	return relation.New(s)
+}
+
+// drain reads the iterator to exhaustion.
+func drain(t *testing.T, it *Iterator) []wal.SnapTuple {
+	t.Helper()
+	var out []wal.SnapTuple
+	for {
+		st, ok, err := it.Next()
+		if err != nil {
+			t.Fatalf("iterator: %v", err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, st)
+	}
+}
+
+// expect compares the store's streamed rows against the relation's
+// physical order.
+func expect(t *testing.T, rel *relation.Relation, got []wal.SnapTuple) {
+	t.Helper()
+	want := rel.Tuples()
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d rows, relation has %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.ID != w.ID {
+			t.Fatalf("row %d: id %d, want %d", i, g.ID, w.ID)
+		}
+		if !relation.StrictEqVals(g.Vals, w.Vals) {
+			t.Fatalf("row %d: vals %v, want %v", i, g.Vals, w.Vals)
+		}
+		if (g.W == nil) != (w.W == nil) {
+			t.Fatalf("row %d: weight presence %v, want %v", i, g.W != nil, w.W != nil)
+		}
+		for a := range g.W {
+			if g.W[a] != w.W[a] {
+				t.Fatalf("row %d attr %d: weight %v, want %v", i, a, g.W[a], w.W[a])
+			}
+		}
+	}
+}
+
+func flushCommit(t *testing.T, d *Disk, rel *relation.Relation, gen uint64) {
+	t.Helper()
+	f := d.BeginFlush(rel.Pin(), rel.Size())
+	if err := f.Commit(gen); err != nil {
+		t.Fatalf("commit gen %d: %v", gen, err)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rel := testRelation(t)
+	d, err := Create(dir, 3, Options{PageSize: MinPageSize, CachePages: 4})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	d.Attach(rel)
+
+	wt := relation.NewTuple(0, "x", "y", "z")
+	wt.SetWeight(1, 0.25)
+	rel.MustInsert(wt)
+	rel.MustInsert(&relation.Tuple{Vals: []relation.Value{relation.S("a"), relation.NullValue, relation.S("c")}})
+	for i := 0; i < 500; i++ {
+		if _, err := rel.InsertRow("k", "v", "w"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushCommit(t, d, rel, 0)
+
+	// Mutate across the boundary: updates, deletes, inserts.
+	if _, err := rel.Set(1, 0, relation.S("x2")); err != nil {
+		t.Fatal(err)
+	}
+	rel.Delete(2)
+	if _, err := rel.InsertRow("new", "row", "!"); err != nil {
+		t.Fatal(err)
+	}
+	flushCommit(t, d, rel, 1)
+	d.Close()
+
+	d2, err := Open(dir, 1, 3, Options{PageSize: MinPageSize, CachePages: 4})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer d2.Close()
+	it, err := d2.Source()
+	if err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	expect(t, rel, drain(t, it))
+
+	// The previous generation must remain a readable fallback.
+	d1, err := Open(dir, 0, 3, Options{})
+	if err != nil {
+		t.Fatalf("open previous gen: %v", err)
+	}
+	defer d1.Close()
+	it1, err := d1.Source()
+	if err != nil {
+		t.Fatalf("source previous gen: %v", err)
+	}
+	if n := len(drain(t, it1)); n != 502 {
+		t.Fatalf("previous generation streams %d rows, want 502", n)
+	}
+}
+
+func TestDiskDictOrphanTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	rel := testRelation(t)
+	d, err := Create(dir, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Attach(rel)
+	rel.MustInsert(relation.NewTuple(0, "p", "q", "r"))
+	flushCommit(t, d, rel, 0)
+	d.Close()
+
+	// A crash between dict append and manifest commit leaves orphan
+	// entries past the manifest's dictLen; reopening must truncate them
+	// so later appends land at the right ordinals.
+	path := filepath.Join(dir, "dict.log")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{3, 'z', 'z', 'z'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(path)
+
+	d2, err := Open(dir, 0, 3, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("orphan dict tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	it, err := d2.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect(t, rel, drain(t, it))
+	d2.Close()
+}
+
+func TestDiskAbortRemerges(t *testing.T) {
+	dir := t.TempDir()
+	rel := testRelation(t)
+	d, err := Create(dir, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Attach(rel)
+	rel.MustInsert(relation.NewTuple(0, "a", "b", "c"))
+	f := d.BeginFlush(rel.Pin(), rel.Size())
+	// Newer write to the same page supersedes the aborted copy.
+	if _, err := rel.Set(1, 2, relation.S("c2")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	if rel.ActiveViews() != 0 {
+		t.Fatalf("abort leaked the pinned view")
+	}
+	flushCommit(t, d, rel, 0)
+	d.Close()
+
+	d2, err := Open(dir, 0, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	it, err := d2.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect(t, rel, drain(t, it))
+}
+
+func TestDiskStats(t *testing.T) {
+	dir := t.TempDir()
+	rel := testRelation(t)
+	d, err := Create(dir, 3, Options{PageSize: MinPageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Attach(rel)
+	for i := 0; i < 1000; i++ {
+		if _, err := rel.InsertRow("a", "b", "c"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := d.Stats(); s.DirtyPages == 0 {
+		t.Fatalf("expected dirty pages before flush, got %+v", s)
+	}
+	flushCommit(t, d, rel, 0)
+	s := d.Stats()
+	if s.DirtyPages != 0 || s.Pages == 0 || s.Tuples != 1000 || s.DictEntries != 3 || s.DiskBytes == 0 {
+		t.Fatalf("unexpected stats after flush: %+v", s)
+	}
+}

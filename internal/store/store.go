@@ -1,0 +1,121 @@
+// Package store is the pluggable tuple-storage layer behind a streaming
+// session's relation. The default backend is the relation's own in-memory
+// tuple array — zero overhead, exactly the pre-store behavior. The disk
+// backend (Disk) is a write-through page store subscribed to the
+// relation's mutation journal: fixed-width interned rows in
+// generation-numbered page files, a persistent intern dictionary keyed by
+// the relation Dict's dense ValueIDs, and an LRU cache over clean pages.
+//
+// The disk backend does not move the working set out of RAM — the repair
+// engine operates on the in-memory relation either way. What it removes
+// is the O(relation) cost at the durability boundary: snapshot rotation
+// flushes only the pages dirtied since the last rotation (the snapshot
+// file shrinks to a slim header pointing at a page-file generation), and
+// recovery streams rows back from the page files instead of decoding a
+// relation-sized snapshot record, reopening pages lazily as they are
+// touched. See internal/server for the wiring.
+package store
+
+import "fmt"
+
+// Kind selects a session's tuple-storage backend.
+type Kind int
+
+const (
+	// KindDefault inherits the node's configured default backend.
+	KindDefault Kind = iota
+	// KindMem keeps rows only in the relation's in-memory array;
+	// snapshots carry the full relation inline (the pre-store format).
+	KindMem
+	// KindDisk runs the write-through page store; snapshots are slim
+	// headers referencing a page-file generation.
+	KindDisk
+)
+
+// ParseKind parses the textual backend names used by the -store flag and
+// the per-session create option.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "":
+		return KindDefault, nil
+	case "mem":
+		return KindMem, nil
+	case "disk":
+		return KindDisk, nil
+	}
+	return KindDefault, fmt.Errorf("store: unknown backend %q (want mem or disk)", s)
+}
+
+// String renders the flag spelling.
+func (k Kind) String() string {
+	switch k {
+	case KindMem:
+		return "mem"
+	case KindDisk:
+		return "disk"
+	}
+	return "default"
+}
+
+// Page size bounds. A page buffers rowsPerPage = PageSize/rowWidth rows;
+// wide schemas whose single row exceeds PageSize degrade to one row per
+// page rather than failing.
+const (
+	MinPageSize     = 4 << 10
+	MaxPageSize     = 64 << 10
+	DefaultPageSize = 16 << 10
+)
+
+// DefaultCachePages bounds the clean-page LRU when Options leaves it
+// zero: 256 × 16 KiB ≈ 4 MiB of hot rows per session.
+const DefaultCachePages = 256
+
+// Options tunes a Disk store.
+type Options struct {
+	// PageSize is the page buffer size in bytes, clamped to
+	// [MinPageSize, MaxPageSize]; zero means DefaultPageSize. It only
+	// matters at Create: an existing store's geometry is read from its
+	// manifest, since row addressing must stay stable for its lifetime.
+	PageSize int
+	// CachePages bounds the clean-page LRU; zero means
+	// DefaultCachePages, negative disables caching.
+	CachePages int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = DefaultPageSize
+	}
+	if o.PageSize < MinPageSize {
+		o.PageSize = MinPageSize
+	}
+	if o.PageSize > MaxPageSize {
+		o.PageSize = MaxPageSize
+	}
+	if o.CachePages == 0 {
+		o.CachePages = DefaultCachePages
+	}
+	if o.CachePages < 0 {
+		o.CachePages = 0
+	}
+	return o
+}
+
+// Stats is a point-in-time summary of a Disk store, surfaced in session
+// listings and /metrics.
+type Stats struct {
+	// Gen is the last committed manifest generation.
+	Gen uint64
+	// Pages counts pages in the committed page table; DirtyPages the
+	// pages buffered in memory awaiting the next flush (including
+	// flushes in flight); CachedPages the clean pages held by the LRU.
+	Pages       int
+	DirtyPages  int
+	CachedPages int
+	// Tuples is the row count at the last committed flush and
+	// DictEntries the persisted intern-dictionary size.
+	Tuples      int
+	DictEntries int
+	// DiskBytes is the total size of the store's files on disk.
+	DiskBytes int64
+}

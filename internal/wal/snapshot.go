@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -139,13 +140,32 @@ type Snapshot struct {
 	// (zero value when the session inherits service defaults).
 	Quota Quota
 
-	// Tuples is the relation content in physical row order.
+	// StoreKind records where the relation rows live. StoreInline (the
+	// zero value, and the only possibility before format version 3)
+	// means Tuples carries them; StorePaged means the session runs the
+	// disk-backed page store (internal/store) and the rows live in its
+	// page files at generation StoreGen — Tuples is then empty and the
+	// snapshot is a slim header, which is what makes recovery ~O(dirty)
+	// instead of O(relation).
+	StoreKind byte
+	StoreGen  uint64
+
+	// Tuples is the relation content in physical row order (StoreInline
+	// only).
 	Tuples []SnapTuple
 }
 
-// Encode renders the snapshot payload.
-func (s *Snapshot) Encode() []byte {
-	out := appendString(nil, s.Name)
+// StoreKind values.
+const (
+	StoreInline byte = 0
+	StorePaged  byte = 1
+)
+
+// appendHeader renders every snapshot field through the tuple count —
+// the prefix shared by the wire payload (Encode) and the version-3 file
+// header record.
+func (s *Snapshot) appendHeader(out []byte) []byte {
+	out = appendString(out, s.Name)
 	out = appendString(out, s.Relname)
 	out = binary.AppendUvarint(out, uint64(len(s.Attrs)))
 	for _, a := range s.Attrs {
@@ -172,23 +192,93 @@ func (s *Snapshot) Encode() []byte {
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.Quota.TuplesPerSec))
 	out = binary.AppendVarint(out, int64(s.Quota.MaxRelationSize))
 	out = binary.AppendVarint(out, int64(s.Quota.MaxSubscribers))
+	out = append(out, s.StoreKind)
+	out = binary.AppendUvarint(out, s.StoreGen)
 	out = binary.AppendUvarint(out, uint64(len(s.Tuples)))
-	arity := len(s.Attrs)
-	for _, t := range s.Tuples {
-		out = binary.AppendVarint(out, int64(t.ID))
-		for a := 0; a < arity; a++ {
-			out = relation.AppendValue(out, t.Vals[a])
+	return out
+}
+
+// appendSnapTuple renders one tuple row.
+func appendSnapTuple(out []byte, arity int, t *SnapTuple) []byte {
+	out = binary.AppendVarint(out, int64(t.ID))
+	for a := 0; a < arity; a++ {
+		out = relation.AppendValue(out, t.Vals[a])
+	}
+	if t.W != nil {
+		out = append(out, 1)
+		for _, w := range t.W {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(w))
 		}
-		if t.W != nil {
-			out = append(out, 1)
-			for _, w := range t.W {
-				out = binary.LittleEndian.AppendUint64(out, math.Float64bits(w))
-			}
-		} else {
-			out = append(out, 0)
-		}
+	} else {
+		out = append(out, 0)
 	}
 	return out
+}
+
+// Encode renders the snapshot as one contiguous payload — header fields
+// followed by the tuples inline. This is the replication-wire layout;
+// snapshot files chunk the tuples into separate records instead (see
+// WriteSnapshot).
+func (s *Snapshot) Encode() []byte {
+	out := s.appendHeader(make([]byte, 0, s.EncodedSize()))
+	arity := len(s.Attrs)
+	for i := range s.Tuples {
+		out = appendSnapTuple(out, arity, &s.Tuples[i])
+	}
+	return out
+}
+
+// EncodedSize returns len(s.Encode()) without building the buffer, so
+// the shipper can refuse an over-cap snapshot before allocating and
+// framing hundreds of megabytes.
+func (s *Snapshot) EncodedSize() int {
+	n := stringLen(s.Name) + stringLen(s.Relname) + uvarintLen(uint64(len(s.Attrs)))
+	for _, a := range s.Attrs {
+		n += stringLen(a)
+	}
+	n += stringLen(s.CFDs)
+	n += 1 // ordering
+	n += uvarintLen(uint64(s.K)) + uvarintLen(uint64(s.NearestK)) + uvarintLen(uint64(s.Workers))
+	n += uvarintLen(uint64(s.Batches)) + uvarintLen(uint64(s.Inserted)) + uvarintLen(uint64(s.Deleted)) + uvarintLen(uint64(s.Changes))
+	n += 8 // cost
+	n += varintLen(int64(s.NextID)) + uvarintLen(s.Version)
+	n += 1 + 8 + 8 + varintLen(int64(s.Quota.MaxRelationSize)) + varintLen(int64(s.Quota.MaxSubscribers))
+	n += 1 + uvarintLen(s.StoreGen) // store kind + gen
+	n += uvarintLen(uint64(len(s.Tuples)))
+	arity := len(s.Attrs)
+	for i := range s.Tuples {
+		t := &s.Tuples[i]
+		n += varintLen(int64(t.ID))
+		for a := 0; a < arity; a++ {
+			if t.Vals[a].Null {
+				n++
+			} else {
+				n += 1 + stringLen(t.Vals[a].Str)
+			}
+		}
+		n++ // weight flag
+		if t.W != nil {
+			n += 8 * len(t.W)
+		}
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+func stringLen(s string) int {
+	return uvarintLen(uint64(len(s))) + len(s)
 }
 
 // DecodeSnapshot parses a snapshot payload in the current format.
@@ -199,19 +289,19 @@ func DecodeSnapshot(p []byte) (*Snapshot, error) {
 	return decodeSnapshotVersion(p, Version)
 }
 
-// decodeSnapshotVersion parses a snapshot payload written under format
-// version ver. Version 1 predates the quota block: the block is simply
-// absent, and the snapshot reads back with a zero Quota — the session
-// inherits the restoring service's defaults, exactly what v1 deployments
-// got.
-func decodeSnapshotVersion(p []byte, ver byte) (*Snapshot, error) {
-	d := &decoder{b: p}
+// decodeSnapshotPrefix parses the snapshot header fields (through the
+// tuple count) from d under format version ver. Version 1 predates the
+// quota block and versions 1–2 the store block: absent blocks read back
+// as zero values — the session inherits the restoring service's
+// defaults and the rows are inline, exactly what those deployments got.
+func decodeSnapshotPrefix(d *decoder, ver byte) (*Snapshot, uint64) {
 	s := &Snapshot{}
 	s.Name = d.str("name")
 	s.Relname = d.str("relation name")
 	nattrs := d.uvarint("attribute count")
 	if d.err == nil && nattrs > 1<<16 {
-		return nil, fmt.Errorf("%w: snapshot: implausible attribute count %d", ErrCorrupt, nattrs)
+		d.err = fmt.Errorf("%w: snapshot: implausible attribute count %d", ErrCorrupt, nattrs)
+		return s, 0
 	}
 	for i := uint64(0); i < nattrs && d.err == nil; i++ {
 		s.Attrs = append(s.Attrs, d.str("attribute"))
@@ -243,27 +333,46 @@ func decodeSnapshotVersion(p []byte, ver byte) (*Snapshot, error) {
 		s.Quota.MaxRelationSize = int(d.varint("quota max relation size"))
 		s.Quota.MaxSubscribers = int(d.varint("quota max subscribers"))
 	}
-	ntuples := d.uvarint("tuple count")
+	if ver >= 3 {
+		s.StoreKind = d.byte("store kind")
+		if d.err == nil && s.StoreKind > StorePaged {
+			d.err = fmt.Errorf("%w: snapshot: unknown store kind %d", ErrCorrupt, s.StoreKind)
+		}
+		s.StoreGen = d.uvarint("store generation")
+	}
+	return s, d.uvarint("tuple count")
+}
+
+// decodeSnapTuple parses one tuple row.
+func decodeSnapTuple(d *decoder, arity int, i uint64) SnapTuple {
+	t := SnapTuple{ID: relation.TupleID(d.varint("tuple id"))}
+	for a := 0; a < arity; a++ {
+		t.Vals = append(t.Vals, d.value("tuple value"))
+	}
+	switch d.byte("weight flag") {
+	case 0:
+	case 1:
+		for a := 0; a < arity; a++ {
+			t.W = append(t.W, math.Float64frombits(d.u64("weight")))
+		}
+	default:
+		// Strict like the Delta codec: silently dropping weights
+		// would let a restored session score repairs differently.
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: snapshot: bad weight flag on tuple %d", ErrCorrupt, i)
+		}
+	}
+	return t
+}
+
+// decodeSnapshotVersion parses a contiguous snapshot payload (header
+// fields with the tuples inline) written under format version ver.
+func decodeSnapshotVersion(p []byte, ver byte) (*Snapshot, error) {
+	d := &decoder{b: p}
+	s, ntuples := decodeSnapshotPrefix(d, ver)
 	arity := len(s.Attrs)
 	for i := uint64(0); i < ntuples && d.err == nil; i++ {
-		t := SnapTuple{ID: relation.TupleID(d.varint("tuple id"))}
-		for a := 0; a < arity; a++ {
-			t.Vals = append(t.Vals, d.value("tuple value"))
-		}
-		switch d.byte("weight flag") {
-		case 0:
-		case 1:
-			for a := 0; a < arity; a++ {
-				t.W = append(t.W, math.Float64frombits(d.u64("weight")))
-			}
-		default:
-			// Strict like the Delta codec: silently dropping weights
-			// would let a restored session score repairs differently.
-			if d.err == nil {
-				d.err = fmt.Errorf("%w: snapshot: bad weight flag on tuple %d", ErrCorrupt, i)
-			}
-		}
-		s.Tuples = append(s.Tuples, t)
+		s.Tuples = append(s.Tuples, decodeSnapTuple(d, arity, i))
 	}
 	if d.err != nil {
 		return nil, d.err
@@ -274,32 +383,143 @@ func decodeSnapshotVersion(p []byte, ver byte) (*Snapshot, error) {
 	return s, nil
 }
 
-// WriteSnapshot writes the framed snapshot (magic, version, one
-// CRC-checked record) to w.
-func WriteSnapshot(w io.Writer, s *Snapshot) error {
-	payload := s.Encode()
-	buf := append([]byte(snapMagic), Version)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
-	buf = append(buf, payload...)
-	_, err := w.Write(buf)
-	return err
+// snapChunkTuples bounds the tuples per chunk record in a snapshot
+// file: large enough to amortize framing, small enough that writer and
+// reader never hold more than one modest buffer.
+const snapChunkTuples = 4096
+
+// appendSnapFrame frames one CRC-checked record.
+func appendSnapFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
 }
 
-// ReadSnapshot reads and verifies a framed snapshot from r.
+// WriteSnapshot writes the framed snapshot to w: magic and version,
+// one header record, then the tuples as bounded chunk records — the
+// whole relation is never materialized as a single buffer.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	buf := append([]byte(snapMagic), Version)
+	buf = appendSnapFrame(buf, s.appendHeader(nil))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	arity := len(s.Attrs)
+	var chunk, frame []byte
+	for start := 0; start < len(s.Tuples); start += snapChunkTuples {
+		end := min(start+snapChunkTuples, len(s.Tuples))
+		chunk = binary.AppendUvarint(chunk[:0], uint64(end-start))
+		for i := start; i < end; i++ {
+			chunk = appendSnapTuple(chunk, arity, &s.Tuples[i])
+		}
+		frame = appendSnapFrame(frame[:0], chunk)
+		if _, err := w.Write(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readSnapFrame reads and verifies one framed record. Every failure —
+// including a clean EOF, which at a call site always means a record is
+// missing — wraps ErrCorrupt: snapshots are atomic, so any damage
+// rejects the whole file.
+func readSnapFrame(br *bufio.Reader) ([]byte, error) {
+	var h [frameHeaderLen]byte
+	if _, err := io.ReadFull(br, h[:]); err != nil {
+		return nil, fmt.Errorf("%w: snapshot record torn: %v", ErrCorrupt, err)
+	}
+	ln := binary.LittleEndian.Uint32(h[:4])
+	crc := binary.LittleEndian.Uint32(h[4:])
+	if ln > maxRecordLen {
+		return nil, fmt.Errorf("%w: snapshot record of implausible length %d", ErrCorrupt, ln)
+	}
+	p := make([]byte, ln)
+	if _, err := io.ReadFull(br, p); err != nil {
+		return nil, fmt.Errorf("%w: snapshot record torn: %v", ErrCorrupt, err)
+	}
+	if crc32.Checksum(p, castagnoli) != crc {
+		return nil, fmt.Errorf("%w: snapshot record checksum mismatch", ErrCorrupt)
+	}
+	return p, nil
+}
+
+// ReadSnapshot reads and verifies a framed snapshot from r, record by
+// record. Files at format version <= 2 (one record covering the whole
+// stream) decode through the legacy path.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
-	b, err := io.ReadAll(r)
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr := make([]byte, len(snapMagic)+1)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("%w: bad %s header: %v", ErrCorrupt, snapMagic, err)
+	}
+	if string(hdr[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad %s header", ErrCorrupt, snapMagic)
+	}
+	ver := hdr[len(snapMagic)]
+	if ver < minVersion || ver > Version {
+		return nil, fmt.Errorf("%w: format version %d, reader supports %d..%d", ErrCorrupt, ver, minVersion, Version)
+	}
+	if ver < 3 {
+		// Legacy layout: exactly one record covering the rest of the
+		// stream; a torn tail or trailing garbage means the atomic write
+		// protocol was violated — reject entirely.
+		b, err := io.ReadAll(br)
+		if err != nil {
+			return nil, err
+		}
+		if len(b) < frameHeaderLen {
+			return nil, fmt.Errorf("%w: snapshot stream is torn", ErrCorrupt)
+		}
+		ln := binary.LittleEndian.Uint32(b[:4])
+		crc := binary.LittleEndian.Uint32(b[4:])
+		if ln > maxRecordLen || int(ln) != len(b)-frameHeaderLen {
+			return nil, fmt.Errorf("%w: snapshot stream is torn or trailed by garbage", ErrCorrupt)
+		}
+		payload := b[frameHeaderLen:]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+		}
+		return decodeSnapshotVersion(payload, ver)
+	}
+	hp, err := readSnapFrame(br)
 	if err != nil {
 		return nil, err
 	}
-	payloads, ver, good, err := scanFrames(b, snapMagic)
-	if err != nil {
-		return nil, err
+	d := &decoder{b: hp}
+	s, ntuples := decodeSnapshotPrefix(d, ver)
+	if d.err != nil {
+		return nil, d.err
 	}
-	if len(payloads) != 1 || good != int64(len(b)) {
-		return nil, fmt.Errorf("%w: snapshot stream is torn or trailed by garbage", ErrCorrupt)
+	if d.pos != len(hp) {
+		return nil, fmt.Errorf("%w: snapshot header record carries %d trailing bytes", ErrCorrupt, len(hp)-d.pos)
 	}
-	return decodeSnapshotVersion(payloads[0], ver)
+	arity := len(s.Attrs)
+	for got := uint64(0); got < ntuples; {
+		cp, err := readSnapFrame(br)
+		if err != nil {
+			return nil, err
+		}
+		cd := &decoder{b: cp}
+		n := cd.uvarint("chunk tuple count")
+		if cd.err == nil && (n == 0 || got+n > ntuples) {
+			cd.err = fmt.Errorf("%w: snapshot chunk of %d tuples at row %d of %d", ErrCorrupt, n, got, ntuples)
+		}
+		for i := uint64(0); i < n && cd.err == nil; i++ {
+			s.Tuples = append(s.Tuples, decodeSnapTuple(cd, arity, got+i))
+		}
+		if cd.err != nil {
+			return nil, cd.err
+		}
+		if cd.pos != len(cp) {
+			return nil, fmt.Errorf("%w: snapshot chunk carries %d trailing bytes", ErrCorrupt, len(cp)-cd.pos)
+		}
+		got += n
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: snapshot stream trailed by garbage", ErrCorrupt)
+	}
+	return s, nil
 }
 
 // decoder is a cursor over a snapshot payload that latches the first

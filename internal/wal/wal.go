@@ -18,8 +18,14 @@
 // loudly when this is forgotten).
 //
 //	wal file      = "CFDWAL"  version(u8) record*
-//	snapshot file = "CFDSNAP" version(u8) record      (exactly one)
+//	snapshot file = "CFDSNAP" version(u8) header-record chunk-record*
 //	record        = length(u32 LE) crc(u32 LE) payload
+//
+// Snapshot files at format version <= 2 carried exactly one record (the
+// whole relation in one payload); version 3 streams a header record
+// (everything through the tuple count) followed by bounded tuple-chunk
+// records, so snapshots of any size are written and read without a
+// relation-sized allocation.
 //
 // crc is the CRC-32C (Castagnoli) checksum of the payload alone; length
 // counts payload bytes. Record payloads are opaque at this layer —
@@ -53,9 +59,14 @@ import (
 // and decode version-gated blocks per the file's own header byte.
 // Version 2 added the quota block to the snapshot payload (see
 // Snapshot.Quota); a v1 snapshot reads back with a zero Quota
-// (= inherit service defaults). The WAL record codec is unchanged
-// between 1 and 2.
-const Version = 2
+// (= inherit service defaults). Version 3 added the storage-backend
+// block (Snapshot.StoreKind / StoreGen) and switched snapshot FILES
+// from a single whole-relation record to a header record followed by
+// bounded tuple-chunk records, so writing and reading a snapshot
+// streams instead of materializing one relation-sized buffer; v1/v2
+// single-record snapshot files stay readable, and the WAL record codec
+// is unchanged across all three versions.
+const Version = 3
 
 // minVersion is the oldest format version readers still decode.
 const minVersion = 1
@@ -254,25 +265,20 @@ func WriteSnapshotFile(path string, s *Snapshot) error {
 }
 
 // ReadSnapshotFile reads and verifies a snapshot file written by
-// WriteSnapshotFile. Any damage — header, checksum, payload — returns
-// an error wrapping ErrCorrupt so callers can fall back to an older
-// generation.
+// WriteSnapshotFile, streaming record by record. Any damage — header,
+// checksum, payload, torn chunk stream — returns an error wrapping
+// ErrCorrupt so callers can fall back to an older generation.
 func ReadSnapshotFile(path string) (*Snapshot, error) {
-	b, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	payloads, ver, good, err := scanFrames(b, snapMagic)
+	defer f.Close()
+	s, err := ReadSnapshot(f)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("snapshot %s: %w", filepath.Base(path), err)
 	}
-	// A snapshot is exactly one record covering the whole file; a torn
-	// tail or trailing garbage means the atomic write protocol was
-	// violated (or the disk corrupted the file) — reject it entirely.
-	if len(payloads) != 1 || good != int64(len(b)) {
-		return nil, fmt.Errorf("%w: snapshot %s is torn or trailed by garbage", ErrCorrupt, filepath.Base(path))
-	}
-	return decodeSnapshotVersion(payloads[0], ver)
+	return s, nil
 }
 
 func syncDir(dir string) error {
